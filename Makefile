@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race bench repro repro-quick examples vet fmt cover
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/linkbench all
+
+repro-quick:
+	$(GO) run ./cmd/linkbench -quick all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/personalized
+	$(GO) run ./examples/newsburst
+	$(GO) run ./examples/streamfeed

@@ -1,0 +1,248 @@
+// Command linkbench regenerates the paper's tables and figures over
+// synthetic worlds and prints them in the same rows/series the paper
+// reports. Run `linkbench all` for the full evaluation or a single
+// experiment id (fig4a … fig6d, table4, table5, categories).
+//
+// Usage:
+//
+//	linkbench [-seed N] [-users N] [-quick] <experiment|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"microlink"
+	"microlink/internal/experiments"
+)
+
+var (
+	seed  = flag.Int64("seed", 42, "world generator seed")
+	users = flag.Int("users", 1500, "number of users in the accuracy world")
+	quick = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories")
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+
+	runners := map[string]func(){
+		"fig4a":      fig4a,
+		"fig4b":      fig4b,
+		"fig4c":      fig4c,
+		"fig4d":      fig4d,
+		"table4":     table4,
+		"fig5a":      fig5a,
+		"fig5b":      fig5b,
+		"fig5c":      fig5c,
+		"fig5d":      fig5d,
+		"table5":     table5,
+		"fig6ab":     fig6ab,
+		"fig6c":      fig6c,
+		"fig6d":      fig6d,
+		"categories": categories,
+		"taxonomy":   taxonomy,
+	}
+	if id == "all" {
+		ids := make([]string, 0, len(runners))
+		for k := range runners {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		for _, k := range ids {
+			runners[k]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "linkbench: unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+	run()
+}
+
+var cachedWorld *microlink.World
+
+func world() *microlink.World {
+	if cachedWorld == nil {
+		p := experiments.DefaultWorldParams()
+		p.Seed = *seed
+		p.Users = *users
+		banner("generating world (seed=%d users=%d)", p.Seed, p.Users)
+		start := time.Now()
+		cachedWorld = microlink.Generate(p)
+		st := cachedWorld.Store.Stats()
+		fmt.Printf("  %d users, %d entities, %d tweets, %d mentions (%.2f/tweet) [%v]\n",
+			cachedWorld.Graph.NumNodes(), cachedWorld.KB.NumEntities(),
+			st.Tweets, st.Mentions, st.MentionsPerTweet, time.Since(start).Round(time.Millisecond))
+	}
+	return cachedWorld
+}
+
+func banner(format string, args ...any) {
+	fmt.Printf("── "+format+"\n", args...)
+}
+
+func printAccuracy(rows []experiments.AccuracyRow) {
+	fmt.Printf("  %-24s %10s %10s\n", "method", "mention", "tweet")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %10.4f %10.4f\n", r.Label, r.Mention, r.Tweet)
+	}
+}
+
+func printTiming(rows []experiments.TimingRow) {
+	fmt.Printf("  %-24s %14s %14s\n", "method", "per mention", "per tweet")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %14v %14v\n", r.Label, r.PerMention, r.PerTweet)
+	}
+}
+
+func fig4a() {
+	banner("Fig 4(a): accuracy vs state of the art (inactive-user test set)")
+	printAccuracy(experiments.Fig4a(world()))
+}
+
+func fig4b() {
+	banner("Fig 4(b): accuracy vs complementation corpus Dθ")
+	printAccuracy(experiments.Fig4b(world(), []int{90, 70, 50, 30, 10}))
+}
+
+func fig4c() {
+	banner("Fig 4(c): tf-idf vs entropy influence estimation")
+	printAccuracy(experiments.Fig4c(world()))
+}
+
+func fig4d() {
+	banner("Fig 4(d): recency propagation ablation")
+	printAccuracy(experiments.Fig4d(world()))
+}
+
+func table4() {
+	banner("Table 4: feature ablation (Eq. 1)")
+	printAccuracy(experiments.Table4(world()))
+}
+
+func fig5a() {
+	banner("Fig 5(a): linking time vs state of the art")
+	printTiming(experiments.Fig5a(world()))
+}
+
+func fig5b() {
+	banner("Fig 5(b): naive vs incremental transitive-closure construction")
+	scales := experiments.DefaultScales()
+	if *quick {
+		scales = scales[:3]
+	}
+	fmt.Printf("  %-8s %10s %16s %16s\n", "dataset", "users", "naive (extrap)", "incremental")
+	for _, r := range experiments.Fig5b(scales, 4) {
+		fmt.Printf("  %-8s %10d %16v %16v\n", r.Label, r.Users, r.Naive.Round(time.Millisecond), r.Incremental.Round(time.Millisecond))
+	}
+}
+
+func fig5c() {
+	banner("Fig 5(c): linking time vs number of influential users")
+	printTiming(experiments.Fig5c(world(), []int{1, 5, 10, 20, 50, 0}))
+}
+
+func fig5d() {
+	banner("Fig 5(d): linking time vs knowledgebase complement size")
+	printTiming(experiments.Fig5d(world(), []int{90, 70, 50, 30, 10}))
+}
+
+func table5() {
+	banner("Table 5: reachability index comparison (transitive closure vs 2-hop)")
+	scales := experiments.DefaultScales()
+	nq := 1_000_000
+	if *quick {
+		scales = scales[:4]
+		nq = 100_000
+	}
+	fmt.Printf("  %-8s %9s %9s %7s %7s | %11s %11s | %9s %9s | %11s %11s\n",
+		"dataset", "#node", "#edge", "avgdeg", "maxdeg",
+		"tc build", "2hop build", "tc size", "2hop size", "tc query", "2hop query")
+	for _, r := range experiments.Table5(scales, 4, nq) {
+		tcB, tcS, tcQ := "-", "-", "-"
+		if r.ClosureBuild > 0 {
+			tcB = r.ClosureBuild.Round(time.Millisecond).String()
+			tcS = mb(r.ClosureBytes)
+			tcQ = r.ClosureQuery.String()
+		}
+		fmt.Printf("  %-8s %9d %9d %7.1f %7d | %11s %11s | %9s %9s | %11s %11s\n",
+			r.Label, r.Nodes, r.Edges, r.AvgDegree, r.MaxDegree,
+			tcB, r.TwoHopBuild.Round(time.Millisecond),
+			tcS, mb(r.TwoHopBytes),
+			tcQ, r.TwoHopQuery)
+	}
+}
+
+func mb(b int64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
+func fig6ab() {
+	banner("Fig 6(a,b): generalisability on the Weibo-flavoured corpus")
+	p := experiments.WeiboWorldParams()
+	fmt.Printf("  generating Weibo world (seed=%d)…\n", p.Seed)
+	w := microlink.Generate(p)
+	acc, tim := experiments.Fig6ab(w)
+	printAccuracy(acc)
+	printTiming(tim)
+}
+
+func fig6c() {
+	banner("Fig 6(c): accuracy vs tweet length (mentions per tweet)")
+	const maxLen = 4
+	byMethod := experiments.Fig6c(world(), maxLen)
+	fmt.Printf("  %-24s", "method")
+	for l := 1; l <= maxLen; l++ {
+		fmt.Printf(" %8s", fmt.Sprintf("len=%d", l))
+	}
+	fmt.Println()
+	for _, m := range []string{"on-the-fly", "collective", "ours"} {
+		fmt.Printf("  %-24s", m)
+		for _, a := range byMethod[m] {
+			fmt.Printf(" %8.4f", a.MentionAccuracy())
+		}
+		fmt.Println()
+	}
+}
+
+func fig6d() {
+	banner("Fig 6(d): sensitivity to α, β, γ")
+	pts := experiments.Fig6d(world(), []float64{0.1, 0.3, 0.6, 0.9}, 4)
+	fmt.Printf("  %6s %6s %6s %10s\n", "α", "β", "γ", "mention")
+	for _, p := range pts {
+		fmt.Printf("  %6.2f %6.2f %6.2f %10.4f\n", p.Alpha, p.Beta, p.Gamma, p.Mention)
+	}
+}
+
+func taxonomy() {
+	banner("§2 taxonomy: reachability substrates on one graph")
+	users, nq := 2000, 20000
+	if *quick {
+		users, nq = 800, 5000
+	}
+	fmt.Printf("  %-24s %12s %10s %12s\n", "substrate", "build", "size", "query")
+	for _, r := range experiments.Taxonomy(users, 4, nq) {
+		fmt.Printf("  %-24s %12v %10s %12v\n",
+			r.Substrate, r.Build.Round(time.Millisecond), mb(r.Bytes), r.Query)
+	}
+}
+
+func categories() {
+	banner("Appendix C.1: accuracy per entity category")
+	fmt.Printf("  %-14s %8s %10s\n", "category", "share", "mention")
+	for _, r := range experiments.Categories(world()) {
+		fmt.Printf("  %-14s %7.1f%% %10.4f\n", r.Category, 100*r.Share, r.Mention)
+	}
+}

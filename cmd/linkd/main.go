@@ -1,0 +1,93 @@
+// Command linkd serves the online-inference module (§3.2.2) over HTTP:
+//
+//	linkd [-addr :8080] [-seed 1] [-users 800]
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /v1/link?user=U&mention=M[&now=T]      score all candidates
+//	GET  /v1/topk?user=U&mention=M&k=K[&now=T]  top-k above the β+γ threshold
+//	GET  /v1/search?user=U&q=QUERY&k=K          personalized microblog search
+//	POST /v1/tweet                              NER + link (+feedback) a raw tweet
+//	GET  /v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microlink"
+	"microlink/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "world seed")
+	users := flag.Int("users", 800, "world size")
+	reachKind := flag.String("reach", "closure", "reachability substrate: closure|twohop|naive")
+	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path")
+	flag.Parse()
+
+	opts := microlink.Options{}
+	switch *reachKind {
+	case "closure":
+		opts.Reach = microlink.ReachClosure
+	case "twohop":
+		opts.Reach = microlink.ReachTwoHop
+	case "naive":
+		opts.Reach = microlink.ReachNaive
+	default:
+		log.Fatalf("linkd: unknown -reach %q", *reachKind)
+	}
+
+	log.Printf("linkd: generating world (seed=%d users=%d)…", *seed, *users)
+	world := microlink.Generate(microlink.WorldParams{Seed: *seed, Users: *users})
+	if *indexFile != "" {
+		if idx, err := microlink.LoadReachIndex(*indexFile, world.Graph, opts.Reach); err == nil {
+			opts.PrebuiltReach = idx
+			log.Printf("linkd: loaded reachability index from %s", *indexFile)
+		} else {
+			log.Printf("linkd: no reusable index (%v); building fresh", err)
+		}
+	}
+	log.Printf("linkd: building linking stack…")
+	sys := microlink.Build(world, opts)
+	if *indexFile != "" && opts.PrebuiltReach == nil {
+		if err := microlink.SaveReachIndex(*indexFile, sys.Reach); err != nil {
+			log.Printf("linkd: save index: %v", err)
+		} else {
+			log.Printf("linkd: saved reachability index to %s", *indexFile)
+		}
+	}
+	log.Print("linkd: ", sys.Describe())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Print("linkd: shutting down…")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("linkd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("linkd: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("linkd: %v", err)
+	}
+}

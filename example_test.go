@@ -1,0 +1,58 @@
+package microlink_test
+
+import (
+	"fmt"
+
+	"microlink"
+)
+
+// The examples use a tiny fixed-seed world so their output is stable.
+func exampleSystem() *microlink.System {
+	w := microlink.Generate(microlink.WorldParams{
+		Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20,
+	})
+	return microlink.Build(w, microlink.Options{TruthComplement: true})
+}
+
+// ExampleGenerate shows that world generation is deterministic in the seed.
+func ExampleGenerate() {
+	a := microlink.Generate(microlink.WorldParams{Seed: 7, Users: 300, Topics: 4, EntitiesPerTopic: 8, Days: 10})
+	b := microlink.Generate(microlink.WorldParams{Seed: 7, Users: 300, Topics: 4, EntitiesPerTopic: 8, Days: 10})
+	fmt.Println(a.Store.Len() == b.Store.Len())
+	fmt.Println(a.KB.NumEntities())
+	// Output:
+	// true
+	// 32
+}
+
+// ExampleSystem_Describe shows the configuration banner.
+func ExampleLinker_topK() {
+	sys := exampleSystem()
+	// Find an ambiguous surface form.
+	var surface string
+	sys.World.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+		if surface == "" && len(cs) >= 2 {
+			surface = form
+		}
+	})
+	top := sys.Linker.TopK(0, sys.World.Horizon(), surface, 2)
+	fmt.Println(len(top) <= 2)
+	for _, s := range top {
+		if s.Score <= sys.Linker.NewEntityThreshold() {
+			fmt.Println("leak")
+		}
+	}
+	// Output:
+	// true
+}
+
+// ExampleEvaluate scores a linker against generator ground truth.
+func ExampleEvaluate() {
+	sys := exampleSystem()
+	acc := microlink.Evaluate(sys.Linker, sys.TestSet.All())
+	fmt.Println(acc.Mentions > 0)
+	fmt.Println(acc.MentionAccuracy() >= acc.TweetAccuracy())
+	// Output:
+	// true
+	// true
+}

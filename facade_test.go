@@ -1,0 +1,306 @@
+package microlink
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"microlink/internal/eval"
+	"microlink/internal/influence"
+)
+
+func evalByTweetLength(l EvalLinker, ts []Tweet, maxLen int) []eval.Accuracy {
+	return eval.ByTweetLength(l, ts, maxLen)
+}
+
+// facadeWorld is a small world for fast facade-level tests, separate from
+// the big integration world.
+func facadeWorld() *World {
+	return Generate(WorldParams{Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20})
+}
+
+func TestBuildReachVariants(t *testing.T) {
+	w := facadeWorld()
+	for _, kind := range []ReachKind{ReachClosure, ReachTwoHop, ReachNaive, ReachDynamic} {
+		sys := Build(w, Options{Reach: kind, TruthComplement: true})
+		if sys.Reach == nil {
+			t.Fatalf("kind %d: nil reach index", kind)
+		}
+		// All variants answer something sane for a self-query.
+		if r := sys.Reach.R(0, 0); r != 1 {
+			t.Errorf("kind %d: R(self) = %f", kind, r)
+		}
+	}
+}
+
+func TestTruthComplementCounts(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true})
+	active := w.Store.FilterByActivity(10, 0)
+	if int(sys.CKB.TotalCount()) != active.MentionCount() {
+		t.Fatalf("postings %d != active mentions %d", sys.CKB.TotalCount(), active.MentionCount())
+	}
+}
+
+func TestComplementThetaChangesCorpus(t *testing.T) {
+	w := facadeWorld()
+	d10 := Build(w, Options{TruthComplement: true, ComplementTheta: 10})
+	d90 := Build(w, Options{TruthComplement: true, ComplementTheta: 90})
+	if d90.CKB.TotalCount() >= d10.CKB.TotalCount() {
+		t.Fatalf("θ=90 complement (%d) should be smaller than θ=10 (%d)",
+			d90.CKB.TotalCount(), d10.CKB.TotalCount())
+	}
+}
+
+func TestSearchPersonalizedAndOrdered(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true})
+	var surface string
+	w.KB.EachSurface(func(form string, cs []EntityID) {
+		if surface == "" && len(cs) >= 2 {
+			surface = form
+		}
+	})
+	now := w.Horizon()
+	found := false
+	for u := 0; u < w.Graph.NumNodes() && !found; u += 7 {
+		hits := sys.Search(UserID(u), now, surface, 1)
+		if len(hits) == 0 {
+			continue
+		}
+		found = true
+		for i := 1; i < len(hits); i++ {
+			if hits[i].Posting.Time > hits[i-1].Posting.Time {
+				t.Fatal("results not newest-first")
+			}
+		}
+		// All hits must be linked to the entity the user's linker picked.
+		top := sys.Linker.TopK(UserID(u), now, surface, 1)
+		for _, h := range hits {
+			if h.Entity != top[0].Entity {
+				t.Fatalf("hit entity %d != linked %d", h.Entity, top[0].Entity)
+			}
+		}
+		if hits[0].Text == "" {
+			t.Error("hit text not resolved")
+		}
+	}
+	if !found {
+		t.Skip("no user cleared the threshold for this surface")
+	}
+}
+
+func TestSearchNoMentions(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true})
+	if hits := sys.Search(0, w.Horizon(), "zzz qqq xxx", 2); len(hits) != 0 {
+		t.Fatalf("mention-free query returned %d hits", len(hits))
+	}
+}
+
+func TestLinkStreamFacade(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true})
+	test := sys.TestSet.All()
+	n := min(len(test), 60)
+	ptrs := make([]*Tweet, n)
+	for i := 0; i < n; i++ {
+		ptrs[i] = &test[i]
+	}
+	par := sys.Linker.LinkStream(ptrs, 8)
+	for i, tw := range ptrs {
+		seq := sys.Linker.LinkTweet(tw)
+		for j := range seq {
+			if par[i][j] != seq[j] {
+				t.Fatalf("tweet %d mention %d: parallel %d != sequential %d", i, j, par[i][j], seq[j])
+			}
+		}
+	}
+}
+
+func TestDescribeMentionsComponents(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true, InfluenceMethod: influence.TFIDF})
+	d := sys.Describe()
+	for _, want := range []string{"users", "entities", "tweets", "tfidf", "α=0.60"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe() missing %q: %s", want, d)
+		}
+	}
+}
+
+func TestFollowUpdatesInterest(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{Reach: ReachDynamic, TruthComplement: true})
+	// Find an ambiguous surface and a user whose top pick can flip by
+	// following the influential user of a losing candidate.
+	var surface string
+	var cands []EntityID
+	w.KB.EachSurface(func(form string, cs []EntityID) {
+		if surface == "" && len(cs) >= 2 {
+			surface, cands = form, cs
+		}
+	})
+	now := w.Horizon()
+	user := UserID(w.Graph.NumNodes() - 1)
+	before := sys.Linker.ScoreCandidates(user, now, surface)
+	if len(before) < 2 {
+		t.Skip("not enough candidates")
+	}
+	loser := before[len(before)-1].Entity
+	// Follow every influential member of the loser's community directly.
+	for _, v := range sys.Influence.TopInfluential(loser, cands, 5) {
+		if err := sys.Follow(user, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := sys.Linker.ScoreCandidates(user, now, surface)
+	var bi, ai float64
+	for _, s := range before {
+		if s.Entity == loser {
+			bi = s.Interest
+		}
+	}
+	for _, s := range after {
+		if s.Entity == loser {
+			ai = s.Interest
+		}
+	}
+	if ai <= bi {
+		t.Fatalf("interest in the loser did not rise after following its community: %f → %f", bi, ai)
+	}
+
+	// A non-dynamic system refuses Follow.
+	static := Build(w, Options{TruthComplement: true})
+	if err := static.Follow(user, 0); err == nil {
+		t.Fatal("static reach must reject Follow")
+	}
+}
+
+func TestSaveLoadReachIndex(t *testing.T) {
+	w := facadeWorld()
+	for _, kind := range []ReachKind{ReachClosure, ReachTwoHop} {
+		sys := Build(w, Options{Reach: kind, TruthComplement: true})
+		path := t.TempDir() + "/reach.idx"
+		if err := SaveReachIndex(path, sys.Reach); err != nil {
+			t.Fatalf("kind %d: save: %v", kind, err)
+		}
+		idx, err := LoadReachIndex(path, w.Graph, kind)
+		if err != nil {
+			t.Fatalf("kind %d: load: %v", kind, err)
+		}
+		// A system built with the prebuilt index links identically.
+		reloaded := Build(w, Options{PrebuiltReach: idx, TruthComplement: true})
+		test := sys.TestSet.All()
+		for i := 0; i < min(len(test), 40); i++ {
+			a := sys.Linker.LinkTweet(&test[i])
+			b := reloaded.Linker.LinkTweet(&test[i])
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("kind %d: tweet %d mention %d: %d != %d", kind, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+	// Naive has nothing to save; dynamic kind has no loader.
+	sysN := Build(w, Options{Reach: ReachNaive, TruthComplement: true})
+	if err := SaveReachIndex(t.TempDir()+"/x", sysN.Reach); err == nil {
+		t.Fatal("naive index must not serialise")
+	}
+	if _, err := LoadReachIndex("/does/not/exist", w.Graph, ReachClosure); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestFig6cShape asserts the Appendix C tweet-length finding: the
+// baselines' accuracy climbs with more mentions per tweet (more coherence
+// signal) while our lead is largest on single-mention tweets.
+func TestFig6cShape(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{})
+	test := sys.TestSet.All()
+	ours := evalByLength(sys.Linker, test)
+	otf := evalByLength(sys.OnTheFly(), test)
+	if ours[0] <= otf[0] {
+		t.Errorf("len-1 lead missing: ours %.4f vs on-the-fly %.4f", ours[0], otf[0])
+	}
+	if otf[2] <= otf[0] {
+		t.Errorf("on-the-fly should improve with length: len1 %.4f len3 %.4f", otf[0], otf[2])
+	}
+	lead1 := ours[0] - otf[0]
+	lead3 := ours[2] - otf[2]
+	if lead1 <= lead3 {
+		t.Errorf("our lead should be largest at length 1: %.4f vs %.4f", lead1, lead3)
+	}
+}
+
+func evalByLength(l EvalLinker, ts []Tweet) []float64 {
+	buckets := evalByTweetLength(l, ts, 3)
+	out := make([]float64, len(buckets))
+	for i, a := range buckets {
+		out[i] = a.MentionAccuracy()
+	}
+	return out
+}
+
+// TestConcurrentLinkAndFeedback drives the online loop from many
+// goroutines at once — readers scoring candidates while writers feed
+// confirmed links back — exactly the mixed workload a linkd deployment
+// sees. Run with -race in CI.
+func TestConcurrentLinkAndFeedback(t *testing.T) {
+	w := facadeWorld()
+	sys := Build(w, Options{TruthComplement: true})
+	test := sys.TestSet.All()
+	if len(test) == 0 {
+		t.Skip("empty test set")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: replay feedback.
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < min(len(test), 120); i += 2 {
+				tw := &test[i]
+				sys.Linker.Feedback(tw, sys.Linker.LinkTweet(tw))
+			}
+		}(k)
+	}
+	// Readers: hammer scoring and search.
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tw := &test[(i*7+k)%len(test)]
+				sys.Linker.LinkTweet(tw)
+				if i > 200 {
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(stop)
+}
+
+func TestWorldEventsAccessible(t *testing.T) {
+	w := facadeWorld()
+	if len(w.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range w.Events {
+		if ev.Start >= ev.End {
+			t.Fatalf("bad event window %+v", ev)
+		}
+		if ev.Entity < 0 || int(ev.Entity) >= w.KB.NumEntities() {
+			t.Fatalf("bad event entity %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module microlink
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package baseline implements the two state-of-the-art comparators of the
+// paper's evaluation (§5.1.3):
+//
+//   - OnTheFly — an intra-tweet linker in the style of TagMe [14]: entity
+//     commonness (popularity prior), context similarity between the tweet
+//     text and the entity's article terms, and topical-coherence voting
+//     (WLM) between the candidates of co-occurring mentions.
+//   - Collective — a batch linker in the style of Shen et al. [2]: all
+//     mentions across one user's tweet history are disambiguated jointly by
+//     propagating an interest distribution over a candidate-entity graph
+//     with WLM edges (PageRank-like), seeded by the intra-tweet scores.
+//
+// The collective linker doubles as the offline knowledge-acquisition stage
+// (§3.2.1) that complements the knowledgebase.
+package baseline
+
+import (
+	"math"
+
+	"microlink/internal/candidate"
+	"microlink/internal/kb"
+	"microlink/internal/textutil"
+	"microlink/internal/tweets"
+)
+
+// OnTheFlyOptions weighs the intra-tweet features; zero values select the
+// defaults (0.4 popularity, 0.3 context, 0.3 coherence).
+type OnTheFlyOptions struct {
+	WPopularity float64
+	WContext    float64
+	WCoherence  float64
+}
+
+func (o *OnTheFlyOptions) fill() {
+	if o.WPopularity == 0 && o.WContext == 0 && o.WCoherence == 0 {
+		o.WPopularity, o.WContext, o.WCoherence = 0.4, 0.3, 0.3
+	}
+}
+
+// OnTheFly is the TagMe-style intra-tweet linker. Safe for concurrent use.
+type OnTheFly struct {
+	kb   *kb.KB
+	cand *candidate.Index
+	opts OnTheFlyOptions
+}
+
+// NewOnTheFly returns the on-the-fly baseline linker.
+func NewOnTheFly(k *kb.KB, cand *candidate.Index, opts OnTheFlyOptions) *OnTheFly {
+	opts.fill()
+	return &OnTheFly{kb: k, cand: cand, opts: opts}
+}
+
+// Name implements the eval.Linker convention.
+func (l *OnTheFly) Name() string { return "on-the-fly" }
+
+// LinkTweet links every mention of tw independently of other tweets,
+// returning one entity per mention (kb.NoEntity when no candidate exists).
+func (l *OnTheFly) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
+	cands := make([][]candidate.Candidate, len(tw.Mentions))
+	for i, m := range tw.Mentions {
+		cands[i] = l.cand.Candidates(m.Surface)
+	}
+	ctx := contextVector(tw.Text)
+	out := make([]kb.EntityID, len(tw.Mentions))
+	for i := range tw.Mentions {
+		out[i] = l.linkOne(i, cands, ctx)
+	}
+	return out
+}
+
+func (l *OnTheFly) linkOne(i int, cands [][]candidate.Candidate, ctx map[string]float64) kb.EntityID {
+	own := cands[i]
+	if len(own) == 0 {
+		return kb.NoEntity
+	}
+	best, bestScore := kb.NoEntity, math.Inf(-1)
+	for _, c := range own {
+		s := l.opts.WPopularity*l.Commonness(c.Entity, own) +
+			l.opts.WContext*l.ContextSimilarity(c.Entity, ctx) +
+			l.opts.WCoherence*l.coherence(c.Entity, i, cands)
+		if s > bestScore || (s == bestScore && c.Entity < best) {
+			best, bestScore = c.Entity, s
+		}
+	}
+	return best
+}
+
+// Commonness is the popularity prior of e within its candidate set,
+// estimated from inlink counts (the Wikipedia-anchor commonness of TagMe).
+func (l *OnTheFly) Commonness(e kb.EntityID, own []candidate.Candidate) float64 {
+	var total, mine float64
+	for _, c := range own {
+		n := float64(len(l.kb.Inlinks(c.Entity))) + 1 // +1 smooths islands
+		total += n
+		if c.Entity == e {
+			mine = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return mine / total
+}
+
+// ContextSimilarity is the cosine similarity between the tweet's token
+// vector and the entity's article term vector.
+func (l *OnTheFly) ContextSimilarity(e kb.EntityID, ctx map[string]float64) float64 {
+	terms := l.kb.Entity(e).Context
+	if len(terms) == 0 || len(ctx) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for t, w := range terms {
+		nb += float64(w) * float64(w)
+		if cw, ok := ctx[t]; ok {
+			dot += cw * float64(w)
+		}
+	}
+	for _, w := range ctx {
+		na += w * w
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// coherence is the WLM voting score of TagMe: candidates of the *other*
+// mentions in the tweet vote for e, each vote weighted by the voter's own
+// commonness.
+func (l *OnTheFly) coherence(e kb.EntityID, i int, cands [][]candidate.Candidate) float64 {
+	var total float64
+	voters := 0
+	for j, others := range cands {
+		if j == i || len(others) == 0 {
+			continue
+		}
+		var vote float64
+		for _, o := range others {
+			vote += l.kb.Relatedness(e, o.Entity) * l.Commonness(o.Entity, others)
+		}
+		total += vote
+		voters++
+	}
+	if voters == 0 {
+		return 0
+	}
+	return total / float64(voters)
+}
+
+// InitialScore exposes the combined intra-tweet score — the seed the
+// collective linker propagates.
+func (l *OnTheFly) InitialScore(e kb.EntityID, i int, cands [][]candidate.Candidate, ctx map[string]float64) float64 {
+	return l.opts.WPopularity*l.Commonness(e, cands[i]) +
+		l.opts.WContext*l.ContextSimilarity(e, ctx) +
+		l.opts.WCoherence*l.coherence(e, i, cands)
+}
+
+// contextVector builds a normalised bag-of-words vector from tweet text.
+func contextVector(text string) map[string]float64 {
+	toks := textutil.Tokenize(text)
+	v := make(map[string]float64, len(toks))
+	for _, t := range toks {
+		if k := t.Kind(); k == textutil.KindURL || k == textutil.KindUserRef {
+			continue
+		}
+		v[t.Text]++
+	}
+	return v
+}

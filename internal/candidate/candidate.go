@@ -1,0 +1,207 @@
+// Package candidate implements candidate generation (§3.2.2): given an
+// entity mention it produces the candidate entity set E_m from the
+// knowledgebase's surface forms. Exact lookups hit the surface dictionary
+// directly; because queries and tweets are full of misspellings, a
+// segment-based index with edit-distance verification (after Li et al.
+// [36]) provides fuzzy matching.
+//
+// The segment index uses the pigeonhole partition scheme: every dictionary
+// key is split into maxEdit+1 contiguous segments, so any string within
+// edit distance maxEdit of the key must contain at least one segment as an
+// exact substring, at a position shifted by at most maxEdit. Lookups
+// enumerate query substrings of the indexed segment lengths, apply the
+// position and length filters, and verify survivors with banded
+// Levenshtein.
+package candidate
+
+import (
+	"sort"
+
+	"microlink/internal/kb"
+	"microlink/internal/textutil"
+)
+
+// Candidate is one entry of the candidate entity set E_m.
+type Candidate struct {
+	Entity  kb.EntityID
+	Surface string // the dictionary surface form that matched
+	Dist    int    // edit distance between the mention and Surface
+}
+
+// Options configures the candidate index.
+type Options struct {
+	// MaxEdit is the maximum edit distance for fuzzy matching; 0 disables
+	// fuzzy lookup entirely. Default 1.
+	MaxEdit int
+	// MinFuzzyLen is the minimum key length eligible for fuzzy matching;
+	// very short strings produce too many false candidates. Default 4.
+	MinFuzzyLen int
+}
+
+func (o *Options) fill() {
+	if o.MaxEdit == 0 {
+		o.MaxEdit = 1
+	}
+	if o.MaxEdit < 0 {
+		o.MaxEdit = 0
+	}
+	if o.MinFuzzyLen <= 0 {
+		o.MinFuzzyLen = 4
+	}
+}
+
+type segRef struct {
+	key int32 // index into keys
+	pos int16 // byte offset of the segment within the key
+}
+
+// Index is the frozen candidate-generation index. Safe for concurrent use.
+type Index struct {
+	kb          *kb.KB
+	maxEdit     int
+	minFuzzyLen int
+	keys        []string
+	segs        map[string][]segRef
+	segLens     []int // distinct indexed segment lengths, ascending
+}
+
+// NewIndex builds the candidate index over all surface forms of k.
+func NewIndex(k *kb.KB, opts Options) *Index {
+	opts.fill()
+	ix := &Index{
+		kb:          k,
+		maxEdit:     opts.MaxEdit,
+		minFuzzyLen: opts.MinFuzzyLen,
+		segs:        make(map[string][]segRef),
+	}
+	if ix.maxEdit == 0 {
+		return ix
+	}
+	lens := make(map[int]struct{})
+	k.EachSurface(func(form string, _ []kb.EntityID) {
+		if len(form) < ix.minFuzzyLen {
+			return
+		}
+		ki := int32(len(ix.keys))
+		ix.keys = append(ix.keys, form)
+		for _, seg := range partition(form, ix.maxEdit+1) {
+			ix.segs[seg.s] = append(ix.segs[seg.s], segRef{key: ki, pos: int16(seg.pos)})
+			lens[len(seg.s)] = struct{}{}
+		}
+	})
+	for l := range lens {
+		ix.segLens = append(ix.segLens, l)
+	}
+	sort.Ints(ix.segLens)
+	return ix
+}
+
+type segment struct {
+	s   string
+	pos int
+}
+
+// partition splits s into n contiguous segments of near-equal length
+// (longer segments first), the standard pigeonhole partition.
+func partition(s string, n int) []segment {
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]segment, 0, n)
+	base, rem := len(s)/n, len(s)%n
+	pos := 0
+	for i := 0; i < n; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		out = append(out, segment{s: s[pos : pos+l], pos: pos})
+		pos += l
+	}
+	return out
+}
+
+// Candidates returns the candidate entity set for a normalised mention
+// string, sorted by ascending edit distance then entity ID. Exact matches
+// are returned alone when they exist; fuzzy candidates are consulted only
+// otherwise, mirroring the paper's dictionary-first strategy.
+func (ix *Index) Candidates(mention string) []Candidate {
+	if ents := ix.kb.Candidates(mention); len(ents) > 0 {
+		out := make([]Candidate, len(ents))
+		for i, e := range ents {
+			out[i] = Candidate{Entity: e, Surface: mention, Dist: 0}
+		}
+		return out
+	}
+	return ix.Fuzzy(mention)
+}
+
+// Fuzzy returns fuzzy-only candidates within the configured edit distance.
+func (ix *Index) Fuzzy(mention string) []Candidate {
+	if ix.maxEdit == 0 || len(mention) < ix.minFuzzyLen-ix.maxEdit {
+		return nil
+	}
+	verified := make(map[int32]int) // key index → edit distance
+	checked := make(map[int32]struct{})
+	for _, l := range ix.segLens {
+		if l > len(mention) {
+			break
+		}
+		for start := 0; start+l <= len(mention); start++ {
+			refs, ok := ix.segs[mention[start:start+l]]
+			if !ok {
+				continue
+			}
+			for _, ref := range refs {
+				// Position filter: segment can shift by at most maxEdit.
+				if d := start - int(ref.pos); d > ix.maxEdit || d < -ix.maxEdit {
+					continue
+				}
+				if _, done := checked[ref.key]; done {
+					continue
+				}
+				checked[ref.key] = struct{}{}
+				key := ix.keys[ref.key]
+				// Length filter.
+				if d := len(key) - len(mention); d > ix.maxEdit || d < -ix.maxEdit {
+					continue
+				}
+				if textutil.WithinEditDistance(mention, key, ix.maxEdit) {
+					verified[ref.key] = textutil.Levenshtein(mention, key)
+				}
+			}
+		}
+	}
+	if len(verified) == 0 {
+		return nil
+	}
+	best := make(map[kb.EntityID]Candidate)
+	for ki, dist := range verified {
+		key := ix.keys[ki]
+		for _, e := range ix.kb.Candidates(key) {
+			if prev, ok := best[e]; !ok || dist < prev.Dist {
+				best[e] = Candidate{Entity: e, Surface: key, Dist: dist}
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// Entities extracts just the entity IDs of a candidate list.
+func Entities(cands []Candidate) []kb.EntityID {
+	out := make([]kb.EntityID, len(cands))
+	for i, c := range cands {
+		out[i] = c.Entity
+	}
+	return out
+}

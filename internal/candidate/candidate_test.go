@@ -1,0 +1,203 @@
+package candidate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlink/internal/kb"
+	"microlink/internal/textutil"
+)
+
+func testKB() *kb.KB {
+	b := kb.NewBuilder()
+	mjbb := b.AddEntity(kb.Entity{Name: "Michael Jordan (basketball)"})
+	mjml := b.AddEntity(kb.Entity{Name: "Michael Jordan (ML)"})
+	country := b.AddEntity(kb.Entity{Name: "Jordan (country)"})
+	bulls := b.AddEntity(kb.Entity{Name: "Chicago Bulls"})
+	nyc := b.AddEntity(kb.Entity{Name: "New York City"})
+
+	b.AddSurface("jordan", mjbb)
+	b.AddSurface("jordan", mjml)
+	b.AddSurface("jordan", country)
+	b.AddSurface("michael jordan", mjbb)
+	b.AddSurface("michael jordan", mjml)
+	b.AddSurface("bulls", bulls)
+	b.AddSurface("chicago bulls", bulls)
+	b.AddSurface("nyc", nyc)
+	b.AddSurface("the big apple", nyc)
+	b.AddSurface("new york city", nyc)
+	return b.Build()
+}
+
+func TestExactLookup(t *testing.T) {
+	ix := NewIndex(testKB(), Options{})
+	cands := ix.Candidates("jordan")
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	for _, c := range cands {
+		if c.Dist != 0 || c.Surface != "jordan" {
+			t.Errorf("bad candidate %+v", c)
+		}
+	}
+}
+
+func TestExactPreferredOverFuzzy(t *testing.T) {
+	ix := NewIndex(testKB(), Options{MaxEdit: 2})
+	// "bulls" is exact; a fuzzy expansion would also reach it but exact
+	// matches suppress the fuzzy path.
+	cands := ix.Candidates("bulls")
+	if len(cands) != 1 || cands[0].Dist != 0 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+}
+
+func TestFuzzyOneTypo(t *testing.T) {
+	ix := NewIndex(testKB(), Options{MaxEdit: 1})
+	cases := []string{"jordon", "jorda", "jordans", "jrodan"} // sub, del, ins, transpose(=2 subs? no: jrodan is 2 ops)
+	for _, m := range cases[:3] {
+		cands := ix.Candidates(m)
+		if len(cands) != 3 {
+			t.Errorf("Candidates(%q) = %+v, want the 3 jordan entities", m, cands)
+			continue
+		}
+		for _, c := range cands {
+			if c.Dist != 1 || c.Surface != "jordan" {
+				t.Errorf("Candidates(%q): bad candidate %+v", m, c)
+			}
+		}
+	}
+	// Transposition costs 2 under plain Levenshtein → not matched at k=1.
+	if cands := ix.Candidates("jrodan"); len(cands) != 0 {
+		t.Errorf("jrodan should not match at maxEdit=1, got %+v", cands)
+	}
+}
+
+func TestFuzzyMultiWord(t *testing.T) {
+	ix := NewIndex(testKB(), Options{MaxEdit: 1})
+	cands := ix.Candidates("micheal jordan") // common misspelling: 2 ops? e↔a swap = 2 subs... actually "michael"→"micheal" is transposition = 2 edits
+	if len(cands) != 0 {
+		t.Logf("micheal jordan matched at k=1: %+v", cands)
+	}
+	ix2 := NewIndex(testKB(), Options{MaxEdit: 2})
+	cands2 := ix2.Candidates("micheal jordan")
+	if len(cands2) != 2 {
+		t.Fatalf("micheal jordan at k=2 = %+v, want both michael jordans", cands2)
+	}
+}
+
+func TestFuzzyDisabled(t *testing.T) {
+	ix := NewIndex(testKB(), Options{MaxEdit: -1})
+	if cands := ix.Candidates("jordon"); cands != nil {
+		t.Fatalf("fuzzy disabled but got %+v", cands)
+	}
+	if cands := ix.Candidates("jordan"); len(cands) != 3 {
+		t.Fatal("exact lookup must still work")
+	}
+}
+
+func TestShortStringsNotFuzzy(t *testing.T) {
+	ix := NewIndex(testKB(), Options{MaxEdit: 1, MinFuzzyLen: 4})
+	// "nyc" (len 3) is below MinFuzzyLen: "nyd" must not match it.
+	if cands := ix.Candidates("nyd"); len(cands) != 0 {
+		t.Fatalf("short fuzzy match should be suppressed, got %+v", cands)
+	}
+}
+
+func TestUnknownMention(t *testing.T) {
+	ix := NewIndex(testKB(), Options{})
+	if cands := ix.Candidates("completely unknown phrase"); len(cands) != 0 {
+		t.Fatalf("got %+v", cands)
+	}
+}
+
+func TestEntitiesHelper(t *testing.T) {
+	ix := NewIndex(testKB(), Options{})
+	ents := Entities(ix.Candidates("jordan"))
+	if len(ents) != 3 {
+		t.Fatalf("entities = %v", ents)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	segs := partition("abcdefg", 2)
+	if len(segs) != 2 || segs[0].s != "abcd" || segs[1].s != "efg" || segs[1].pos != 4 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	segs = partition("ab", 3) // n > len collapses to len
+	if len(segs) != 2 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestBestDistanceWins(t *testing.T) {
+	// Entity reachable via two keys at different distances keeps the min.
+	b := kb.NewBuilder()
+	e := b.AddEntity(kb.Entity{Name: "X"})
+	b.AddSurface("abcdef", e)
+	b.AddSurface("abcdeg", e)
+	ix := NewIndex(b.Build(), Options{MaxEdit: 1})
+	cands := ix.Candidates("abcdeg")
+	if len(cands) != 1 || cands[0].Dist != 0 {
+		t.Fatalf("cands = %+v", cands)
+	}
+	cands = ix.Fuzzy("abcdex")
+	if len(cands) != 1 || cands[0].Dist != 1 {
+		t.Fatalf("fuzzy cands = %+v", cands)
+	}
+}
+
+// Property: the segment index finds every dictionary key within maxEdit of
+// the query (no false negatives vs brute force over the dictionary).
+func TestQuickFuzzyComplete(t *testing.T) {
+	letters := []rune("abcdef")
+	randWord := func(r *rand.Rand, n int) string {
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		return string(s)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := kb.NewBuilder()
+		dict := make([]string, 0, 30)
+		seen := map[string]bool{}
+		for i := 0; i < 30; i++ {
+			w := randWord(r, 4+r.Intn(6))
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			e := b.AddEntity(kb.Entity{Name: w})
+			b.AddSurface(w, e)
+			dict = append(dict, w)
+		}
+		k := b.Build()
+		maxEdit := 1 + r.Intn(2)
+		ix := NewIndex(k, Options{MaxEdit: maxEdit})
+		for i := 0; i < 20; i++ {
+			q := randWord(r, 3+r.Intn(8))
+			got := map[string]bool{}
+			for _, c := range ix.Fuzzy(q) {
+				got[c.Surface] = true
+			}
+			for _, w := range dict {
+				want := textutil.Levenshtein(q, w) <= maxEdit
+				if want && !got[w] {
+					t.Logf("seed %d: query %q should match %q (k=%d)", seed, q, w, maxEdit)
+					return false
+				}
+				if got[w] && !want {
+					t.Logf("seed %d: query %q false positive %q", seed, q, w)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

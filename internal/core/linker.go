@@ -1,0 +1,248 @@
+// Package core implements the paper's entity linker (§3.2): on-the-fly,
+// per-mention scoring of candidate entities by the social-temporal
+// context of Eq. 1,
+//
+//	S(e) = α·S_in(u,e) + β·S_r(e) + γ·S_p(e)
+//
+// combining user interest via weighted reachability to influential
+// community members (Eq. 8), entity recency with propagation (Eq. 9/11),
+// and entity popularity (Eq. 2). Mentions are linked independently — no
+// intra- or inter-tweet joint inference — which is what makes the
+// framework fast enough for stream-rate linking.
+//
+// Naming note: the paper's α/β/γ are internally inconsistent (Eq. 1 binds
+// β to popularity and γ to recency, while Table 3, Table 4 and Fig. 6(d)
+// clearly treat β as recency and γ as popularity, e.g. "β=1" scoring
+// between interest and popularity). Config uses explicit field names;
+// Table 3's defaults are α=0.6, recency 0.3, popularity 0.1.
+package core
+
+import (
+	"sort"
+
+	"microlink/internal/candidate"
+	"microlink/internal/influence"
+	"microlink/internal/kb"
+	"microlink/internal/reach"
+	"microlink/internal/recency"
+	"microlink/internal/tweets"
+)
+
+// Config weighs the three features of Eq. 1 and sizes the influential-user
+// truncation of Eq. 8. Zero values select the paper's defaults (Table 3).
+type Config struct {
+	WInterest   float64 // α: user interest weight (default 0.6)
+	WRecency    float64 // β: entity recency weight (default 0.3)
+	WPopularity float64 // γ: entity popularity weight (default 0.1)
+	// TopInfluential is the number of most influential users whose
+	// weighted reachability is averaged in Eq. 8 (§4.1.2). ≤ 0 selects the
+	// default 5; set to -1 … no: use WholeCommunity to disable truncation.
+	TopInfluential int
+	// WholeCommunity disables influential-user truncation and averages
+	// reachability over the entire community U_e (Eq. 3) — the expensive
+	// variant of Fig. 5(c).
+	WholeCommunity bool
+	// MinInterest floors the raw per-candidate interest before
+	// normalisation: averages below it (incidental long multi-hop paths —
+	// the small-world noise §4.1.1 warns about: "reachable does not mean
+	// interested") are treated as no interest at all, so that a user with
+	// no real interest in any candidate lets recency and popularity
+	// decide. ≤ 0 selects the default 0.05; pass a tiny positive value
+	// (e.g. 1e-12) to effectively disable the floor.
+	MinInterest float64
+}
+
+func (c *Config) fill() {
+	if c.WInterest == 0 && c.WRecency == 0 && c.WPopularity == 0 {
+		c.WInterest, c.WRecency, c.WPopularity = 0.6, 0.3, 0.1
+	}
+	if c.TopInfluential <= 0 {
+		c.TopInfluential = 5
+	}
+	if c.MinInterest <= 0 {
+		c.MinInterest = 0.05
+	}
+}
+
+// Scored is one ranked candidate with its feature breakdown.
+type Scored struct {
+	Entity     kb.EntityID
+	Score      float64
+	Interest   float64 // S_in(u, e)
+	Recency    float64 // S_r(e)
+	Popularity float64 // S_p(e)
+}
+
+// Linker is the paper's prototype system. Scoring paths are safe for
+// concurrent use; Feedback serialises internally.
+type Linker struct {
+	ckb   *kb.Complemented
+	cand  *candidate.Index
+	reach reach.Index
+	inf   *influence.Estimator
+	rec   *recency.Scorer
+	cfg   Config
+}
+
+// New assembles a Linker from its substrates.
+func New(ckb *kb.Complemented, cand *candidate.Index, rx reach.Index, inf *influence.Estimator, rec *recency.Scorer, cfg Config) *Linker {
+	cfg.fill()
+	return &Linker{ckb: ckb, cand: cand, reach: rx, inf: inf, rec: rec, cfg: cfg}
+}
+
+// Name implements the eval.Linker convention.
+func (l *Linker) Name() string { return "social-temporal" }
+
+// Config returns the effective configuration.
+func (l *Linker) Config() Config { return l.cfg }
+
+// ScoreCandidates generates E_m for surface and scores every candidate by
+// Eq. 1 for the given author and time, sorted by descending score (ties by
+// ascending entity ID). An unknown surface yields nil.
+func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Scored {
+	cands := l.cand.Candidates(surface)
+	if len(cands) == 0 {
+		return nil
+	}
+	ents := candidate.Entities(cands)
+
+	// S_p (Eq. 2): complemented-KB tweet counts normalised over E_m.
+	pops := make([]float64, len(ents))
+	var popSum float64
+	for i, e := range ents {
+		pops[i] = float64(l.ckb.Count(e))
+		popSum += pops[i]
+	}
+	if popSum > 0 {
+		for i := range pops {
+			pops[i] /= popSum
+		}
+	}
+
+	// S_r (Eq. 9 + 11).
+	recs := l.rec.Scores(now, ents)
+
+	// S_in (Eq. 8): average weighted reachability to the most influential
+	// community members. Like S_p (Eq. 2) and S_r (Eq. 9) it is
+	// normalised over the candidate set, so the three features of Eq. 1
+	// mix on a common scale; the paper normalises the other two
+	// explicitly and leaves Eq. 8 raw, which would let a structurally
+	// small reachability value be drowned by the normalised features.
+	ints := make([]float64, len(ents))
+	var intSum float64
+	for i, e := range ents {
+		ints[i] = l.interest(u, e, ents)
+		if ints[i] < l.cfg.MinInterest {
+			ints[i] = 0 // small-world noise, not interest
+		}
+		intSum += ints[i]
+	}
+	if intSum > 0 {
+		for i := range ints {
+			ints[i] /= intSum
+		}
+	}
+
+	out := make([]Scored, len(ents))
+	for i, e := range ents {
+		out[i] = Scored{
+			Entity:     e,
+			Interest:   ints[i],
+			Recency:    recs[i],
+			Popularity: pops[i],
+		}
+		out[i].Score = l.cfg.WInterest*out[i].Interest +
+			l.cfg.WRecency*out[i].Recency +
+			l.cfg.WPopularity*out[i].Popularity
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// interest computes S_in(u, e) over the influential users U_e* (Eq. 8), or
+// the whole community (Eq. 3) when configured.
+func (l *Linker) interest(u kb.UserID, e kb.EntityID, ents []kb.EntityID) float64 {
+	var users []kb.UserID
+	if l.cfg.WholeCommunity {
+		users = l.ckb.Community(e)
+	} else {
+		users = l.inf.TopInfluential(e, ents, l.cfg.TopInfluential)
+	}
+	if len(users) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range users {
+		sum += l.reach.R(u, v)
+	}
+	return sum / float64(len(users))
+}
+
+// LinkMention links one mention to its best entity. ok is false when the
+// surface has no candidates.
+func (l *Linker) LinkMention(u kb.UserID, now int64, surface string) (kb.EntityID, bool) {
+	scored := l.ScoreCandidates(u, now, surface)
+	if len(scored) == 0 {
+		return kb.NoEntity, false
+	}
+	return scored[0].Entity, true
+}
+
+// NewEntityThreshold returns β+γ — the score ceiling of any candidate the
+// user has no interest in (Appendix D). TopK entries at or below it are
+// suppressed so that mentions of entities missing from the KB produce an
+// empty result rather than a false positive.
+func (l *Linker) NewEntityThreshold() float64 { return l.cfg.WRecency + l.cfg.WPopularity }
+
+// TopK returns up to k candidates whose score strictly exceeds the
+// new-entity threshold. An empty result signals that the mention likely
+// refers to an entity or meaning absent from the knowledgebase.
+func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
+	scored := l.ScoreCandidates(u, now, surface)
+	thr := l.NewEntityThreshold()
+	out := scored[:0:0]
+	for _, s := range scored {
+		if s.Score <= thr {
+			continue
+		}
+		out = append(out, s)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// LinkTweet links every mention of tw independently (§1.1's third
+// difference: no joint inference), returning one entity per mention.
+func (l *Linker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
+	out := make([]kb.EntityID, len(tw.Mentions))
+	for i, m := range tw.Mentions {
+		e, ok := l.LinkMention(tw.User, tw.Time, m.Surface)
+		if !ok {
+			e = kb.NoEntity
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Feedback implements the interactive update path of §3.2.2: once the
+// linking of tw is confirmed, the tweet is appended to the complemented
+// knowledgebase under each linked entity and the cached influential-user
+// sets of those entities are invalidated. links must be parallel to
+// tw.Mentions; kb.NoEntity entries are skipped.
+func (l *Linker) Feedback(tw *tweets.Tweet, links []kb.EntityID) {
+	for _, e := range links {
+		if e == kb.NoEntity {
+			continue
+		}
+		l.ckb.Link(e, kb.Posting{Tweet: tw.ID, User: tw.User, Time: tw.Time})
+		l.inf.Invalidate(e)
+	}
+}

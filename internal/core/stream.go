@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// LinkStream links a batch of tweets concurrently, preserving input order
+// in the result. Because the framework links each mention independently —
+// no intra- or inter-tweet joint inference — parallelisation is
+// embarrassingly simple, which §5.2.2 calls out as the property that lets
+// the system keep up with stream-rate ingestion. workers ≤ 0 selects
+// GOMAXPROCS.
+//
+// LinkStream only reads shared state; it must not run concurrently with
+// Feedback on the same tweets' entities if strict read-your-write ordering
+// matters (the complemented KB itself is safe for concurrent use).
+func (l *Linker) LinkStream(ts []*tweets.Tweet, workers int) [][]kb.EntityID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	out := make([][]kb.EntityID, len(ts))
+	if len(ts) == 0 {
+		return out
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= len(ts) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				out[i] = l.LinkTweet(ts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

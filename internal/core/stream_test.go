@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"microlink/internal/tweets"
+)
+
+func streamFixture() (*Linker, []*tweets.Tweet) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{})
+	var ts []*tweets.Tweet
+	surfaces := []string{"jordan", "nba", "icml", "zzzz"}
+	for i := 0; i < 40; i++ {
+		ts = append(ts, &tweets.Tweet{
+			ID:   int64(i),
+			User: int32(i % 4),
+			Time: 100,
+			Mentions: []tweets.Mention{
+				{Surface: surfaces[i%len(surfaces)]},
+				{Surface: surfaces[(i+1)%len(surfaces)]},
+			},
+		})
+	}
+	return l, ts
+}
+
+func TestLinkStreamMatchesSequential(t *testing.T) {
+	l, ts := streamFixture()
+	want := make([][]int32, len(ts))
+	for i, tw := range ts {
+		want[i] = l.LinkTweet(tw)
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := l.LinkStream(ts, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d tweet %d mention %d: %d != %d",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLinkStreamEmpty(t *testing.T) {
+	l, _ := streamFixture()
+	if got := l.LinkStream(nil, 4); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLinkStreamDefaultWorkers(t *testing.T) {
+	l, ts := streamFixture()
+	got := l.LinkStream(ts[:3], 0)
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+}

@@ -1,0 +1,167 @@
+// Package eval measures linker accuracy and latency against generator
+// ground truth, in the two granularities the paper reports: mention
+// accuracy (fraction of mentions correctly linked) and tweet accuracy
+// (fraction of tweets whose mentions are *all* correctly linked).
+package eval
+
+import (
+	"time"
+
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// Linker is the contract every evaluated system satisfies: the core linker
+// and both baselines. LinkTweet returns one entity per mention of the
+// tweet (kb.NoEntity for unlinkable mentions).
+type Linker interface {
+	Name() string
+	LinkTweet(tw *tweets.Tweet) []kb.EntityID
+}
+
+// Accuracy accumulates correctness counts.
+type Accuracy struct {
+	Mentions       int
+	Tweets         int
+	MentionCorrect int
+	TweetCorrect   int
+}
+
+// MentionAccuracy returns the fraction of correctly linked mentions.
+func (a Accuracy) MentionAccuracy() float64 {
+	if a.Mentions == 0 {
+		return 0
+	}
+	return float64(a.MentionCorrect) / float64(a.Mentions)
+}
+
+// TweetAccuracy returns the fraction of tweets with all mentions correct.
+func (a Accuracy) TweetAccuracy() float64 {
+	if a.Tweets == 0 {
+		return 0
+	}
+	return float64(a.TweetCorrect) / float64(a.Tweets)
+}
+
+// add folds one tweet's outcome in.
+func (a *Accuracy) add(mentions, correct int) {
+	if mentions == 0 {
+		return
+	}
+	a.Tweets++
+	a.Mentions += mentions
+	a.MentionCorrect += correct
+	if correct == mentions {
+		a.TweetCorrect++
+	}
+}
+
+// Merge combines two accuracy tallies.
+func (a Accuracy) Merge(b Accuracy) Accuracy {
+	return Accuracy{
+		Mentions:       a.Mentions + b.Mentions,
+		Tweets:         a.Tweets + b.Tweets,
+		MentionCorrect: a.MentionCorrect + b.MentionCorrect,
+		TweetCorrect:   a.TweetCorrect + b.TweetCorrect,
+	}
+}
+
+// Timing reports linking latency the way Fig. 5(a) does.
+type Timing struct {
+	Total      time.Duration
+	PerMention time.Duration
+	PerTweet   time.Duration
+}
+
+// Evaluate links every tweet of ts and scores it against ground truth.
+// Tweets without mentions are skipped.
+func Evaluate(l Linker, ts []tweets.Tweet) Accuracy {
+	acc, _ := run(l, ts, false)
+	return acc
+}
+
+// EvaluateTimed is Evaluate plus wall-clock latency per mention and tweet.
+func EvaluateTimed(l Linker, ts []tweets.Tweet) (Accuracy, Timing) {
+	return run(l, ts, true)
+}
+
+func run(l Linker, ts []tweets.Tweet, timed bool) (Accuracy, Timing) {
+	var acc Accuracy
+	start := time.Now()
+	for i := range ts {
+		tw := &ts[i]
+		if len(tw.Mentions) == 0 {
+			continue
+		}
+		got := l.LinkTweet(tw)
+		correct := 0
+		for mi, m := range tw.Mentions {
+			if mi < len(got) && got[mi] == m.Truth {
+				correct++
+			}
+		}
+		acc.add(len(tw.Mentions), correct)
+	}
+	var t Timing
+	if timed {
+		t.Total = time.Since(start)
+		if acc.Mentions > 0 {
+			t.PerMention = t.Total / time.Duration(acc.Mentions)
+		}
+		if acc.Tweets > 0 {
+			t.PerTweet = t.Total / time.Duration(acc.Tweets)
+		}
+	}
+	return acc, t
+}
+
+// ByCategory evaluates mention accuracy per entity category (Appendix
+// C.1), attributing each mention to its ground-truth entity's category.
+func ByCategory(l Linker, ts []tweets.Tweet, k *kb.KB) map[kb.Category]Accuracy {
+	out := make(map[kb.Category]Accuracy)
+	for i := range ts {
+		tw := &ts[i]
+		if len(tw.Mentions) == 0 {
+			continue
+		}
+		got := l.LinkTweet(tw)
+		for mi, m := range tw.Mentions {
+			if m.Truth == kb.NoEntity {
+				continue
+			}
+			cat := k.Entity(m.Truth).Category
+			a := out[cat]
+			correct := 0
+			if mi < len(got) && got[mi] == m.Truth {
+				correct = 1
+			}
+			a.add(1, correct)
+			out[cat] = a
+		}
+	}
+	return out
+}
+
+// ByTweetLength evaluates accuracy partitioned by the number of mentions
+// per tweet (Fig. 6(c)). Index i of the result holds tweets with i+1
+// mentions; tweets longer than maxLen fold into the last bucket.
+func ByTweetLength(l Linker, ts []tweets.Tweet, maxLen int) []Accuracy {
+	out := make([]Accuracy, maxLen)
+	for i := range ts {
+		tw := &ts[i]
+		n := len(tw.Mentions)
+		if n == 0 {
+			continue
+		}
+		bucket := min(n, maxLen) - 1
+		got := l.LinkTweet(tw)
+		correct := 0
+		for mi, m := range tw.Mentions {
+			if mi < len(got) && got[mi] == m.Truth {
+				correct++
+			}
+		}
+		out[bucket].add(n, correct)
+	}
+	return out
+}

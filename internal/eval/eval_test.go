@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"testing"
+
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// fakeLinker links mention i of each tweet to answers[surface], and
+// records how many tweets it saw.
+type fakeLinker struct {
+	name    string
+	answers map[string]kb.EntityID
+	calls   int
+}
+
+func (f *fakeLinker) Name() string { return f.name }
+func (f *fakeLinker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
+	f.calls++
+	out := make([]kb.EntityID, len(tw.Mentions))
+	for i, m := range tw.Mentions {
+		if e, ok := f.answers[m.Surface]; ok {
+			out[i] = e
+		} else {
+			out[i] = kb.NoEntity
+		}
+	}
+	return out
+}
+
+func corpus() []tweets.Tweet {
+	return []tweets.Tweet{
+		{ID: 1, User: 1, Time: 1, Mentions: []tweets.Mention{{Surface: "a", Truth: 0}, {Surface: "b", Truth: 1}}},
+		{ID: 2, User: 1, Time: 2, Mentions: []tweets.Mention{{Surface: "a", Truth: 0}}},
+		{ID: 3, User: 2, Time: 3, Mentions: []tweets.Mention{{Surface: "c", Truth: 2}}},
+		{ID: 4, User: 2, Time: 4}, // no mentions: skipped
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	l := &fakeLinker{name: "x", answers: map[string]kb.EntityID{"a": 0, "b": 1, "c": 2}}
+	acc := Evaluate(l, corpus())
+	if acc.MentionAccuracy() != 1 || acc.TweetAccuracy() != 1 {
+		t.Fatalf("acc = %+v", acc)
+	}
+	if acc.Mentions != 4 || acc.Tweets != 3 {
+		t.Fatalf("counts = %+v", acc)
+	}
+	if l.calls != 3 {
+		t.Fatalf("mention-free tweet must be skipped; calls = %d", l.calls)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	// "b" wrong: tweet 1 has 1/2 mentions correct → tweet-level incorrect.
+	l := &fakeLinker{name: "x", answers: map[string]kb.EntityID{"a": 0, "b": 99, "c": 2}}
+	acc := Evaluate(l, corpus())
+	if acc.MentionCorrect != 3 || acc.TweetCorrect != 2 {
+		t.Fatalf("acc = %+v", acc)
+	}
+	if acc.MentionAccuracy() != 0.75 {
+		t.Fatalf("mention accuracy = %f", acc.MentionAccuracy())
+	}
+	// Mention accuracy is always ≥ tweet accuracy (§5.2.1).
+	if acc.MentionAccuracy() < acc.TweetAccuracy() {
+		t.Fatal("mention accuracy below tweet accuracy")
+	}
+}
+
+func TestEvaluateTimed(t *testing.T) {
+	l := &fakeLinker{name: "x", answers: map[string]kb.EntityID{"a": 0}}
+	acc, tm := EvaluateTimed(l, corpus())
+	if tm.Total <= 0 || tm.PerMention <= 0 || tm.PerTweet <= 0 {
+		t.Fatalf("timing = %+v", tm)
+	}
+	if tm.PerMention > tm.PerTweet {
+		t.Fatal("per-mention time cannot exceed per-tweet time")
+	}
+	if acc.Mentions != 4 {
+		t.Fatalf("acc = %+v", acc)
+	}
+}
+
+func TestAccuracyZeroDivision(t *testing.T) {
+	var a Accuracy
+	if a.MentionAccuracy() != 0 || a.TweetAccuracy() != 0 {
+		t.Fatal("empty accuracy must be zero")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Accuracy{Mentions: 2, Tweets: 1, MentionCorrect: 1, TweetCorrect: 0}
+	b := Accuracy{Mentions: 3, Tweets: 2, MentionCorrect: 3, TweetCorrect: 2}
+	m := a.Merge(b)
+	if m.Mentions != 5 || m.TweetCorrect != 2 {
+		t.Fatalf("merge = %+v", m)
+	}
+}
+
+func TestByTweetLength(t *testing.T) {
+	l := &fakeLinker{name: "x", answers: map[string]kb.EntityID{"a": 0, "b": 99, "c": 2}}
+	buckets := ByTweetLength(l, corpus(), 4)
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	// Length-1 bucket: tweets 2 and 3, both correct.
+	if buckets[0].Tweets != 2 || buckets[0].MentionCorrect != 2 {
+		t.Fatalf("bucket 1 = %+v", buckets[0])
+	}
+	// Length-2 bucket: tweet 1, one of two correct.
+	if buckets[1].Tweets != 1 || buckets[1].MentionCorrect != 1 {
+		t.Fatalf("bucket 2 = %+v", buckets[1])
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	b := kb.NewBuilder()
+	b.AddEntity(kb.Entity{Name: "p", Category: kb.CategoryPerson})
+	b.AddEntity(kb.Entity{Name: "l", Category: kb.CategoryLocation})
+	b.AddEntity(kb.Entity{Name: "c", Category: kb.CategoryCompany})
+	k := b.Build()
+	l := &fakeLinker{name: "x", answers: map[string]kb.EntityID{"a": 0, "b": 99, "c": 2}}
+	got := ByCategory(l, corpus(), k)
+	if got[kb.CategoryPerson].MentionAccuracy() != 1 {
+		t.Fatalf("person = %+v", got[kb.CategoryPerson])
+	}
+	if got[kb.CategoryLocation].MentionAccuracy() != 0 {
+		t.Fatalf("location = %+v", got[kb.CategoryLocation])
+	}
+	if got[kb.CategoryCompany].MentionAccuracy() != 1 {
+		t.Fatalf("company = %+v", got[kb.CategoryCompany])
+	}
+}

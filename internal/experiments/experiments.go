@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5, Appendix C) over synthetic worlds: each function returns
+// the same rows/series the paper reports, and the cmd/linkbench harness
+// prints them. Absolute numbers differ from the paper (different data,
+// different hardware); the shapes — who wins, by roughly what factor,
+// where the crossovers fall — are what these functions reproduce, and
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"microlink"
+	"time"
+
+	"microlink/internal/eval"
+	"microlink/internal/influence"
+	"microlink/internal/recency"
+)
+
+// DefaultWorldParams is the world used by the accuracy experiments —
+// matching the integration tests, so numbers are directly comparable.
+func DefaultWorldParams() microlink.WorldParams {
+	return microlink.WorldParams{Seed: 42, Users: 1500, Topics: 12, EntitiesPerTopic: 20, Days: 60}
+}
+
+// WeiboWorldParams flavours the generator like the Sina Weibo corpus of
+// Appendix C.1: denser mentions per posting (the paper reports 2.3
+// entities per tweet) and a slightly different ambiguity profile.
+func WeiboWorldParams() microlink.WorldParams {
+	p := DefaultWorldParams()
+	p.Seed = 2012
+	p.MentionAmbig = 0.5
+	p.AmbiguousSurfaces = p.Topics * p.EntitiesPerTopic / 4
+	return p
+}
+
+// AccuracyRow is one method's accuracy pair, the unit of Fig. 4 and
+// Table 4.
+type AccuracyRow struct {
+	Label   string
+	Mention float64
+	Tweet   float64
+}
+
+// TimingRow is one method's per-mention / per-tweet linking latency
+// (Fig. 5(a), Fig. 6(b)).
+type TimingRow struct {
+	Label      string
+	PerMention time.Duration
+	PerTweet   time.Duration
+}
+
+// evalRow evaluates one linker into an AccuracyRow.
+func evalRow(label string, l eval.Linker, ts []microlink.Tweet) AccuracyRow {
+	a := eval.Evaluate(l, ts)
+	return AccuracyRow{Label: label, Mention: a.MentionAccuracy(), Tweet: a.TweetAccuracy()}
+}
+
+// Fig4a compares on-the-fly [14], collective [2] and our framework on the
+// inactive-user test set.
+func Fig4a(w *microlink.World) []AccuracyRow {
+	sys := microlink.Build(w, microlink.Options{})
+	test := sys.TestSet.All()
+	return []AccuracyRow{
+		evalRow("on-the-fly", sys.OnTheFly(), test),
+		evalRow("collective", sys.Collective(sys.TestSet), test),
+		evalRow("ours", sys.Linker, test),
+	}
+}
+
+// Fig4b varies the activity threshold θ of the complementation corpus
+// (the paper's D90 … D10 family).
+func Fig4b(w *microlink.World, thetas []int) []AccuracyRow {
+	var rows []AccuracyRow
+	for _, th := range thetas {
+		sys := microlink.Build(w, microlink.Options{ComplementTheta: th})
+		rows = append(rows, evalRow(
+			dLabel(th), sys.Linker, sys.TestSet.All()))
+	}
+	return rows
+}
+
+func dLabel(theta int) string {
+	return "D" + itoa(theta)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig4c compares the tf-idf and entropy influence estimators.
+func Fig4c(w *microlink.World) []AccuracyRow {
+	tf := microlink.Build(w, microlink.Options{InfluenceMethod: influence.TFIDF})
+	en := microlink.Build(w, microlink.Options{InfluenceMethod: influence.Entropy})
+	test := tf.TestSet.All()
+	return []AccuracyRow{
+		evalRow("tfidf", tf.Linker, test),
+		evalRow("entropy", en.Linker, test),
+	}
+}
+
+// Fig4d compares linking with and without recency propagation.
+func Fig4d(w *microlink.World) []AccuracyRow {
+	noProp := microlink.Build(w, microlink.Options{Recency: recency.Options{NoPropagation: true}})
+	prop := microlink.Build(w, microlink.Options{})
+	test := prop.TestSet.All()
+	return []AccuracyRow{
+		evalRow("no propagation", noProp.Linker, test),
+		evalRow("with propagation", prop.Linker, test),
+	}
+}
+
+// Table4 ablates the three features of Eq. 1: each alone, then combined
+// with the Table 3 defaults.
+func Table4(w *microlink.World) []AccuracyRow {
+	test := microlink.Build(w, microlink.Options{}).TestSet.All()
+	configs := []struct {
+		label string
+		cfg   microlink.LinkerConfig
+	}{
+		{"interest only (α=1)", microlink.LinkerConfig{WInterest: 1}},
+		{"recency only (β=1)", microlink.LinkerConfig{WRecency: 1}},
+		{"popularity only (γ=1)", microlink.LinkerConfig{WPopularity: 1}},
+		{"all features", microlink.LinkerConfig{}},
+	}
+	var rows []AccuracyRow
+	for _, c := range configs {
+		sys := microlink.Build(w, microlink.Options{Linker: c.cfg})
+		rows = append(rows, evalRow(c.label, sys.Linker, test))
+	}
+	return rows
+}
+
+// Fig5a measures average linking time per mention and per tweet for the
+// three methods over the test stream.
+func Fig5a(w *microlink.World) []TimingRow {
+	sys := microlink.Build(w, microlink.Options{})
+	test := sys.TestSet.All()
+	var rows []TimingRow
+	for _, l := range []eval.Linker{sys.OnTheFly(), sys.Collective(sys.TestSet), sys.Linker} {
+		_, tm := eval.EvaluateTimed(l, test)
+		rows = append(rows, TimingRow{Label: l.Name(), PerMention: tm.PerMention, PerTweet: tm.PerTweet})
+	}
+	return rows
+}
+
+// Fig5c varies the number of influential users whose reachability is
+// aggregated in Eq. 8 (0 = whole community, per Eq. 3).
+func Fig5c(w *microlink.World, ks []int) []TimingRow {
+	var rows []TimingRow
+	for _, k := range ks {
+		opts := microlink.Options{}
+		label := "top-" + itoa(k)
+		if k <= 0 {
+			opts.Linker.WholeCommunity = true
+			label = "whole community"
+		} else {
+			opts.Linker.TopInfluential = k
+		}
+		sys := microlink.Build(w, opts)
+		_, tm := eval.EvaluateTimed(sys.Linker, sys.TestSet.All())
+		rows = append(rows, TimingRow{Label: label, PerMention: tm.PerMention, PerTweet: tm.PerTweet})
+	}
+	return rows
+}
+
+// Fig5d measures linking time as the knowledgebase is complemented with
+// increasingly large corpora (scalability; should stay flat).
+func Fig5d(w *microlink.World, thetas []int) []TimingRow {
+	var rows []TimingRow
+	for _, th := range thetas {
+		sys := microlink.Build(w, microlink.Options{ComplementTheta: th})
+		_, tm := eval.EvaluateTimed(sys.Linker, sys.TestSet.All())
+		rows = append(rows, TimingRow{Label: dLabel(th), PerMention: tm.PerMention, PerTweet: tm.PerTweet})
+	}
+	return rows
+}
+
+// Fig6ab reruns the headline accuracy and timing comparisons on the
+// Weibo-flavoured world (Appendix C.1's generalisability study).
+func Fig6ab(w *microlink.World) ([]AccuracyRow, []TimingRow) {
+	return Fig4a(w), Fig5a(w)
+}
+
+// Fig6c partitions test accuracy by tweet length (mentions per tweet).
+func Fig6c(w *microlink.World, maxLen int) map[string][]eval.Accuracy {
+	sys := microlink.Build(w, microlink.Options{})
+	test := sys.TestSet.All()
+	return map[string][]eval.Accuracy{
+		"on-the-fly": eval.ByTweetLength(sys.OnTheFly(), test, maxLen),
+		"collective": eval.ByTweetLength(sys.Collective(sys.TestSet), test, maxLen),
+		"ours":       eval.ByTweetLength(sys.Linker, test, maxLen),
+	}
+}
+
+// Fig6dPoint is one (α, β, γ) setting with its accuracy.
+type Fig6dPoint struct {
+	Alpha, Beta, Gamma float64
+	Mention            float64
+}
+
+// Fig6d sweeps the feature weights: for each α, β ranges over the
+// remainder (γ = 1−α−β).
+func Fig6d(w *microlink.World, alphas []float64, steps int) []Fig6dPoint {
+	test := microlink.Build(w, microlink.Options{}).TestSet.All()
+	var pts []Fig6dPoint
+	for _, a := range alphas {
+		rest := 1 - a
+		for i := 0; i <= steps; i++ {
+			b := rest * float64(i) / float64(steps)
+			g := rest - b
+			sys := microlink.Build(w, microlink.Options{Linker: microlink.LinkerConfig{
+				WInterest: a, WRecency: b, WPopularity: g,
+				MinInterest: 0.05,
+			}})
+			acc := eval.Evaluate(sys.Linker, test)
+			pts = append(pts, Fig6dPoint{Alpha: a, Beta: b, Gamma: g, Mention: acc.MentionAccuracy()})
+		}
+	}
+	return pts
+}
+
+// CategoryRow is Appendix C.1's per-category accuracy breakdown.
+type CategoryRow struct {
+	Category string
+	Share    float64 // fraction of test mentions in this category
+	Mention  float64
+}
+
+// Categories evaluates our linker per entity category.
+func Categories(w *microlink.World) []CategoryRow {
+	sys := microlink.Build(w, microlink.Options{})
+	test := sys.TestSet.All()
+	byCat := eval.ByCategory(sys.Linker, test, w.KB)
+	total := 0
+	for _, a := range byCat {
+		total += a.Mentions
+	}
+	var rows []CategoryRow
+	for c := 0; c < 5; c++ {
+		cat := categoryAt(c)
+		a := byCat[cat]
+		if a.Mentions == 0 {
+			continue
+		}
+		rows = append(rows, CategoryRow{
+			Category: cat.String(),
+			Share:    float64(a.Mentions) / float64(total),
+			Mention:  a.MentionAccuracy(),
+		})
+	}
+	return rows
+}

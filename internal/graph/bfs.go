@@ -1,0 +1,95 @@
+package graph
+
+// BFS machinery shared by the reachability baselines and index builders.
+// The traversal object owns its scratch buffers so that repeated searches
+// (millions, during index construction) do not allocate.
+
+// unreachableDist marks an unvisited node inside a Traversal.
+const unreachableDist = int32(-1)
+
+// Traversal is a reusable BFS scratch space over one graph. It is not safe
+// for concurrent use; create one Traversal per worker goroutine.
+type Traversal struct {
+	g     *Graph
+	dist  []int32
+	queue []NodeID
+	seen  []NodeID // nodes whose dist must be reset before the next run
+}
+
+// NewTraversal returns a Traversal bound to g.
+func NewTraversal(g *Graph) *Traversal {
+	d := make([]int32, g.NumNodes())
+	for i := range d {
+		d[i] = unreachableDist
+	}
+	return &Traversal{g: g, dist: d}
+}
+
+func (t *Traversal) reset() {
+	for _, u := range t.seen {
+		t.dist[u] = unreachableDist
+	}
+	t.seen = t.seen[:0]
+	t.queue = t.queue[:0]
+}
+
+// Forward runs a forward BFS (along follow edges) from src, visiting nodes
+// up to maxHops away. visit is called once per reached node (src excluded)
+// with its hop distance; returning false stops expansion *from* that node
+// but the rest of the frontier still drains.
+func (t *Traversal) Forward(src NodeID, maxHops int, visit func(v NodeID, hops int) bool) {
+	t.run(src, maxHops, visit, t.g.Out)
+}
+
+// Backward runs a reverse BFS (against follow edges) from src: it reaches
+// all nodes that can reach src. Used by the 2-hop label construction.
+func (t *Traversal) Backward(src NodeID, maxHops int, visit func(v NodeID, hops int) bool) {
+	t.run(src, maxHops, visit, t.g.In)
+}
+
+func (t *Traversal) run(src NodeID, maxHops int, visit func(NodeID, int) bool, adj func(NodeID) []NodeID) {
+	t.reset()
+	t.dist[src] = 0
+	t.seen = append(t.seen, src)
+	t.queue = append(t.queue, src)
+	head := 0
+	for head < len(t.queue) {
+		u := t.queue[head]
+		head++
+		d := t.dist[u]
+		if int(d) >= maxHops {
+			continue
+		}
+		for _, v := range adj(u) {
+			if t.dist[v] != unreachableDist {
+				continue
+			}
+			t.dist[v] = d + 1
+			t.seen = append(t.seen, v)
+			if visit(v, int(d+1)) {
+				t.queue = append(t.queue, v)
+			}
+		}
+	}
+}
+
+// Dist returns the hop distance of v recorded by the most recent traversal,
+// or -1 if v was not reached.
+func (t *Traversal) Dist(v NodeID) int { return int(t.dist[v]) }
+
+// ShortestDist returns the length of the shortest path from u to v bounded
+// by maxHops, or -1 if v is unreachable within the bound.
+func (t *Traversal) ShortestDist(u, v NodeID, maxHops int) int {
+	if u == v {
+		return 0
+	}
+	found := -1
+	t.Forward(u, maxHops, func(w NodeID, hops int) bool {
+		if w == v {
+			found = hops
+			return false
+		}
+		return found == -1 // stop expanding once found
+	})
+	return found
+}

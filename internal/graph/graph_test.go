@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// line builds 0 → 1 → 2 → … → n-1.
+func line(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Build()
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBuildDedupAndSort(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 1) // dup
+	b.AddEdge(2, 0)
+	g := b.Build()
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	out := g.Out(2)
+	if len(out) != 3 || out[0] != 0 || out[1] != 1 || out[2] != 3 {
+		t.Fatalf("out(2) = %v", out)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(1, 1)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestInOutConsistent(t *testing.T) {
+	b := NewBuilder(5)
+	edges := [][2]NodeID{{0, 1}, {0, 2}, {1, 2}, {3, 2}, {2, 4}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	if got := g.In(2); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("in(2) = %v", got)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(4) != 1 || g.Degree(2) != 4 {
+		t.Fatalf("degrees wrong: out0=%d in4=%d deg2=%d", g.OutDegree(0), g.InDegree(4), g.Degree(2))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	if !g.HasEdge(0, 2) || g.HasEdge(2, 0) || g.HasEdge(0, 1) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 0)
+	s := b.Build().Stats()
+	if s.Nodes != 3 || s.Edges != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgDegree != 1.0 {
+		t.Fatalf("avg degree %f", s.AvgDegree)
+	}
+	if s.MaxDegree != 3 { // node 0: out 2 + in 1
+		t.Fatalf("max degree %d", s.MaxDegree)
+	}
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(6)
+	tr := NewTraversal(g)
+	if d := tr.ShortestDist(0, 5, 10); d != 5 {
+		t.Fatalf("dist 0→5 = %d", d)
+	}
+	if d := tr.ShortestDist(0, 5, 4); d != -1 {
+		t.Fatalf("bounded dist should be -1, got %d", d)
+	}
+	if d := tr.ShortestDist(5, 0, 10); d != -1 {
+		t.Fatalf("reverse dist should be -1, got %d", d)
+	}
+	if d := tr.ShortestDist(3, 3, 10); d != 0 {
+		t.Fatalf("self dist = %d", d)
+	}
+}
+
+func TestBFSReuseNoStateLeak(t *testing.T) {
+	g := line(10)
+	tr := NewTraversal(g)
+	for i := 0; i < 5; i++ {
+		if d := tr.ShortestDist(0, 9, 20); d != 9 {
+			t.Fatalf("iteration %d: dist = %d", i, d)
+		}
+	}
+}
+
+func TestBackwardBFS(t *testing.T) {
+	// 0→2, 1→2: backward from 2 reaches {0,1} at 1 hop.
+	b := NewBuilder(3)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	tr := NewTraversal(g)
+	got := map[NodeID]int{}
+	tr.Backward(2, 5, func(v NodeID, h int) bool {
+		got[v] = h
+		return true
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("backward reach = %v", got)
+	}
+}
+
+func TestForwardVisitPrune(t *testing.T) {
+	// 0→1→2; visitor refusing expansion at 1 must not reach 2.
+	g := line(3)
+	tr := NewTraversal(g)
+	reached := []NodeID{}
+	tr.Forward(0, 10, func(v NodeID, h int) bool {
+		reached = append(reached, v)
+		return false
+	})
+	if len(reached) != 1 || reached[0] != 1 {
+		t.Fatalf("reached %v", reached)
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// Property: every edge appears in both the out-list of its source and the
+// in-list of its target, and total counts agree.
+func TestQuickCSRSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		g := randomGraph(r, n, r.Intn(200))
+		inCount := 0
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(NodeID(u)) {
+				if !g.HasEdge(NodeID(u), v) {
+					return false
+				}
+				found := false
+				for _, s := range g.In(v) {
+					if s == NodeID(u) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			inCount += g.InDegree(NodeID(u))
+		}
+		return inCount == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distance equals Floyd-Warshall distance on small graphs.
+func TestQuickBFSMatchesFloyd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := randomGraph(r, n, r.Intn(40))
+		const inf = 1 << 20
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+			for j := range d[i] {
+				if i == j {
+					d[i][j] = 0
+				} else {
+					d[i][j] = inf
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(NodeID(u)) {
+				d[u][v] = 1
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d[i][k]+d[k][j] < d[i][j] {
+						d[i][j] = d[i][k] + d[k][j]
+					}
+				}
+			}
+		}
+		tr := NewTraversal(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := d[i][j]
+				if want == inf {
+					want = -1
+				}
+				if got := tr.ShortestDist(NodeID(i), NodeID(j), n+1); got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

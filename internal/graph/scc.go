@@ -1,0 +1,114 @@
+package graph
+
+// Strongly connected components (iterative Tarjan) and the condensation
+// DAG, the substrate for GRAIL-style online-search pruning (paper §2's
+// first category of reachability methods).
+
+// SCC holds a strongly-connected-component decomposition of a graph.
+type SCC struct {
+	// Comp maps node → component id; components are numbered in reverse
+	// topological order (Tarjan's property: a component's id is assigned
+	// when it is popped, so every edge in the condensation goes from a
+	// higher id to a lower id).
+	Comp []int32
+	// Count is the number of components.
+	Count int
+}
+
+// StronglyConnected computes the SCC decomposition of g with an iterative
+// Tarjan, safe for deep graphs.
+func StronglyConnected(g *Graph) *SCC {
+	n := g.NumNodes()
+	const undef = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = undef
+		comp[i] = undef
+	}
+	var stack []NodeID
+	var next int32
+	var nComp int32
+
+	type frame struct {
+		v  NodeID
+		ei int // next out-edge index to consider
+	}
+	var call []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		call = append(call[:0], frame{v: NodeID(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			out := g.Out(f.v)
+			advanced := false
+			for f.ei < len(out) {
+				w := out[f.ei]
+				f.ei++
+				if index[w] == undef {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v finished.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				if p := &call[len(call)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return &SCC{Comp: comp, Count: int(nComp)}
+}
+
+// Condense builds the condensation DAG: one node per component, edges
+// between distinct components, deduplicated. Node ids are component ids.
+func (s *SCC) Condense(g *Graph) *Graph {
+	b := NewBuilder(s.Count)
+	for u := 0; u < g.NumNodes(); u++ {
+		cu := s.Comp[u]
+		for _, v := range g.Out(NodeID(u)) {
+			if cv := s.Comp[v]; cv != cu {
+				b.AddEdge(cu, cv)
+			}
+		}
+	}
+	return b.Build()
+}

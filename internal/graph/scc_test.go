@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reachClosure computes unbounded reachability by Floyd–Warshall.
+func reachClosure(g *Graph) [][]bool {
+	n := g.NumNodes()
+	r := make([][]bool, n)
+	for i := range r {
+		r[i] = make([]bool, n)
+		r[i][i] = true
+		for _, v := range g.Out(NodeID(i)) {
+			r[i][v] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r[k][j] {
+					r[i][j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+func TestSCCTwoCycles(t *testing.T) {
+	// 0↔1 and 2↔3, bridge 1→2.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 2)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	s := StronglyConnected(g)
+	if s.Count != 2 {
+		t.Fatalf("components = %d", s.Count)
+	}
+	if s.Comp[0] != s.Comp[1] || s.Comp[2] != s.Comp[3] || s.Comp[0] == s.Comp[2] {
+		t.Fatalf("comp = %v", s.Comp)
+	}
+	// Reverse topological numbering: the downstream component {2,3} gets
+	// the smaller id.
+	if s.Comp[2] > s.Comp[0] {
+		t.Fatalf("numbering not reverse-topological: %v", s.Comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := line(5)
+	s := StronglyConnected(g)
+	if s.Count != 5 {
+		t.Fatalf("components = %d", s.Count)
+	}
+}
+
+func TestCondenseDAG(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	s := StronglyConnected(g)
+	dag := s.Condense(g)
+	if dag.NumNodes() != 3 {
+		t.Fatalf("dag nodes = %d", dag.NumNodes())
+	}
+	// Every DAG edge goes from a higher component id to a lower one
+	// (reverse topological numbering) — hence acyclic.
+	for u := 0; u < dag.NumNodes(); u++ {
+		for _, v := range dag.Out(NodeID(u)) {
+			if v >= NodeID(u) {
+				t.Fatalf("edge %d→%d violates reverse-topological order", u, v)
+			}
+		}
+	}
+}
+
+// Property: u and v share a component iff they reach each other.
+func TestQuickSCCMatchesMutualReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(14)
+		g := randomGraph(r, n, r.Intn(3*n))
+		s := StronglyConnected(g)
+		rc := reachClosure(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := rc[u][v] && rc[v][u]
+				if mutual != (s.Comp[u] == s.Comp[v]) {
+					t.Logf("seed %d: (%d,%d) mutual=%v comp %d/%d", seed, u, v, mutual, s.Comp[u], s.Comp[v])
+					return false
+				}
+			}
+		}
+		// Condensation edges go high→low id.
+		dag := s.Condense(g)
+		for u := 0; u < dag.NumNodes(); u++ {
+			for _, v := range dag.Out(NodeID(u)) {
+				if v >= NodeID(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCDeepGraphNoOverflow(t *testing.T) {
+	// A 200k-node cycle would blow a recursive Tarjan's stack.
+	n := 200_000
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%n))
+	}
+	s := StronglyConnected(b.Build())
+	if s.Count != 1 {
+		t.Fatalf("components = %d", s.Count)
+	}
+}

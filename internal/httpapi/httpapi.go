@@ -1,0 +1,338 @@
+// Package httpapi exposes the online-inference module (§3.2.2) over HTTP:
+// per-mention linking, top-k with the new-entity threshold, raw-tweet
+// ingestion with NER and optional feedback, and personalized microblog
+// search. The cmd/linkd binary mounts this API; the package keeps the
+// handlers testable without a socket.
+package httpapi
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"microlink"
+)
+
+// Server wires the linking system into an http.Handler.
+type Server struct {
+	sys *microlink.System
+	mux *http.ServeMux
+
+	started time.Time
+	nLink   atomic.Int64
+	nTweet  atomic.Int64
+	nSearch atomic.Int64
+}
+
+// New returns a Server over sys.
+func New(sys *microlink.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/link", s.handleLink)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/tweet", s.handleTweet)
+	s.mux.HandleFunc("POST /v1/confirm", s.handleConfirm)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler with basic request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpapi: encode response: %v", err)
+	}
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
+}
+
+// parseUser extracts and validates the user parameter.
+func (s *Server) parseUser(r *http.Request) (microlink.UserID, bool) {
+	u, err := strconv.Atoi(r.URL.Query().Get("user"))
+	if err != nil || u < 0 || u >= s.sys.World.Graph.NumNodes() {
+		return 0, false
+	}
+	return microlink.UserID(u), true
+}
+
+// parseNow extracts the optional now parameter, defaulting to the world
+// horizon.
+func (s *Server) parseNow(r *http.Request) int64 {
+	if v := r.URL.Query().Get("now"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return s.sys.World.Horizon()
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ScoredEntity is the JSON form of one ranked candidate.
+type ScoredEntity struct {
+	Entity     microlink.EntityID `json:"entity"`
+	Name       string             `json:"name"`
+	Category   string             `json:"category"`
+	Score      float64            `json:"score"`
+	Interest   float64            `json:"interest"`
+	Recency    float64            `json:"recency"`
+	Popularity float64            `json:"popularity"`
+}
+
+func (s *Server) scoredJSON(in []microlink.Scored) []ScoredEntity {
+	out := make([]ScoredEntity, len(in))
+	for i, sc := range in {
+		e := s.sys.World.KB.Entity(sc.Entity)
+		out[i] = ScoredEntity{
+			Entity:     sc.Entity,
+			Name:       e.Name,
+			Category:   e.Category.String(),
+			Score:      sc.Score,
+			Interest:   sc.Interest,
+			Recency:    sc.Recency,
+			Popularity: sc.Popularity,
+		}
+	}
+	return out
+}
+
+// LinkResponse is the body of /v1/link.
+type LinkResponse struct {
+	Mention    string         `json:"mention"`
+	Candidates []ScoredEntity `json:"candidates"`
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	s.nLink.Add(1)
+	user, ok := s.parseUser(r)
+	if !ok {
+		badRequest(w, "missing or invalid user")
+		return
+	}
+	mention := r.URL.Query().Get("mention")
+	if mention == "" {
+		badRequest(w, "missing mention")
+		return
+	}
+	scored := s.sys.Linker.ScoreCandidates(user, s.parseNow(r), mention)
+	writeJSON(w, http.StatusOK, LinkResponse{Mention: mention, Candidates: s.scoredJSON(scored)})
+}
+
+// TopKResponse is the body of /v1/topk. NewEntityLikely reports the
+// Appendix D signal: no candidate cleared the β+γ threshold.
+type TopKResponse struct {
+	Mention         string         `json:"mention"`
+	Top             []ScoredEntity `json:"top"`
+	NewEntityLikely bool           `json:"new_entity_likely"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.nLink.Add(1)
+	user, ok := s.parseUser(r)
+	if !ok {
+		badRequest(w, "missing or invalid user")
+		return
+	}
+	mention := r.URL.Query().Get("mention")
+	if mention == "" {
+		badRequest(w, "missing mention")
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k <= 0 {
+		k = 3
+	}
+	top := s.sys.Linker.TopK(user, s.parseNow(r), mention, k)
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Mention:         mention,
+		Top:             s.scoredJSON(top),
+		NewEntityLikely: len(top) == 0 && len(s.sys.Candidates.Candidates(mention)) > 0,
+	})
+}
+
+// TweetRequest is the body of POST /v1/tweet: a raw tweet to ingest.
+type TweetRequest struct {
+	ID       int64  `json:"id"`
+	User     int32  `json:"user"`
+	Time     int64  `json:"time"`
+	Text     string `json:"text"`
+	Feedback bool   `json:"feedback"` // append confirmed links to the KB
+}
+
+// TweetMention is one extracted and linked mention.
+type TweetMention struct {
+	Surface string             `json:"surface"`
+	Entity  microlink.EntityID `json:"entity"` // -1 when unlinkable
+	Name    string             `json:"name,omitempty"`
+}
+
+// TweetResponse is the body of /v1/tweet.
+type TweetResponse struct {
+	Mentions []TweetMention `json:"mentions"`
+}
+
+func (s *Server) handleTweet(w http.ResponseWriter, r *http.Request) {
+	s.nTweet.Add(1)
+	var req TweetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.User < 0 || int(req.User) >= s.sys.World.Graph.NumNodes() {
+		badRequest(w, "invalid user")
+		return
+	}
+	if req.Time == 0 {
+		req.Time = s.sys.World.Horizon()
+	}
+	spans := s.sys.NER.Extract(req.Text)
+	tw := microlink.Tweet{ID: req.ID, User: req.User, Time: req.Time, Text: req.Text}
+	for _, sp := range spans {
+		tw.Mentions = append(tw.Mentions, microlink.Mention{Surface: sp.Surface, Truth: microlink.NoEntity})
+	}
+	links := s.sys.Linker.LinkTweet(&tw)
+	resp := TweetResponse{Mentions: make([]TweetMention, len(links))}
+	for i, e := range links {
+		m := TweetMention{Surface: tw.Mentions[i].Surface, Entity: e}
+		if e != microlink.NoEntity {
+			m.Name = s.sys.World.KB.Entity(e).Name
+		}
+		resp.Mentions[i] = m
+	}
+	if req.Feedback {
+		s.sys.Linker.Feedback(&tw, links)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ConfirmRequest is the body of POST /v1/confirm: the interactive
+// consultation of §3.2.2 — the author confirms which entity a mention
+// meant, and the confirmed link complements the knowledgebase (including
+// the Appendix D warm-up case where the top-k was empty).
+type ConfirmRequest struct {
+	Tweet  int64              `json:"tweet"`
+	User   int32              `json:"user"`
+	Time   int64              `json:"time"`
+	Entity microlink.EntityID `json:"entity"`
+}
+
+func (s *Server) handleConfirm(w http.ResponseWriter, r *http.Request) {
+	var req ConfirmRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.User < 0 || int(req.User) >= s.sys.World.Graph.NumNodes() {
+		badRequest(w, "invalid user")
+		return
+	}
+	if req.Entity < 0 || int(req.Entity) >= s.sys.World.KB.NumEntities() {
+		badRequest(w, "invalid entity")
+		return
+	}
+	if req.Time == 0 {
+		req.Time = s.sys.World.Horizon()
+	}
+	tw := microlink.Tweet{ID: req.Tweet, User: req.User, Time: req.Time,
+		Mentions: []microlink.Mention{{Truth: microlink.NoEntity}}}
+	s.sys.Linker.Feedback(&tw, []microlink.EntityID{req.Entity})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "linked"})
+}
+
+// SearchResponse is the body of /v1/search.
+type SearchResponse struct {
+	Query   string         `json:"query"`
+	Results []SearchResult `json:"results"`
+}
+
+// SearchResult is one personalized search answer.
+type SearchResult struct {
+	Entity microlink.EntityID `json:"entity"`
+	Name   string             `json:"name"`
+	Tweet  int64              `json:"tweet"`
+	User   int32              `json:"user"`
+	Time   int64              `json:"time"`
+	Text   string             `json:"text"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.nSearch.Add(1)
+	user, ok := s.parseUser(r)
+	if !ok {
+		badRequest(w, "missing or invalid user")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing q")
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k <= 0 {
+		k = 2
+	}
+	limit, err := strconv.Atoi(r.URL.Query().Get("limit"))
+	if err != nil || limit <= 0 {
+		limit = 10
+	}
+	hits := s.sys.Search(user, s.parseNow(r), q, k)
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	resp := SearchResponse{Query: q, Results: make([]SearchResult, len(hits))}
+	for i, h := range hits {
+		resp.Results[i] = SearchResult{
+			Entity: h.Entity,
+			Name:   s.sys.World.KB.Entity(h.Entity).Name,
+			Tweet:  h.Posting.Tweet,
+			User:   h.Posting.User,
+			Time:   h.Posting.Time,
+			Text:   h.Text,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the body of /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Users         int     `json:"users"`
+	Entities      int     `json:"entities"`
+	Postings      int64   `json:"postings"`
+	LinkRequests  int64   `json:"link_requests"`
+	TweetIngests  int64   `json:"tweet_ingests"`
+	Searches      int64   `json:"searches"`
+	ReachIndexMB  float64 `json:"reach_index_mb"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Users:         s.sys.World.Graph.NumNodes(),
+		Entities:      s.sys.World.KB.NumEntities(),
+		Postings:      s.sys.CKB.TotalCount(),
+		LinkRequests:  s.nLink.Load(),
+		TweetIngests:  s.nTweet.Load(),
+		Searches:      s.nSearch.Load(),
+		ReachIndexMB:  float64(s.sys.Reach.SizeBytes()) / (1 << 20),
+	})
+}

@@ -1,0 +1,253 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"microlink"
+)
+
+var (
+	once sync.Once
+	sys  *microlink.System
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	once.Do(func() {
+		w := microlink.Generate(microlink.WorldParams{
+			Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20,
+		})
+		sys = microlink.Build(w, microlink.Options{TruthComplement: true})
+	})
+	return New(sys)
+}
+
+func get(t *testing.T, s *Server, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func ambiguousSurface(t *testing.T) string {
+	t.Helper()
+	var surface string
+	sys.World.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+		if surface == "" && len(cs) >= 2 {
+			surface = form
+		}
+	})
+	if surface == "" {
+		t.Fatal("no ambiguous surface")
+	}
+	return surface
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestLinkEndpoint(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	var resp LinkResponse
+	rec := get(t, s, "/v1/link?user=100&mention="+surface, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Candidates) < 2 {
+		t.Fatalf("candidates = %+v", resp.Candidates)
+	}
+	for i := 1; i < len(resp.Candidates); i++ {
+		if resp.Candidates[i].Score > resp.Candidates[i-1].Score {
+			t.Fatal("candidates not sorted by score")
+		}
+	}
+	if resp.Candidates[0].Name == "" || resp.Candidates[0].Category == "" {
+		t.Fatalf("missing entity metadata: %+v", resp.Candidates[0])
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/v1/link?mention=x", // no user
+		"/v1/link?user=-1&mention=x",
+		"/v1/link?user=999999&mention=x",
+		"/v1/link?user=1", // no mention
+	} {
+		if rec := get(t, s, path, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	var resp TopKResponse
+	rec := get(t, s, "/v1/topk?user=100&k=2&mention="+surface, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if len(resp.Top) > 2 {
+		t.Fatalf("k=2 returned %d", len(resp.Top))
+	}
+	// Unknown mention: not flagged as new entity (no candidates at all).
+	var resp2 TopKResponse
+	get(t, s, "/v1/topk?user=100&mention=zzzzzzzz", &resp2)
+	if resp2.NewEntityLikely {
+		t.Fatal("unknown surface must not be flagged new-entity")
+	}
+}
+
+func TestTweetEndpoint(t *testing.T) {
+	s := testServer(t)
+	// Build a text containing a known surface.
+	surface := ambiguousSurface(t)
+	body, _ := json.Marshal(TweetRequest{ID: 9999, User: 50, Text: "talking about " + surface + " today"})
+	req := httptest.NewRequest("POST", "/v1/tweet", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp TweetResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range resp.Mentions {
+		if m.Surface == surface && m.Entity != microlink.NoEntity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mention %q not linked: %+v", surface, resp.Mentions)
+	}
+}
+
+func TestTweetFeedback(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	before := sys.CKB.TotalCount()
+	body, _ := json.Marshal(TweetRequest{ID: 10000, User: 51, Text: surface, Feedback: true})
+	req := httptest.NewRequest("POST", "/v1/tweet", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if sys.CKB.TotalCount() <= before {
+		t.Fatal("feedback did not append postings")
+	}
+}
+
+func TestTweetValidation(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("POST", "/v1/tweet", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body, _ := json.Marshal(TweetRequest{User: -5, Text: "x"})
+	req = httptest.NewRequest("POST", "/v1/tweet", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid user: status = %d", rec.Code)
+	}
+}
+
+func TestConfirmEndpoint(t *testing.T) {
+	s := testServer(t)
+	before := sys.CKB.Count(0)
+	body, _ := json.Marshal(ConfirmRequest{Tweet: 777, User: 10, Time: 500, Entity: 0})
+	req := httptest.NewRequest("POST", "/v1/confirm", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if sys.CKB.Count(0) != before+1 {
+		t.Fatal("confirm did not complement the KB")
+	}
+	// Validation paths.
+	for _, bad := range []ConfirmRequest{
+		{User: -1, Entity: 0},
+		{User: 1, Entity: -2},
+		{User: 1, Entity: 1 << 30},
+	} {
+		b, _ := json.Marshal(bad)
+		req := httptest.NewRequest("POST", "/v1/confirm", bytes.NewReader(b))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%+v: status = %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	var resp SearchResponse
+	rec := get(t, s, "/v1/search?user=100&limit=5&q="+surface, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if len(resp.Results) == 0 {
+		t.Skip("no results for this user; acceptable for a below-threshold user")
+	}
+	if len(resp.Results) > 5 {
+		t.Fatalf("limit ignored: %d results", len(resp.Results))
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Time > resp.Results[i-1].Time {
+			t.Fatal("results not newest-first")
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/v1/link?user=100&mention=x", nil) // count something
+	var resp StatsResponse
+	rec := get(t, s, "/v1/stats", &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if resp.Users == 0 || resp.Entities == 0 {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if resp.LinkRequests == 0 {
+		t.Fatal("link counter not incremented")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("POST", "/v1/link?user=1&mention=x", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rec.Code)
+	}
+}

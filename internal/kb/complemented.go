@@ -1,0 +1,138 @@
+package kb
+
+import (
+	"sort"
+	"sync"
+)
+
+// Posting links one tweet to one entity inside the complemented
+// knowledgebase (Definition 5): the tweet's identity, author, and
+// timestamp (unix seconds).
+type Posting struct {
+	Tweet int64
+	User  UserID
+	Time  int64
+}
+
+// Complemented is the complemented knowledgebase K′ of Definition 5: the
+// base KB plus, for every entity e, the list D_e of postings linked to it.
+// It supports the online feedback path of §3.2.2 — newly linked tweets are
+// appended under a write lock while inference reads concurrently.
+type Complemented struct {
+	kb *KB
+
+	mu       sync.RWMutex
+	postings [][]Posting        // per entity, sorted by Time
+	perUser  []map[UserID]int32 // per entity: |D_e^u|
+	total    int64              // total postings across all entities
+}
+
+// Complement wraps a base KB into an (initially empty) complemented KB.
+func Complement(k *KB) *Complemented {
+	return &Complemented{
+		kb:       k,
+		postings: make([][]Posting, k.NumEntities()),
+		perUser:  make([]map[UserID]int32, k.NumEntities()),
+	}
+}
+
+// KB returns the underlying base knowledgebase.
+func (c *Complemented) KB() *KB { return c.kb }
+
+// Link appends a posting to D_e, keeping the list time-sorted. Postings
+// normally arrive in stream order, so the common case is a pure append;
+// out-of-order timestamps fall back to insertion.
+func (c *Complemented) Link(e EntityID, p Posting) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := c.postings[e]
+	if n := len(ps); n == 0 || ps[n-1].Time <= p.Time {
+		c.postings[e] = append(ps, p)
+	} else {
+		i := sort.Search(n, func(i int) bool { return ps[i].Time > p.Time })
+		ps = append(ps, Posting{})
+		copy(ps[i+1:], ps[i:])
+		ps[i] = p
+		c.postings[e] = ps
+	}
+	m := c.perUser[e]
+	if m == nil {
+		m = make(map[UserID]int32)
+		c.perUser[e] = m
+	}
+	m[p.User]++
+	c.total++
+}
+
+// Count returns |D_e|: the number of postings linked to entity e — the
+// numerator material of the popularity score (Eq. 2).
+func (c *Complemented) Count(e EntityID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.postings[e])
+}
+
+// TotalCount returns the number of postings across all entities.
+func (c *Complemented) TotalCount() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.total
+}
+
+// RecentCount returns |D_e^τ|: postings linked to e with now−tau ≤ Time ≤
+// now (Eq. 9's sliding window), via two binary searches over the
+// time-sorted list. The upper bound matters for evaluation over historical
+// corpora: a linker replaying time "now" must not see postings from its
+// future.
+func (c *Complemented) RecentCount(e EntityID, now, tau int64) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ps := c.postings[e]
+	cutoff := now - tau
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].Time >= cutoff })
+	hi := sort.Search(len(ps), func(i int) bool { return ps[i].Time > now })
+	return hi - lo
+}
+
+// UserCount returns |D_e^u|: postings by user u linked to entity e.
+func (c *Complemented) UserCount(e EntityID, u UserID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int(c.perUser[e][u])
+}
+
+// CommunitySize returns |U_e|: the number of distinct users tweeting about
+// e (Definition 6).
+func (c *Complemented) CommunitySize(e EntityID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.perUser[e])
+}
+
+// Community returns U_e as a freshly allocated, unordered slice.
+func (c *Complemented) Community(e EntityID) []UserID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]UserID, 0, len(c.perUser[e]))
+	for u := range c.perUser[e] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// EachUserCount calls fn for every (user, count) pair of entity e's
+// community while holding the read lock; fn must not call back into c.
+func (c *Complemented) EachUserCount(e EntityID, fn func(u UserID, count int)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for u, n := range c.perUser[e] {
+		fn(u, int(n))
+	}
+}
+
+// Postings returns a copy of D_e, time-sorted.
+func (c *Complemented) Postings(e EntityID) []Posting {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Posting(nil), c.postings[e]...)
+}

@@ -1,0 +1,302 @@
+// Package kb implements the knowledgebase of Definitions 4–5: entities,
+// ambiguous surface forms (mentions) mapped to candidate entities, the
+// hyperlink structure used by the Wikipedia Link-based Measure (WLM,
+// Eq. 10), and the "complemented" knowledgebase in which every entity
+// carries the time-stamped, author-attributed postings linked to it.
+//
+// The role Wikipedia plays in the paper — 29.3M mentions, 19.2M entities,
+// 380M hyperlinks — is played here by a synthetically generated KB with the
+// same structural properties (see internal/synth and DESIGN.md §3).
+package kb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EntityID identifies an entity. IDs are dense: 0..NumEntities-1.
+type EntityID = int32
+
+// NoEntity marks the absence of an entity (e.g. an unlinkable mention).
+const NoEntity EntityID = -1
+
+// UserID identifies a microblog user; it matches graph.NodeID.
+type UserID = int32
+
+// Category classifies entities for the per-category accuracy breakdown of
+// Appendix C.1.
+type Category uint8
+
+// Entity categories used in Appendix C.1.
+const (
+	CategoryPerson Category = iota
+	CategoryLocation
+	CategoryCompany
+	CategoryProduct
+	CategoryMovieMusic
+	numCategories
+)
+
+// NumCategories is the number of entity categories.
+const NumCategories = int(numCategories)
+
+// String returns the category label used in the paper's Appendix C.1.
+func (c Category) String() string {
+	switch c {
+	case CategoryPerson:
+		return "Person"
+	case CategoryLocation:
+		return "Location"
+	case CategoryCompany:
+		return "Company"
+	case CategoryProduct:
+		return "Product"
+	case CategoryMovieMusic:
+		return "Movie&Music"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// Entity is a knowledgebase entry: a unique real-world object (Def. 1).
+type Entity struct {
+	Name     string   // canonical title, e.g. "Michael Jordan (basketball)"
+	Category Category // Appendix C.1 class
+	// Context holds weighted terms from the entity's article, consumed by
+	// the context-similarity feature of the baseline linkers.
+	Context map[string]float32
+}
+
+// KB is the frozen knowledgebase. All methods are safe for concurrent use.
+type KB struct {
+	entities []Entity
+	surface  map[string][]EntityID // normalised surface form → candidates
+	outlinks [][]EntityID          // entity article → articles it links to (sorted)
+	inlinks  [][]EntityID          // entity article → articles linking to it (sorted) = A_e
+}
+
+// Builder accumulates a knowledgebase before freezing.
+type Builder struct {
+	entities []Entity
+	surface  map[string][]EntityID
+	links    [][2]EntityID
+}
+
+// NewBuilder returns an empty knowledgebase builder.
+func NewBuilder() *Builder {
+	return &Builder{surface: make(map[string][]EntityID)}
+}
+
+// AddEntity registers an entity and returns its ID.
+func (b *Builder) AddEntity(e Entity) EntityID {
+	b.entities = append(b.entities, e)
+	return EntityID(len(b.entities) - 1)
+}
+
+// AddSurface maps a (pre-normalised) surface form to a candidate entity.
+// Duplicate pairs are tolerated and deduplicated at Build time.
+func (b *Builder) AddSurface(form string, e EntityID) {
+	b.surface[form] = append(b.surface[form], e)
+}
+
+// AddLink records a hyperlink from the article of entity `from` to the
+// article of entity `to` (the raw material of WLM).
+func (b *Builder) AddLink(from, to EntityID) {
+	if from == to {
+		return
+	}
+	b.links = append(b.links, [2]EntityID{from, to})
+}
+
+// Build freezes the builder into an immutable KB.
+func (b *Builder) Build() *KB {
+	n := len(b.entities)
+	k := &KB{
+		entities: b.entities,
+		surface:  make(map[string][]EntityID, len(b.surface)),
+		outlinks: make([][]EntityID, n),
+		inlinks:  make([][]EntityID, n),
+	}
+	for form, cands := range b.surface {
+		k.surface[form] = dedupSorted(cands)
+	}
+	outCount := make([]int, n)
+	inCount := make([]int, n)
+	for _, l := range b.links {
+		outCount[l[0]]++
+		inCount[l[1]]++
+	}
+	for i := 0; i < n; i++ {
+		k.outlinks[i] = make([]EntityID, 0, outCount[i])
+		k.inlinks[i] = make([]EntityID, 0, inCount[i])
+	}
+	for _, l := range b.links {
+		k.outlinks[l[0]] = append(k.outlinks[l[0]], l[1])
+		k.inlinks[l[1]] = append(k.inlinks[l[1]], l[0])
+	}
+	for i := 0; i < n; i++ {
+		k.outlinks[i] = dedupSorted(k.outlinks[i])
+		k.inlinks[i] = dedupSorted(k.inlinks[i])
+	}
+	return k
+}
+
+func dedupSorted(s []EntityID) []EntityID {
+	if len(s) == 0 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	dst := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[dst] = s[i]
+			dst++
+		}
+	}
+	return s[:dst]
+}
+
+// NumEntities returns the number of entities (= articles, |A| in Eq. 10).
+func (k *KB) NumEntities() int { return len(k.entities) }
+
+// Entity returns the entity record for id.
+func (k *KB) Entity(id EntityID) *Entity { return &k.entities[id] }
+
+// Candidates returns the candidate entity set E_m for a normalised surface
+// form, or nil when the form is unknown. The returned slice is shared and
+// must not be modified.
+func (k *KB) Candidates(form string) []EntityID { return k.surface[form] }
+
+// HasSurface reports whether the exact surface form exists in the KB.
+func (k *KB) HasSurface(form string) bool { _, ok := k.surface[form]; return ok }
+
+// EachSurface calls fn for every surface form and its candidate set, in
+// unspecified order. Used to build the fuzzy candidate index.
+func (k *KB) EachSurface(fn func(form string, cands []EntityID)) {
+	for form, cands := range k.surface {
+		fn(form, cands)
+	}
+}
+
+// NumSurfaces returns the number of distinct surface forms.
+func (k *KB) NumSurfaces() int { return len(k.surface) }
+
+// Inlinks returns A_e: the sorted set of articles linking to e's article.
+func (k *KB) Inlinks(e EntityID) []EntityID { return k.inlinks[e] }
+
+// Outlinks returns the sorted set of articles e's article links to.
+func (k *KB) Outlinks(e EntityID) []EntityID { return k.outlinks[e] }
+
+// Relatedness computes the Wikipedia Link-based Measure between two
+// entities (Eq. 10), clamped to [0, 1]:
+//
+//	Rel = 1 − (log max(|A_i|,|A_j|) − log |A_i ∩ A_j|) / (log |A| − log min(|A_i|,|A_j|))
+//
+// Entities with no common inlinker have relatedness 0.
+func (k *KB) Relatedness(ei, ej EntityID) float64 {
+	if ei == ej {
+		return 1
+	}
+	ai, aj := k.inlinks[ei], k.inlinks[ej]
+	common := intersectSize(ai, aj)
+	if common == 0 {
+		return 0
+	}
+	la, lb := float64(len(ai)), float64(len(aj))
+	total := float64(k.NumEntities())
+	den := math.Log(total) - math.Log(math.Min(la, lb))
+	if den <= 0 {
+		return 1
+	}
+	rel := 1 - (math.Log(math.Max(la, lb))-math.Log(float64(common)))/den
+	if rel < 0 {
+		return 0
+	}
+	if rel > 1 {
+		return 1
+	}
+	return rel
+}
+
+func intersectSize(a, b []EntityID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Stats summarises a knowledgebase the way §5.1.1 reports the Wikipedia
+// dump: entity, surface and link counts plus the ambiguity profile.
+type Stats struct {
+	Entities          int
+	Surfaces          int
+	Links             int
+	AmbiguousSurfaces int     // surfaces with ≥ 2 candidates
+	AvgCandidates     float64 // mean |E_m| over surfaces
+	MaxCandidates     int
+}
+
+// Stats computes knowledgebase statistics.
+func (k *KB) Stats() Stats {
+	s := Stats{Entities: k.NumEntities(), Surfaces: k.NumSurfaces()}
+	totalCands := 0
+	for _, cands := range k.surface {
+		totalCands += len(cands)
+		if len(cands) >= 2 {
+			s.AmbiguousSurfaces++
+		}
+		if len(cands) > s.MaxCandidates {
+			s.MaxCandidates = len(cands)
+		}
+	}
+	if s.Surfaces > 0 {
+		s.AvgCandidates = float64(totalCands) / float64(s.Surfaces)
+	}
+	for _, outs := range k.outlinks {
+		s.Links += len(outs)
+	}
+	return s
+}
+
+// Pair is an entity pair with its WLM relatedness, produced by RelatedPairs.
+type Pair struct {
+	A, B EntityID
+	Rel  float64
+}
+
+// RelatedPairs enumerates all entity pairs whose WLM relatedness is at
+// least minRel. Rather than scoring all O(n²) pairs it only considers
+// co-cited pairs — pairs sharing at least one inlinking article — found by
+// expanding every article's outlink list, since WLM is zero otherwise.
+func (k *KB) RelatedPairs(minRel float64) []Pair {
+	type key struct{ a, b EntityID }
+	seen := make(map[key]struct{})
+	var pairs []Pair
+	for _, outs := range k.outlinks {
+		for x := 0; x < len(outs); x++ {
+			for y := x + 1; y < len(outs); y++ {
+				a, b := outs[x], outs[y]
+				kk := key{a, b}
+				if _, dup := seen[kk]; dup {
+					continue
+				}
+				seen[kk] = struct{}{}
+				if rel := k.Relatedness(a, b); rel >= minRel {
+					pairs = append(pairs, Pair{A: a, B: b, Rel: rel})
+				}
+			}
+		}
+	}
+	return pairs
+}

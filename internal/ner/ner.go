@@ -1,0 +1,120 @@
+// Package ner implements knowledge-based named entity recognition for
+// microblog text (paper Appendix A): the Longest-Cover method, which scans
+// a tweet and greedily selects the longest token spans whose normalised
+// phrase exists in the knowledgebase's surface dictionary. The paper adopts
+// exactly this unsupervised approach as its pre-step, for its simplicity
+// and streaming-friendliness.
+package ner
+
+import (
+	"microlink/internal/kb"
+	"microlink/internal/textutil"
+)
+
+// Span is one extracted entity mention: a token span plus its normalised
+// surface phrase.
+type Span struct {
+	Start, End int // token positions [Start, End)
+	Surface    string
+	Offset     int // byte offset of the first token in the original text
+}
+
+// Extractor recognises mentions by dictionary lookup. Safe for concurrent
+// use after construction.
+type Extractor struct {
+	kb        *kb.KB
+	maxTokens int
+	stop      map[string]struct{}
+}
+
+// Options configures the extractor.
+type Options struct {
+	// MaxTokens bounds mention length in tokens. Default 4.
+	MaxTokens int
+	// ExtraStopwords extends the built-in single-token stopword list; a
+	// single stopword token alone never forms a mention even if the
+	// dictionary contains it.
+	ExtraStopwords []string
+}
+
+// defaultStopwords are common words that must not become single-token
+// mentions even when some entity's surface form collides with them.
+var defaultStopwords = []string{
+	"a", "an", "the", "i", "you", "he", "she", "it", "we", "they",
+	"is", "am", "are", "was", "were", "be", "been", "do", "did", "done",
+	"and", "or", "but", "not", "no", "yes", "of", "in", "on", "at", "to",
+	"for", "with", "by", "from", "about", "as", "so", "this", "that",
+	"my", "your", "his", "her", "its", "our", "their", "me", "him", "us",
+	"what", "who", "when", "where", "why", "how", "all", "some", "any",
+	"new", "just", "now", "today", "go", "get", "got", "like", "love",
+}
+
+// NewExtractor returns a longest-cover extractor over k's surface forms.
+func NewExtractor(k *kb.KB, opts Options) *Extractor {
+	if opts.MaxTokens <= 0 {
+		opts.MaxTokens = 4
+	}
+	e := &Extractor{kb: k, maxTokens: opts.MaxTokens, stop: make(map[string]struct{})}
+	for _, w := range defaultStopwords {
+		e.stop[w] = struct{}{}
+	}
+	for _, w := range opts.ExtraStopwords {
+		e.stop[textutil.NormalizePhrase(w)] = struct{}{}
+	}
+	return e
+}
+
+// Extract returns the entity mentions of text, left to right,
+// non-overlapping, each the longest dictionary match starting at its
+// position. URLs and @user tokens never participate in mentions; hashtag
+// text does (hashtags frequently carry entity names).
+func (e *Extractor) Extract(text string) []Span {
+	return e.ExtractTokens(textutil.Tokenize(text))
+}
+
+// ExtractTokens is Extract over a pre-tokenised input.
+func (e *Extractor) ExtractTokens(toks []textutil.Token) []Span {
+	var spans []Span
+	i := 0
+	for i < len(toks) {
+		if k := toks[i].Kind(); k == textutil.KindURL || k == textutil.KindUserRef {
+			i++
+			continue
+		}
+		matched := false
+		maxJ := min(i+e.maxTokens, len(toks))
+		// Longest-cover: try the longest span first.
+		for j := maxJ; j > i; j-- {
+			if !e.spanUsable(toks, i, j) {
+				continue
+			}
+			phrase := textutil.JoinTokens(toks, i, j)
+			if !e.kb.HasSurface(phrase) {
+				continue
+			}
+			if j-i == 1 {
+				if _, isStop := e.stop[phrase]; isStop {
+					continue
+				}
+			}
+			spans = append(spans, Span{Start: i, End: j, Surface: phrase, Offset: toks[i].Offset})
+			i = j
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return spans
+}
+
+// spanUsable rejects spans that cross URL or @user tokens.
+func (e *Extractor) spanUsable(toks []textutil.Token, i, j int) bool {
+	for k := i; k < j; k++ {
+		if kind := toks[k].Kind(); kind == textutil.KindURL || kind == textutil.KindUserRef {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package ner
+
+import (
+	"testing"
+
+	"microlink/internal/kb"
+)
+
+func testKB() *kb.KB {
+	b := kb.NewBuilder()
+	mj := b.AddEntity(kb.Entity{Name: "Michael Jordan"})
+	bulls := b.AddEntity(kb.Entity{Name: "Chicago Bulls"})
+	nyc := b.AddEntity(kb.Entity{Name: "New York City"})
+	nba := b.AddEntity(kb.Entity{Name: "NBA"})
+	love := b.AddEntity(kb.Entity{Name: "Love (movie)"})
+	b.AddSurface("jordan", mj)
+	b.AddSurface("michael jordan", mj)
+	b.AddSurface("bulls", bulls)
+	b.AddSurface("chicago bulls", bulls)
+	b.AddSurface("nyc", nyc)
+	b.AddSurface("the big apple", nyc)
+	b.AddSurface("nba", nba)
+	b.AddSurface("love", love) // collides with a stopword
+	return b.Build()
+}
+
+func TestLongestCover(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	spans := e.Extract("Michael Jordan leads the Chicago Bulls")
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Surface != "michael jordan" || spans[1].Surface != "chicago bulls" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Start != 0 || spans[0].End != 2 {
+		t.Fatalf("span positions = %+v", spans[0])
+	}
+}
+
+func TestLongestBeatsShorter(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	// "michael jordan" must win over "jordan" alone.
+	spans := e.Extract("michael jordan")
+	if len(spans) != 1 || spans[0].Surface != "michael jordan" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestStopwordSuppressed(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	// "love" alone is a stopword even though the dictionary has it; "the
+	// big apple" contains stopwords but matches as a phrase.
+	spans := e.Extract("i love the big apple")
+	if len(spans) != 1 || spans[0].Surface != "the big apple" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestURLAndUserSkipped(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	spans := e.Extract("@jordan check https://nba.example watch NBA tonight")
+	if len(spans) != 1 || spans[0].Surface != "nba" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestHashtagMatches(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	spans := e.Extract("watching #NBA finals")
+	if len(spans) != 1 || spans[0].Surface != "nba" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestNoMentions(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	if spans := e.Extract("nothing relevant here at all"); len(spans) != 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans := e.Extract(""); len(spans) != 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestNonOverlapping(t *testing.T) {
+	e := NewExtractor(testKB(), Options{})
+	spans := e.Extract("jordan jordan bulls")
+	if len(spans) != 3 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("overlap: %+v", spans)
+		}
+	}
+}
+
+func TestMaxTokensRespected(t *testing.T) {
+	b := kb.NewBuilder()
+	e5 := b.AddEntity(kb.Entity{Name: "long"})
+	b.AddSurface("a b c d e", e5)
+	k := b.Build()
+	ex := NewExtractor(k, Options{MaxTokens: 4})
+	if spans := ex.Extract("a b c d e"); len(spans) != 0 {
+		t.Fatalf("5-token span must be invisible at MaxTokens=4: %+v", spans)
+	}
+	ex5 := NewExtractor(k, Options{MaxTokens: 5})
+	spans := ex5.Extract("a b c d e")
+	// Each single letter is a stopword-free single token? They're not in
+	// the dictionary individually, so only the full span matches.
+	if len(spans) != 1 || spans[0].Surface != "a b c d e" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestExtraStopwords(t *testing.T) {
+	e := NewExtractor(testKB(), Options{ExtraStopwords: []string{"NBA"}})
+	if spans := e.Extract("watch nba tonight"); len(spans) != 0 {
+		t.Fatalf("extra stopword ignored: %+v", spans)
+	}
+}

@@ -1,0 +1,208 @@
+package reach
+
+import (
+	"sort"
+
+	"microlink/internal/graph"
+)
+
+// DynamicClosure maintains the extended transitive closure under follow-
+// edge insertions — the "maintenance cost" half of the paper's abstract
+// ("effective indexing structures along with incremental algorithms have
+// also been developed to reduce the computation and maintenance costs").
+// The social network grows continuously; rebuilding Algorithm 1's matrix
+// per edge would be absurd, and the insertion rule below updates exactly
+// the affected pairs instead.
+//
+// Insertion of edge (u, v) can only create shortest paths of the form
+// s ⇝ u → v ⇝ t. Neither d(s,u) nor d(v,t) can change (a path to u through
+// the new edge would have to revisit u), so for every source s reaching u
+// and every target t reachable from v:
+//
+//	newd = d(s,u) + 1 + d(v,t)
+//	newd < d(s,t):  replace — dist = newd, F_st = F_su (or {v} when s = u)
+//	newd = d(s,t):  merge   — F_st ∪= F_su
+//
+// Additionally |F_u| (u's out-degree) grows, which rescales the weights of
+// u's whole row (Eq. 4's denominator).
+//
+// DynamicClosure stores followee identity sets (not just counts) because
+// the merge case needs set union. It is not safe for concurrent use; wrap
+// it with a lock if mutators and readers race.
+type DynamicClosure struct {
+	h   int
+	n   int
+	out [][]graph.NodeID // adjacency including inserted edges
+	in  [][]graph.NodeID
+	// rows[s][t] holds the entry for the pair (s, t).
+	rows []map[graph.NodeID]*dynEntry
+}
+
+type dynEntry struct {
+	dist int32
+	fol  []graph.NodeID
+}
+
+// NewDynamicClosure builds the initial closure over g with Algorithm 1 and
+// prepares it for incremental edge insertions.
+func NewDynamicClosure(g *graph.Graph, maxHops int) *DynamicClosure {
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	base := BuildTransitiveClosure(g, ClosureOptions{MaxHops: maxHops, KeepFollowees: true})
+	n := g.NumNodes()
+	dc := &DynamicClosure{
+		h:    maxHops,
+		n:    n,
+		out:  make([][]graph.NodeID, n),
+		in:   make([][]graph.NodeID, n),
+		rows: make([]map[graph.NodeID]*dynEntry, n),
+	}
+	for s := 0; s < n; s++ {
+		dc.out[s] = append([]graph.NodeID(nil), g.Out(graph.NodeID(s))...)
+		dc.in[s] = append([]graph.NodeID(nil), g.In(graph.NodeID(s))...)
+		row := make(map[graph.NodeID]*dynEntry, len(base.rows[s].entries))
+		for _, e := range base.rows[s].entries {
+			ent := &dynEntry{dist: int32(e.dist)}
+			if fol := base.lookupFollowees(graph.NodeID(s), e.v); fol != nil {
+				ent.fol = append([]graph.NodeID(nil), fol...)
+			} else if e.dist == 1 {
+				ent.fol = []graph.NodeID{e.v}
+			}
+			row[e.v] = ent
+		}
+		dc.rows[s] = row
+	}
+	return dc
+}
+
+// OutDegree returns the current |F_u| including inserted edges.
+func (dc *DynamicClosure) OutDegree(u graph.NodeID) int { return len(dc.out[u]) }
+
+// HasEdge reports whether the follow edge u → v currently exists.
+func (dc *DynamicClosure) HasEdge(u, v graph.NodeID) bool {
+	for _, x := range dc.out[u] {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertEdge adds the follow edge u → v and incrementally repairs the
+// closure. Duplicate edges and self-loops are no-ops. It reports whether
+// the edge was new.
+func (dc *DynamicClosure) InsertEdge(u, v graph.NodeID) bool {
+	if u == v || dc.HasEdge(u, v) {
+		return false
+	}
+	dc.out[u] = append(dc.out[u], v)
+	dc.in[v] = append(dc.in[v], u)
+
+	// Sources reaching u (plus u itself) with their d(s,u); targets
+	// reachable from v (plus v) with their d(v,t). Collected *before* any
+	// mutation so the update sees the pre-insertion state consistently.
+	type hop struct {
+		node graph.NodeID
+		dist int32
+		fol  []graph.NodeID // F_su for sources; unused for targets
+	}
+	sources := []hop{{node: u, dist: 0}}
+	for s := 0; s < dc.n; s++ {
+		if ent, ok := dc.rows[s][u]; ok && graph.NodeID(s) != u {
+			sources = append(sources, hop{node: graph.NodeID(s), dist: ent.dist, fol: ent.fol})
+		}
+	}
+	targets := []hop{{node: v, dist: 0}}
+	for t, ent := range dc.rows[v] {
+		if t != v {
+			targets = append(targets, hop{node: t, dist: ent.dist})
+		}
+	}
+
+	for _, src := range sources {
+		row := dc.rows[src.node]
+		// F contribution along s ⇝ u → v ⇝ t: s's followees on s⇝u paths,
+		// or the new followee v itself when s = u.
+		contrib := src.fol
+		if src.node == u {
+			contrib = []graph.NodeID{v}
+		}
+		for _, dst := range targets {
+			if src.node == dst.node {
+				continue
+			}
+			newd := src.dist + 1 + dst.dist
+			if int(newd) > dc.h {
+				continue
+			}
+			ent, ok := row[dst.node]
+			switch {
+			case !ok || newd < ent.dist:
+				row[dst.node] = &dynEntry{dist: newd, fol: append([]graph.NodeID(nil), contrib...)}
+			case newd == ent.dist:
+				for _, f := range contrib {
+					if !containsNode(ent.fol, f) {
+						ent.fol = append(ent.fol, f)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Query implements Index.
+func (dc *DynamicClosure) Query(u, v graph.NodeID) (Result, bool) {
+	if u == v {
+		return Result{Dist: 0}, true
+	}
+	ent, ok := dc.rows[u][v]
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Dist: int(ent.dist), Followees: ent.fol}, true
+}
+
+// R implements Index with the live |F_u| denominator.
+func (dc *DynamicClosure) R(u, v graph.NodeID) float64 {
+	res, ok := dc.Query(u, v)
+	return score(res, ok, len(dc.out[u]))
+}
+
+// SizeBytes implements Index.
+func (dc *DynamicClosure) SizeBytes() int64 {
+	var b int64
+	for s := range dc.rows {
+		for _, ent := range dc.rows[s] {
+			b += 24 + int64(len(ent.fol))*4
+		}
+		b += int64(len(dc.out[s])+len(dc.in[s])) * 4
+	}
+	return b
+}
+
+// BuildStats implements Index (entries only; construction time belongs to
+// the wrapped initial build).
+func (dc *DynamicClosure) BuildStats() BuildStats {
+	var entries int64
+	for s := range dc.rows {
+		entries += int64(len(dc.rows[s]))
+	}
+	return BuildStats{Entries: entries}
+}
+
+// Snapshot freezes the current adjacency into a new immutable Graph —
+// used by tests to cross-validate the incremental state against a fresh
+// Algorithm 1 build.
+func (dc *DynamicClosure) Snapshot() *graph.Graph {
+	b := graph.NewBuilder(dc.n)
+	for s := 0; s < dc.n; s++ {
+		outs := append([]graph.NodeID(nil), dc.out[s]...)
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+		for _, t := range outs {
+			b.AddEdge(graph.NodeID(s), t)
+		}
+	}
+	return b.Build()
+}

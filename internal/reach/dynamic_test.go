@@ -1,0 +1,206 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlink/internal/graph"
+)
+
+// assertMatchesRebuild cross-validates the incremental closure against a
+// fresh Algorithm 1 build over the same edge set: identical reachability,
+// distances, followee sets and weights for every pair.
+func assertMatchesRebuild(t *testing.T, dc *DynamicClosure, h int) {
+	t.Helper()
+	g := dc.Snapshot()
+	fresh := BuildTransitiveClosure(g, ClosureOptions{MaxHops: h, KeepFollowees: true})
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			uid, vid := graph.NodeID(u), graph.NodeID(v)
+			a, aok := dc.Query(uid, vid)
+			b, bok := fresh.Query(uid, vid)
+			if aok != bok {
+				t.Fatalf("(%d,%d): reachability %v vs rebuild %v", u, v, aok, bok)
+			}
+			if !aok {
+				continue
+			}
+			if a.Dist != b.Dist {
+				t.Fatalf("(%d,%d): dist %d vs rebuild %d", u, v, a.Dist, b.Dist)
+			}
+			if a.Dist >= 1 && !sameSet(a.Followees, b.Followees) {
+				t.Fatalf("(%d,%d) d=%d: followees %v vs rebuild %v", u, v, a.Dist, a.Followees, b.Followees)
+			}
+			// fresh stores weights in float32; allow that rounding.
+			if ra, rb := dc.R(uid, vid), fresh.R(uid, vid); absf(ra-rb) > 1e-6 {
+				t.Fatalf("(%d,%d): R %f vs rebuild %f", u, v, ra, rb)
+			}
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDynamicSingleInsert(t *testing.T) {
+	// 0→1, 2→3; insert 1→2 connects the chains.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	dc := NewDynamicClosure(b.Build(), 4)
+	if _, ok := dc.Query(0, 3); ok {
+		t.Fatal("0 should not reach 3 yet")
+	}
+	if !dc.InsertEdge(1, 2) {
+		t.Fatal("insert reported not-new")
+	}
+	res, ok := dc.Query(0, 3)
+	if !ok || res.Dist != 3 {
+		t.Fatalf("after insert: %+v ok=%v", res, ok)
+	}
+	assertMatchesRebuild(t, dc, 4)
+}
+
+func TestDynamicDuplicateAndSelfLoop(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	dc := NewDynamicClosure(b.Build(), 4)
+	if dc.InsertEdge(0, 1) {
+		t.Fatal("duplicate must be a no-op")
+	}
+	if dc.InsertEdge(1, 1) {
+		t.Fatal("self-loop must be a no-op")
+	}
+	assertMatchesRebuild(t, dc, 4)
+}
+
+func TestDynamicShorterPathReplaces(t *testing.T) {
+	// 0→1→2→3 (d(0,3)=3); inserting 0→9→? no — insert 1→3 gives d(0,3)=2.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	dc := NewDynamicClosure(b.Build(), 4)
+	dc.InsertEdge(1, 3)
+	res, _ := dc.Query(0, 3)
+	if res.Dist != 2 {
+		t.Fatalf("dist = %d, want 2", res.Dist)
+	}
+	assertMatchesRebuild(t, dc, 4)
+}
+
+func TestDynamicEqualPathMergesFollowees(t *testing.T) {
+	// 0→1→3 exists; inserting 0→2 then 2→3 adds a second 2-hop path, so
+	// F_{0,3} = {1, 2}.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 3)
+	dc := NewDynamicClosure(b.Build(), 4)
+	dc.InsertEdge(0, 2)
+	dc.InsertEdge(2, 3)
+	res, _ := dc.Query(0, 3)
+	if res.Dist != 2 || !sameSet(res.Followees, []graph.NodeID{1, 2}) {
+		t.Fatalf("res = %+v", res)
+	}
+	assertMatchesRebuild(t, dc, 4)
+}
+
+func TestDynamicRescalesRowWeights(t *testing.T) {
+	// R(0,2) = (1/2)·(|F_02|/|F_0|): growing |F_0| by following a stranger
+	// dilutes the weight.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	dc := NewDynamicClosure(b.Build(), 4)
+	before := dc.R(0, 2) // (1/2)·(1/1)
+	dc.InsertEdge(0, 3)  // follow someone irrelevant
+	after := dc.R(0, 2)  // (1/2)·(1/2)
+	if absf(before-0.5) > 1e-9 || absf(after-0.25) > 1e-9 {
+		t.Fatalf("R before=%f after=%f", before, after)
+	}
+	assertMatchesRebuild(t, dc, 4)
+}
+
+func TestDynamicHopBound(t *testing.T) {
+	// With H=2, inserting an edge that creates only a 3-hop path changes
+	// nothing visible.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	dc := NewDynamicClosure(b.Build(), 2)
+	dc.InsertEdge(1, 2)
+	if _, ok := dc.Query(0, 3); ok {
+		t.Fatal("3-hop pair must stay invisible at H=2")
+	}
+	assertMatchesRebuild(t, dc, 2)
+}
+
+// Property: a random insertion sequence always matches a from-scratch
+// rebuild — the core maintenance invariant.
+func TestQuickDynamicMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(12)
+		h := 1 + r.Intn(4)
+		// Start from a sparse base graph.
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+		}
+		dc := NewDynamicClosure(b.Build(), h)
+		for k := 0; k < 12; k++ {
+			dc.InsertEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+		}
+		// Inline the cross-validation (quick.Check wants a bool).
+		g := dc.Snapshot()
+		fresh := BuildTransitiveClosure(g, ClosureOptions{MaxHops: h, KeepFollowees: true})
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				uid, vid := graph.NodeID(u), graph.NodeID(v)
+				a, aok := dc.Query(uid, vid)
+				bb, bok := fresh.Query(uid, vid)
+				if aok != bok {
+					t.Logf("seed %d: (%d,%d) reach %v vs %v", seed, u, v, aok, bok)
+					return false
+				}
+				if !aok {
+					continue
+				}
+				if a.Dist != bb.Dist {
+					t.Logf("seed %d: (%d,%d) dist %d vs %d", seed, u, v, a.Dist, bb.Dist)
+					return false
+				}
+				if a.Dist >= 1 && !sameSet(a.Followees, bb.Followees) {
+					t.Logf("seed %d: (%d,%d) d=%d fol %v vs %v", seed, u, v, a.Dist, a.Followees, bb.Followees)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicStatsAndSize(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	dc := NewDynamicClosure(b.Build(), 4)
+	if dc.SizeBytes() <= 0 || dc.BuildStats().Entries <= 0 {
+		t.Fatal("size/stats should be positive")
+	}
+	if dc.OutDegree(0) != 1 {
+		t.Fatalf("out degree = %d", dc.OutDegree(0))
+	}
+	dc.InsertEdge(0, 4)
+	if dc.OutDegree(0) != 2 {
+		t.Fatalf("out degree after insert = %d", dc.OutDegree(0))
+	}
+}

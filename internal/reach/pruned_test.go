@@ -1,0 +1,109 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlink/internal/graph"
+)
+
+func TestPrunedMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 60, 240)
+	naive := NewNaive(g, 4)
+	ps := NewPrunedSearch(g, PrunedOptions{MaxHops: 4, Seed: 1})
+	for u := 0; u < 60; u++ {
+		for v := 0; v < 60; v++ {
+			uid, vid := graph.NodeID(u), graph.NodeID(v)
+			a, aok := naive.Query(uid, vid)
+			b, bok := ps.Query(uid, vid)
+			if aok != bok || (aok && a.Dist != b.Dist) {
+				t.Fatalf("(%d,%d): naive %v/%v pruned %v/%v", u, v, a, aok, b, bok)
+			}
+		}
+	}
+}
+
+// Property: the interval filter is sound — it never refutes a pair that is
+// actually reachable (at any distance).
+func TestQuickPrunedSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(18)
+		g := randomGraph(r, n, r.Intn(3*n))
+		ps := NewPrunedSearch(g, PrunedOptions{MaxHops: n + 1, Seed: seed})
+		// Unbounded reachability by BFS with a huge bound.
+		naive := NewNaive(g, n+1)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				uid, vid := graph.NodeID(u), graph.NodeID(v)
+				_, reachable := naive.Query(uid, vid)
+				if reachable && !ps.MaybeReachable(uid, vid) {
+					t.Logf("seed %d: filter refuted reachable pair (%d,%d)", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrunedFilterActuallyPrunes(t *testing.T) {
+	// Two disconnected cliques: every cross pair must be refuted without
+	// traversal.
+	b := graph.NewBuilder(20)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j {
+				b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				b.AddEdge(graph.NodeID(10+i), graph.NodeID(10+j))
+			}
+		}
+	}
+	ps := NewPrunedSearch(b.Build(), PrunedOptions{MaxHops: 4, Seed: 3})
+	refuted := 0
+	for u := 0; u < 10; u++ {
+		for v := 10; v < 20; v++ {
+			if !ps.MaybeReachable(graph.NodeID(u), graph.NodeID(v)) {
+				refuted++
+			}
+		}
+	}
+	if refuted != 100 {
+		t.Fatalf("refuted %d of 100 cross pairs", refuted)
+	}
+}
+
+func TestPrunedIndexTiny(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 200, 1500)
+	ps := NewPrunedSearch(g, PrunedOptions{MaxHops: 4})
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	if ps.SizeBytes() >= tc.SizeBytes()/10 {
+		t.Fatalf("pruned-search index (%d B) should be tiny next to the closure (%d B)",
+			ps.SizeBytes(), tc.SizeBytes())
+	}
+	if ps.BuildStats().BuildTime <= 0 {
+		t.Fatal("missing build stats")
+	}
+}
+
+func TestPrunedHopBound(t *testing.T) {
+	// Path 0→1→2→3 with H=2: pair (0,3) is reachable in general (filter
+	// may pass) but the bounded BFS must refuse it.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	ps := NewPrunedSearch(b.Build(), PrunedOptions{MaxHops: 2})
+	if _, ok := ps.Query(0, 3); ok {
+		t.Fatal("3-hop pair visible at H=2")
+	}
+	if res, ok := ps.Query(0, 2); !ok || res.Dist != 2 {
+		t.Fatalf("(0,2): %+v %v", res, ok)
+	}
+}

@@ -1,0 +1,362 @@
+package reach
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlink/internal/graph"
+)
+
+// diamond: 0 → {1,2} → 3, plus 0 → 4 → 5 → 3 (a longer path to 3).
+func diamond() *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	return b.Build()
+}
+
+func randomGraph(r *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func sortedCopy(s []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []graph.NodeID) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(sub, sup []graph.NodeID) bool {
+	for _, x := range sub {
+		if !containsNode(sup, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func allIndexes(g *graph.Graph, h int) map[string]Index {
+	return map[string]Index{
+		"naive":  NewNaive(g, h),
+		"tc":     BuildTransitiveClosure(g, ClosureOptions{MaxHops: h, KeepFollowees: true}),
+		"twohop": BuildTwoHop(g, TwoHopOptions{MaxHops: h}),
+	}
+}
+
+func TestDiamondDistances(t *testing.T) {
+	g := diamond()
+	for name, idx := range allIndexes(g, 4) {
+		res, ok := idx.Query(0, 3)
+		if !ok || res.Dist != 2 {
+			t.Fatalf("%s: Query(0,3) = %+v ok=%v, want dist 2", name, res, ok)
+		}
+	}
+}
+
+func TestDiamondFolloweesExact(t *testing.T) {
+	g := diamond()
+	// Shortest paths 0→3 are via followees 1 and 2 (the path via 4 is
+	// longer), so F_{0,3} = {1,2} and R = (1/2)·(2/3).
+	want := []graph.NodeID{1, 2}
+	naive := NewNaive(g, 4)
+	res, ok := naive.Query(0, 3)
+	if !ok || !sameSet(res.Followees, want) {
+		t.Fatalf("naive followees = %v", res.Followees)
+	}
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4, KeepFollowees: true})
+	res2, _ := tc.Query(0, 3)
+	if !sameSet(res2.Followees, want) {
+		t.Fatalf("tc followees = %v", res2.Followees)
+	}
+	if tc.NumFollowees(0, 3) != 2 {
+		t.Fatalf("tc NumFollowees = %d", tc.NumFollowees(0, 3))
+	}
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	res3, _ := th.Query(0, 3)
+	if !sameSet(res3.Followees, want) {
+		t.Fatalf("twohop followees = %v", res3.Followees)
+	}
+	wantR := 0.5 * 2.0 / 3.0
+	for name, idx := range allIndexes(g, 4) {
+		if r := idx.R(0, 3); math.Abs(r-wantR) > 1e-6 {
+			t.Errorf("%s: R(0,3) = %f, want %f", name, r, wantR)
+		}
+	}
+}
+
+func TestDirectEdgeScoresOne(t *testing.T) {
+	g := diamond()
+	for name, idx := range allIndexes(g, 4) {
+		if r := idx.R(0, 1); r != 1 {
+			t.Errorf("%s: R(0,1) = %f, want 1 (Algorithm 1 line 3)", name, r)
+		}
+	}
+}
+
+func TestSelfReachability(t *testing.T) {
+	g := diamond()
+	for name, idx := range allIndexes(g, 4) {
+		res, ok := idx.Query(2, 2)
+		if !ok || res.Dist != 0 {
+			t.Errorf("%s: self query = %+v ok=%v", name, res, ok)
+		}
+		if r := idx.R(2, 2); r != 1 {
+			t.Errorf("%s: R(self) = %f", name, r)
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := diamond()
+	for name, idx := range allIndexes(g, 4) {
+		if _, ok := idx.Query(3, 0); ok {
+			t.Errorf("%s: 3 should not reach 0", name)
+		}
+		if r := idx.R(3, 0); r != 0 {
+			t.Errorf("%s: R(3,0) = %f, want 0", name, r)
+		}
+	}
+}
+
+func TestHopBoundRespected(t *testing.T) {
+	// 0→1→2→3: with H=2, node 3 is unreachable from 0.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	for name, idx := range allIndexes(g, 2) {
+		if _, ok := idx.Query(0, 3); ok {
+			t.Errorf("%s: H=2 must hide a 3-hop target", name)
+		}
+		if res, ok := idx.Query(0, 2); !ok || res.Dist != 2 {
+			t.Errorf("%s: 2-hop target should remain visible, got %+v %v", name, res, ok)
+		}
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	g1 := graph.NewBuilder(1).Build()
+	for name, idx := range allIndexes(g1, 4) {
+		if r := idx.R(0, 0); r != 1 {
+			t.Errorf("%s singleton: R = %f", name, r)
+		}
+	}
+}
+
+func TestClosureSizeAndStats(t *testing.T) {
+	g := diamond()
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	if tc.SizeBytes() <= 0 {
+		t.Error("closure SizeBytes should be positive")
+	}
+	if tc.BuildStats().Entries <= 0 {
+		t.Error("closure should have entries")
+	}
+	if tc.Reachable(0) != 5 {
+		t.Errorf("node 0 reaches %d nodes, want 5", tc.Reachable(0))
+	}
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	if th.SizeBytes() <= 0 {
+		t.Error("twohop SizeBytes should be positive")
+	}
+	out, in := th.LabelCounts()
+	if out == 0 || in == 0 {
+		t.Errorf("label counts %d/%d", out, in)
+	}
+}
+
+func TestTwoHopSmallerThanClosureOnDenseGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randomGraph(r, 300, 3000)
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	if th.SizeBytes() >= tc.SizeBytes() {
+		t.Errorf("2-hop index (%d B) should be smaller than closure (%d B) on a dense small-world graph",
+			th.SizeBytes(), tc.SizeBytes())
+	}
+}
+
+// The central cross-validation: on random graphs all three substrates agree
+// on distance; followee sets agree exactly between naive and the closure;
+// the 2-hop sets are non-empty subsets of the exact ones (see the exactness
+// note on TwoHop).
+func TestQuickSubstratesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		g := randomGraph(r, n, r.Intn(5*n))
+		h := 1 + r.Intn(4)
+		naive := NewNaive(g, h)
+		tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: h, KeepFollowees: true})
+		th := BuildTwoHop(g, TwoHopOptions{MaxHops: h})
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				uid, vid := graph.NodeID(u), graph.NodeID(v)
+				nr, nok := naive.Query(uid, vid)
+				cr, cok := tc.Query(uid, vid)
+				hr, hok := th.Query(uid, vid)
+				if nok != cok || nok != hok {
+					t.Logf("seed %d: reachability disagrees (%d,%d): naive=%v tc=%v 2hop=%v", seed, u, v, nok, cok, hok)
+					return false
+				}
+				if !nok {
+					continue
+				}
+				if nr.Dist != cr.Dist || nr.Dist != hr.Dist {
+					t.Logf("seed %d: dist disagrees (%d,%d): naive=%d tc=%d 2hop=%d", seed, u, v, nr.Dist, cr.Dist, hr.Dist)
+					return false
+				}
+				if nr.Dist >= 1 && !sameSet(nr.Followees, cr.Followees) {
+					t.Logf("seed %d: followees disagree (%d,%d): naive=%v tc=%v", seed, u, v, nr.Followees, cr.Followees)
+					return false
+				}
+				if nr.Dist >= 1 {
+					if len(hr.Followees) == 0 {
+						t.Logf("seed %d: 2hop followees empty (%d,%d) dist=%d", seed, u, v, nr.Dist)
+						return false
+					}
+					if !subset(hr.Followees, nr.Followees) {
+						t.Logf("seed %d: 2hop followees %v not subset of %v (%d,%d)", seed, hr.Followees, nr.Followees, u, v)
+						return false
+					}
+				}
+				// R agreement between naive and closure (exact substrates).
+				if math.Abs(naive.R(uid, vid)-tc.R(uid, vid)) > 1e-6 {
+					t.Logf("seed %d: R disagrees (%d,%d)", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R is always within [0,1] and 0 exactly for unreachable pairs.
+func TestQuickRRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g := randomGraph(r, n, r.Intn(4*n))
+		tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				rv := tc.R(graph.NodeID(u), graph.NodeID(v))
+				if rv < 0 || rv > 1 {
+					return false
+				}
+				_, ok := tc.Query(graph.NodeID(u), graph.NodeID(v))
+				if !ok && rv != 0 {
+					return false
+				}
+				if ok && u != v {
+					res, _ := tc.Query(graph.NodeID(u), graph.NodeID(v))
+					if res.Dist >= 1 && rv == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoHopRandomOrderStillExactDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g := randomGraph(r, 40, 160)
+	naive := NewNaive(g, 4)
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4, RandomOrder: true})
+	for u := 0; u < 40; u++ {
+		for v := 0; v < 40; v++ {
+			nr, nok := naive.Query(graph.NodeID(u), graph.NodeID(v))
+			hr, hok := th.Query(graph.NodeID(u), graph.NodeID(v))
+			if nok != hok || (nok && nr.Dist != hr.Dist) {
+				t.Fatalf("(%d,%d): naive %v/%v twohop %v/%v", u, v, nr, nok, hr, hok)
+			}
+		}
+	}
+}
+
+func TestNaiveClosureTimeBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 60, 300)
+	measured, extrapolated := NaiveClosureTime(g, 3, 0)
+	if measured != extrapolated {
+		t.Errorf("no budget: measured %v != extrapolated %v", measured, extrapolated)
+	}
+	if measured <= 0 {
+		t.Error("measured should be positive")
+	}
+}
+
+func TestIncrementalFasterThanNaiveConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 400, 4000)
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	naiveTime, _ := NaiveClosureTime(g, 4, 0)
+	if tc.BuildStats().BuildTime >= naiveTime {
+		t.Errorf("incremental (%v) should beat naive (%v) — Fig 5(b)", tc.BuildStats().BuildTime, naiveTime)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(r, 100, 800)
+	for name, idx := range allIndexes(g, 4) {
+		idx := idx
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			done := make(chan bool)
+			for w := 0; w < 4; w++ {
+				go func(w int) {
+					rr := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 500; i++ {
+						u := graph.NodeID(rr.Intn(100))
+						v := graph.NodeID(rr.Intn(100))
+						_ = idx.R(u, v)
+					}
+					done <- true
+				}(w)
+			}
+			for w := 0; w < 4; w++ {
+				<-done
+			}
+		})
+	}
+}

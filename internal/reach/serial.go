@@ -1,0 +1,347 @@
+package reach
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"microlink/internal/graph"
+)
+
+// Binary serialization for the reachability indexes. Construction is the
+// expensive step (Table 5's "indexing time" column); a production service
+// builds once and reloads on start. The format is versioned and guarded by
+// a fingerprint of the graph it was built over, so an index can never be
+// loaded against the wrong network, plus a trailing CRC over the payload.
+//
+// Layout (little endian):
+//
+//	magic "MLRI" | version u16 | kind u8 | maxHops u8
+//	graph fingerprint u64
+//	payload (kind-specific)
+//	crc64(payload) u64
+
+const (
+	serialMagic   = "MLRI"
+	serialVersion = 1
+
+	kindClosure = 1
+	kindTwoHop  = 2
+)
+
+// ErrFormat reports a malformed or incompatible index file.
+var ErrFormat = errors.New("reach: bad index file")
+
+// ErrGraphMismatch reports an index built over a different graph.
+var ErrGraphMismatch = errors.New("reach: index does not match graph")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Fingerprint summarises a graph's structure for load-time validation.
+func Fingerprint(g *graph.Graph) uint64 {
+	h := crc64.New(crcTable)
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.NumNodes()))
+	put(uint64(g.NumEdges()))
+	// Sample degree structure: cheap but discriminating.
+	step := g.NumNodes()/64 + 1
+	for u := 0; u < g.NumNodes(); u += step {
+		put(uint64(u)<<32 | uint64(g.OutDegree(graph.NodeID(u)))<<16 | uint64(g.InDegree(graph.NodeID(u))))
+	}
+	return h.Sum64()
+}
+
+type countingWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.crc = crc64.Update(cw.crc, crcTable, p)
+	return cw.w.Write(p)
+}
+
+func writeHeader(w io.Writer, kind, maxHops uint8, fp uint64) error {
+	if _, err := io.WriteString(w, serialMagic); err != nil {
+		return err
+	}
+	hdr := []any{uint16(serialVersion), kind, maxHops, fp}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader, wantKind uint8, fp uint64) (maxHops int, err error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if string(magic) != serialMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var version uint16
+	var kind, hops uint8
+	var gotFP uint64
+	for _, v := range []any{&version, &kind, &hops, &gotFP} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	if version != serialVersion {
+		return 0, fmt.Errorf("%w: version %d", ErrFormat, version)
+	}
+	if kind != wantKind {
+		return 0, fmt.Errorf("%w: kind %d, want %d", ErrFormat, kind, wantKind)
+	}
+	if gotFP != fp {
+		return 0, ErrGraphMismatch
+	}
+	return int(hops), nil
+}
+
+// WriteTo serialises the closure (excluding followee identity sets, which
+// are a debugging aid; counts and weights round-trip).
+func (tc *TransitiveClosure) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindClosure, uint8(tc.h), Fingerprint(tc.g)); err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: bw}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(tc.rows))); err != nil {
+		return 0, err
+	}
+	for u := range tc.rows {
+		entries := tc.rows[u].entries
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(entries))); err != nil {
+			return 0, err
+		}
+		for _, e := range entries {
+			if err := binary.Write(cw, binary.LittleEndian, e.v); err != nil {
+				return 0, err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, e.dist); err != nil {
+				return 0, err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, e.nFol); err != nil {
+				return 0, err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, e.w); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return 0, err
+	}
+	return 0, bw.Flush()
+}
+
+type countingReader struct {
+	r   io.Reader
+	crc uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc64.Update(cr.crc, crcTable, p[:n])
+	return n, err
+}
+
+// ReadTransitiveClosure loads a closure previously written with WriteTo,
+// validating it against g.
+func ReadTransitiveClosure(r io.Reader, g *graph.Graph) (*TransitiveClosure, error) {
+	br := bufio.NewReader(r)
+	hops, err := readHeader(br, kindClosure, Fingerprint(g))
+	if err != nil {
+		return nil, err
+	}
+	cr := &countingReader{r: br}
+	var n uint32
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if int(n) != g.NumNodes() {
+		return nil, ErrGraphMismatch
+	}
+	tc := &TransitiveClosure{
+		g:    g,
+		h:    hops,
+		rows: make([]ctRow, n),
+		maps: make([]map[graph.NodeID]int32, n),
+	}
+	var entries int64
+	for u := 0; u < int(n); u++ {
+		var m uint32
+		if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		row := make([]ctEntry, m)
+		idx := make(map[graph.NodeID]int32, m)
+		for i := range row {
+			e := &row[i]
+			if err := binary.Read(cr, binary.LittleEndian, &e.v); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &e.dist); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &e.nFol); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &e.w); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			idx[e.v] = int32(i)
+		}
+		tc.rows[u] = ctRow{entries: row}
+		tc.maps[u] = idx
+		entries += int64(m)
+	}
+	payloadCRC := cr.crc
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if payloadCRC != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
+	}
+	tc.stats = BuildStats{Entries: entries}
+	return tc, nil
+}
+
+// WriteTo serialises the 2-hop cover including the per-label followee sets
+// and the landmark ordering.
+func (th *TwoHop) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindTwoHop, uint8(th.h), Fingerprint(th.g)); err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: bw}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(th.order))); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, th.order); err != nil {
+		return 0, err
+	}
+	writeLabels := func(ls []thLabel) error {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(ls))); err != nil {
+			return err
+		}
+		for _, l := range ls {
+			if err := binary.Write(cw, binary.LittleEndian, l.hub); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, l.dist); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, uint16(len(l.fol))); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, l.fol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for u := range th.out {
+		if err := writeLabels(th.out[u]); err != nil {
+			return 0, err
+		}
+		if err := writeLabels(th.in[u]); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return 0, err
+	}
+	return 0, bw.Flush()
+}
+
+// ReadTwoHop loads a 2-hop cover previously written with WriteTo,
+// validating it against g.
+func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
+	br := bufio.NewReader(r)
+	hops, err := readHeader(br, kindTwoHop, Fingerprint(g))
+	if err != nil {
+		return nil, err
+	}
+	cr := &countingReader{r: br}
+	var n uint32
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if int(n) != g.NumNodes() {
+		return nil, ErrGraphMismatch
+	}
+	th := &TwoHop{
+		g:     g,
+		h:     hops,
+		rank:  make([]int32, n),
+		order: make([]graph.NodeID, n),
+		out:   make([][]thLabel, n),
+		in:    make([][]thLabel, n),
+	}
+	if err := binary.Read(cr, binary.LittleEndian, th.order); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for rk, v := range th.order {
+		if v < 0 || int(v) >= int(n) {
+			return nil, fmt.Errorf("%w: node %d out of range", ErrFormat, v)
+		}
+		th.rank[v] = int32(rk)
+	}
+	readLabels := func() ([]thLabel, error) {
+		var m uint32
+		if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
+			return nil, err
+		}
+		ls := make([]thLabel, m)
+		for i := range ls {
+			if err := binary.Read(cr, binary.LittleEndian, &ls[i].hub); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &ls[i].dist); err != nil {
+				return nil, err
+			}
+			var nf uint16
+			if err := binary.Read(cr, binary.LittleEndian, &nf); err != nil {
+				return nil, err
+			}
+			ls[i].fol = make([]graph.NodeID, nf)
+			if err := binary.Read(cr, binary.LittleEndian, ls[i].fol); err != nil {
+				return nil, err
+			}
+		}
+		return ls, nil
+	}
+	var entries int64
+	for u := 0; u < int(n); u++ {
+		if th.out[u], err = readLabels(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if th.in[u], err = readLabels(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		entries += int64(len(th.out[u])) + int64(len(th.in[u]))
+	}
+	payloadCRC := cr.crc
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if payloadCRC != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
+	}
+	th.stats = BuildStats{Entries: entries}
+	return th, nil
+}

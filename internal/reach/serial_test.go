@@ -1,0 +1,152 @@
+package reach
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"microlink/internal/graph"
+)
+
+func roundTripGraph() *graph.Graph {
+	r := rand.New(rand.NewSource(21))
+	return randomGraph(r, 120, 900)
+}
+
+func TestClosureRoundTrip(t *testing.T) {
+	g := roundTripGraph()
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := tc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransitiveClosure(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			a := tc.R(graph.NodeID(u), graph.NodeID(v))
+			b := got.R(graph.NodeID(u), graph.NodeID(v))
+			if a != b {
+				t.Fatalf("R(%d,%d): %f != %f", u, v, a, b)
+			}
+			ra, oka := tc.Query(graph.NodeID(u), graph.NodeID(v))
+			rb, okb := got.Query(graph.NodeID(u), graph.NodeID(v))
+			if oka != okb || (oka && ra.Dist != rb.Dist) {
+				t.Fatalf("Query(%d,%d) differs", u, v)
+			}
+		}
+	}
+	if got.BuildStats().Entries != tc.BuildStats().Entries {
+		t.Fatal("entry counts differ")
+	}
+}
+
+func TestTwoHopRoundTrip(t *testing.T) {
+	g := roundTripGraph()
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := th.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTwoHop(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			ra, oka := th.Query(graph.NodeID(u), graph.NodeID(v))
+			rb, okb := got.Query(graph.NodeID(u), graph.NodeID(v))
+			if oka != okb {
+				t.Fatalf("Query(%d,%d): ok %v != %v", u, v, oka, okb)
+			}
+			if !oka {
+				continue
+			}
+			if ra.Dist != rb.Dist || !sameSet(ra.Followees, rb.Followees) {
+				t.Fatalf("Query(%d,%d): %+v != %+v", u, v, ra, rb)
+			}
+		}
+	}
+}
+
+func TestLoadAgainstWrongGraph(t *testing.T) {
+	g := roundTripGraph()
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := tc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := randomGraph(rand.New(rand.NewSource(99)), 120, 900)
+	if _, err := ReadTransitiveClosure(&buf, other); !errors.Is(err, ErrGraphMismatch) {
+		t.Fatalf("err = %v, want graph mismatch", err)
+	}
+}
+
+func TestLoadWrongKind(t *testing.T) {
+	g := roundTripGraph()
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := th.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTransitiveClosure(&buf, g); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want format error", err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	g := roundTripGraph()
+	cases := [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte("MLRI"),
+		[]byte("MLRI\x01\x00\x01\x04"),
+	}
+	for i, c := range cases {
+		if _, err := ReadTransitiveClosure(bytes.NewReader(c), g); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadCorruptedPayload(t *testing.T) {
+	g := roundTripGraph()
+	tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := tc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the middle of the payload.
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadTransitiveClosure(bytes.NewReader(data), g); err == nil {
+		t.Fatal("corrupted payload must not load")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	g := roundTripGraph()
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	var buf bytes.Buffer
+	if _, err := th.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTwoHop(bytes.NewReader(data), g); err == nil {
+		t.Fatal("truncated file must not load")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	g := roundTripGraph()
+	if Fingerprint(g) != Fingerprint(g) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	other := randomGraph(rand.New(rand.NewSource(22)), 120, 900)
+	if Fingerprint(g) == Fingerprint(other) {
+		t.Fatal("fingerprint collision between different graphs")
+	}
+}

@@ -1,0 +1,169 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microlink/internal/graph"
+)
+
+// Property tests for the paper's two theorems, checked against brute-force
+// path enumeration on small random graphs.
+
+// bruteFollowees computes F_uv exactly: u's followees t with
+// d(u,t)=1 ∧ d(t,v) = d(u,v) − 1 (which, per Theorem 1, is equivalent to
+// "t participates in a shortest u→v path").
+func bruteFollowees(g *graph.Graph, tr *graph.Traversal, u, v graph.NodeID, h int) (int, []graph.NodeID) {
+	duv := tr.ShortestDist(u, v, h)
+	if duv <= 0 {
+		return duv, nil
+	}
+	var fol []graph.NodeID
+	for _, t := range g.Out(u) {
+		if t == v && duv == 1 {
+			fol = append(fol, t)
+			continue
+		}
+		if tr.ShortestDist(t, v, h) == duv-1 {
+			fol = append(fol, t)
+		}
+	}
+	return duv, fol
+}
+
+// enumerateShortestFirstHops finds, by explicit BFS path counting, the set
+// of first hops of all shortest u→v paths.
+func enumerateShortestFirstHops(g *graph.Graph, tr *graph.Traversal, u, v graph.NodeID, h int) []graph.NodeID {
+	duv := tr.ShortestDist(u, v, h)
+	if duv <= 0 {
+		return nil
+	}
+	var first []graph.NodeID
+	for _, t := range g.Out(u) {
+		// t starts a shortest path iff 1 + d(t,v) == d(u,v).
+		var dtv int
+		if t == v {
+			dtv = 0
+		} else {
+			dtv = tr.ShortestDist(t, v, h)
+		}
+		if dtv >= 0 && 1+dtv == duv {
+			first = append(first, t)
+		}
+	}
+	return first
+}
+
+// TestTheorem1 — "there is a len-hop shortest path from u to v through u's
+// followee t iff d(t,v) = len−1": the first-hop enumeration and the
+// distance criterion agree on every pair.
+func TestTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(14)
+		g := randomGraph(r, n, r.Intn(4*n))
+		tr := graph.NewTraversal(g)
+		tr2 := graph.NewTraversal(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				_, byDist := bruteFollowees(g, tr, graph.NodeID(u), graph.NodeID(v), n+1)
+				byEnum := enumerateShortestFirstHops(g, tr2, graph.NodeID(u), graph.NodeID(v), n+1)
+				if !sameSet(byDist, byEnum) {
+					t.Logf("seed %d (%d,%d): dist-criterion %v vs enumeration %v", seed, u, v, byDist, byEnum)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2 — Eq. 5's aggregation rule: for hubs w on a shortest u→v
+// path, F_uw ⊆ F_uv. Verified via the exact closure.
+func TestTheorem2(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := randomGraph(r, n, r.Intn(4*n))
+		tc := BuildTransitiveClosure(g, ClosureOptions{MaxHops: n + 1, KeepFollowees: true})
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				ruv, ok := tc.Query(graph.NodeID(u), graph.NodeID(v))
+				if !ok || ruv.Dist == 0 {
+					continue
+				}
+				for w := 0; w < n; w++ {
+					if w == u || w == v {
+						continue
+					}
+					ruw, ok1 := tc.Query(graph.NodeID(u), graph.NodeID(w))
+					rwv, ok2 := tc.Query(graph.NodeID(w), graph.NodeID(v))
+					if !ok1 || !ok2 {
+						continue
+					}
+					if ruw.Dist+rwv.Dist != ruv.Dist {
+						continue // w not on a shortest path
+					}
+					// Theorem 2: every followee on a shortest u→w prefix
+					// participates in a shortest u→v path.
+					if !subset(ruw.Followees, ruv.Followees) {
+						t.Logf("seed %d: F(%d,%d)=%v ⊄ F(%d,%d)=%v via hub %d",
+							seed, u, w, ruw.Followees, u, v, ruv.Followees, w)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoHopFolloweeExactnessRate quantifies the documented 2-hop
+// approximation: distances are always exact; followee sets must be exact
+// for the overwhelming majority of reachable pairs and never supersets.
+func TestTwoHopFolloweeExactnessRate(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	total, exact := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + r.Intn(30)
+		g := randomGraph(r, n, r.Intn(5*n))
+		naive := NewNaive(g, 4)
+		th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				nr, ok := naive.Query(graph.NodeID(u), graph.NodeID(v))
+				if !ok {
+					continue
+				}
+				hr, ok2 := th.Query(graph.NodeID(u), graph.NodeID(v))
+				if !ok2 || hr.Dist != nr.Dist {
+					t.Fatalf("distance must be exact: (%d,%d)", u, v)
+				}
+				total++
+				if sameSet(nr.Followees, hr.Followees) {
+					exact++
+				} else if !subset(hr.Followees, nr.Followees) {
+					t.Fatalf("(%d,%d): 2-hop set %v not a subset of exact %v", u, v, hr.Followees, nr.Followees)
+				}
+			}
+		}
+	}
+	rate := float64(exact) / float64(total)
+	t.Logf("2-hop followee sets exact on %.2f%% of %d reachable pairs", 100*rate, total)
+	if rate < 0.95 {
+		t.Errorf("exactness rate %.4f below 95%%", rate)
+	}
+}

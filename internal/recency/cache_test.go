@@ -1,0 +1,79 @@
+package recency
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"microlink/internal/kb"
+)
+
+func cachedScorer(q int64) (*Scorer, *kb.Complemented) {
+	k := clusterKB()
+	c := kb.Complement(k)
+	s := NewScorer(c, BuildPropNet(k, 0.4), Options{Theta1: 5, Tau: 100, CacheQuantum: q})
+	return s, c
+}
+
+func TestCacheHitsSameBucket(t *testing.T) {
+	s, c := cachedScorer(50)
+	linkBurst(c, 2, 20, 500)
+	a := s.Propagated(0, 500)
+	b := s.Propagated(0, 510) // same bucket (500-549)
+	if a != b {
+		t.Fatalf("same-bucket values differ: %f vs %f", a, b)
+	}
+	if s.MemoHits() == 0 {
+		t.Fatal("no cache hit recorded")
+	}
+}
+
+func TestCacheQuantumBoundedStaleness(t *testing.T) {
+	s, c := cachedScorer(50)
+	linkBurst(c, 2, 20, 500)
+	within := s.Propagated(2, 549) // bucket start 500: burst visible
+	if within <= 0 {
+		t.Fatalf("burst invisible at 549: %f", within)
+	}
+	// Next bucket quantizes to 1000: the burst at t=500 has left the
+	// τ=100 window.
+	after := s.Propagated(2, 1001)
+	if after != 0 {
+		t.Fatalf("stale burst leaked into a fresh bucket: %f", after)
+	}
+}
+
+func TestCacheMatchesUncachedAtBucketStart(t *testing.T) {
+	cached, c1 := cachedScorer(50)
+	plain, c2 := cachedScorer(0)
+	for _, c := range []*kb.Complemented{c1, c2} {
+		linkBurst(c, 2, 20, 500)
+	}
+	// At an exact bucket boundary the quantized time equals the query
+	// time, so cached and uncached agree exactly.
+	a := cached.Propagated(0, 500)
+	b := plain.Propagated(0, 500)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("cached %f != plain %f", a, b)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	s, c := cachedScorer(50)
+	linkBurst(c, 2, 20, 500)
+	var wg sync.WaitGroup
+	vals := make([]float64, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals[w] = s.Propagated(0, 500+int64(w%3))
+		}(w)
+	}
+	wg.Wait()
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			t.Fatalf("concurrent values diverge: %v", vals)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package recency implements entity recency (paper §4.2): sliding-window
+// burst detection over the complemented knowledgebase (Eq. 9) plus the
+// PageRank-style recency-propagation model (Eq. 11) that lets bursts on
+// highly related entities (NBA → Michael Jordan (basketball), ICML →
+// Michael Jordan (ML)) reinforce each other.
+//
+// The propagation network is built per the paper's three heuristics: edges
+// carry WLM topical relatedness (Eq. 10); edges below θ₂ are cut; edges
+// between co-candidates of the same mention are removed (recency must
+// discriminate candidates, not equalise them); and propagation is confined
+// to the resulting clusters of strongly connected entities, which keeps
+// the online cost bounded.
+//
+// Interpretation note. Eq. 9 normalises recency over the candidate set
+// E_m, which is only known at query time, while the propagation of Eq. 11
+// is mention-independent. We therefore propagate the *raw* burst signal
+// (|D_e^τ| gated by θ₁) over the network and apply the candidate-set
+// normalisation of Eq. 9 to the propagated scores when a query arrives.
+package recency
+
+import (
+	"sort"
+	"sync"
+
+	"microlink/internal/kb"
+)
+
+// Options configures recency scoring; zero values select the paper's
+// defaults from Table 3.
+type Options struct {
+	// Tau is the sliding-window length in seconds (default 3 days).
+	Tau int64
+	// Theta1 is the burst threshold: fewer than Theta1 recent postings is
+	// no burst (default 10).
+	Theta1 int
+	// Theta2 is the relatedness threshold for propagation edges
+	// (default 0.6).
+	Theta2 float64
+	// Lambda trades off gathered vs propagated recency in Eq. 11
+	// (default 0.5).
+	Lambda float64
+	// Iterations bounds the propagation fixpoint loop (default 10).
+	Iterations int
+	// Propagate disables the propagation model when false — the ablation
+	// of Fig. 4(d). Note the zero value *enables* propagation.
+	NoPropagation bool
+	// CacheQuantum enables memoisation of propagated cluster vectors: all
+	// queries whose `now` falls into the same quantum (in seconds) share
+	// one propagation run per cluster. 0 disables caching (every query
+	// propagates afresh, the paper's literal behaviour); a quantum around
+	// τ/10 trades bounded staleness for a large speedup on hot clusters.
+	CacheQuantum int64
+}
+
+func (o *Options) fill() {
+	if o.Tau <= 0 {
+		o.Tau = 3 * 24 * 3600
+	}
+	if o.Theta1 <= 0 {
+		o.Theta1 = 10
+	}
+	if o.Theta2 <= 0 {
+		o.Theta2 = 0.6
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 0.5
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 10
+	}
+}
+
+// PropNet is the recency propagation network: thresholded, same-mention-
+// pruned WLM edges partitioned into clusters (connected components — the
+// "Graph-Cut" of §4.2). Immutable after construction.
+type PropNet struct {
+	// adjacency per member entity; only entities with ≥1 edge appear.
+	adj map[kb.EntityID][]PropEdge
+	// cluster id per member entity.
+	cluster map[kb.EntityID]int32
+	// members per cluster, ascending entity id.
+	clusters [][]kb.EntityID
+	// memberIdx is each member's position within its cluster slice,
+	// precomputed so the propagation loop avoids a per-query index map.
+	memberIdx map[kb.EntityID]int32
+}
+
+// PropEdge is one edge of the propagation network. P is the normalised
+// propagation probability P(from, to) = w(from,to) / Σ_k w(from,k); RP is
+// the reverse probability P(to, from), precomputed because the pull-form
+// iteration of Eq. 11 consumes it on every step.
+type PropEdge struct {
+	To kb.EntityID
+	W  float64 // raw WLM relatedness
+	P  float64 // row-normalised probability
+	RP float64 // reverse probability P(To, from)
+}
+
+// BuildPropNet constructs the propagation network for k with relatedness
+// threshold theta2. Co-candidate pairs — entities sharing any surface form
+// — are excluded per the first heuristic of §4.2.
+func BuildPropNet(k *kb.KB, theta2 float64) *PropNet {
+	sameMention := make(map[[2]kb.EntityID]struct{})
+	k.EachSurface(func(_ string, cands []kb.EntityID) {
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				a, b := cands[i], cands[j]
+				if a > b {
+					a, b = b, a
+				}
+				sameMention[[2]kb.EntityID{a, b}] = struct{}{}
+			}
+		}
+	})
+
+	net := &PropNet{
+		adj:     make(map[kb.EntityID][]PropEdge),
+		cluster: make(map[kb.EntityID]int32),
+	}
+	for _, p := range k.RelatedPairs(theta2) {
+		a, b := p.A, p.B
+		if a > b {
+			a, b = b, a
+		}
+		if _, excluded := sameMention[[2]kb.EntityID{a, b}]; excluded {
+			continue
+		}
+		net.adj[p.A] = append(net.adj[p.A], PropEdge{To: p.B, W: p.Rel})
+		net.adj[p.B] = append(net.adj[p.B], PropEdge{To: p.A, W: p.Rel})
+	}
+	// Row-normalise outgoing weights into probabilities, then fill in the
+	// reverse probabilities.
+	for e, edges := range net.adj {
+		var sum float64
+		for _, ed := range edges {
+			sum += ed.W
+		}
+		for i := range edges {
+			edges[i].P = edges[i].W / sum
+		}
+		net.adj[e] = edges
+	}
+	for e, edges := range net.adj {
+		for i := range edges {
+			edges[i].RP = reverseP(net, edges[i].To, e)
+		}
+		net.adj[e] = edges
+	}
+	net.findClusters()
+	return net
+}
+
+// findClusters labels connected components.
+func (n *PropNet) findClusters() {
+	next := int32(0)
+	for e := range n.adj {
+		if _, done := n.cluster[e]; done {
+			continue
+		}
+		// BFS flood fill.
+		id := next
+		next++
+		queue := []kb.EntityID{e}
+		n.cluster[e] = id
+		var members []kb.EntityID
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			members = append(members, cur)
+			for _, ed := range n.adj[cur] {
+				if _, done := n.cluster[ed.To]; !done {
+					n.cluster[ed.To] = id
+					queue = append(queue, ed.To)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		n.clusters = append(n.clusters, members)
+	}
+	n.memberIdx = make(map[kb.EntityID]int32, len(n.cluster))
+	for _, members := range n.clusters {
+		for i, m := range members {
+			n.memberIdx[m] = int32(i)
+		}
+	}
+}
+
+// NumClusters returns the number of clusters.
+func (n *PropNet) NumClusters() int { return len(n.clusters) }
+
+// ClusterOf returns the cluster members of entity e (including e), or nil
+// when e participates in no propagation edge.
+func (n *PropNet) ClusterOf(e kb.EntityID) []kb.EntityID {
+	id, ok := n.cluster[e]
+	if !ok {
+		return nil
+	}
+	return n.clusters[id]
+}
+
+// Edges returns e's propagation edges (shared slice; do not modify).
+func (n *PropNet) Edges(e kb.EntityID) []PropEdge { return n.adj[e] }
+
+// NumEdges returns the number of undirected propagation edges.
+func (n *PropNet) NumEdges() int {
+	total := 0
+	for _, edges := range n.adj {
+		total += len(edges)
+	}
+	return total / 2
+}
+
+// Scorer computes recency scores S_r(e) (Eq. 9 + Eq. 11) over a
+// complemented knowledgebase. Safe for concurrent use.
+type Scorer struct {
+	ckb  *kb.Complemented
+	net  *PropNet
+	opts Options
+
+	mu    sync.RWMutex
+	memo  map[memoKey][]float64
+	memoN int64 // hits, for introspection in benches
+}
+
+type memoKey struct {
+	cluster int32
+	bucket  int64
+}
+
+// NewScorer returns a Scorer. net may be nil only when opts.NoPropagation
+// is set.
+func NewScorer(ckb *kb.Complemented, net *PropNet, opts Options) *Scorer {
+	opts.fill()
+	if net == nil && !opts.NoPropagation {
+		panic("recency: propagation enabled but no propagation network given")
+	}
+	return &Scorer{ckb: ckb, net: net, opts: opts, memo: make(map[memoKey][]float64)}
+}
+
+// Options returns the effective (defaults-filled) options.
+func (s *Scorer) Options() Options { return s.opts }
+
+// Clusters returns the propagation-network cluster containing e (including
+// e itself), or nil when e is unclustered or propagation is disabled.
+func (s *Scorer) Clusters(e kb.EntityID) []kb.EntityID {
+	if s.net == nil {
+		return nil
+	}
+	return s.net.ClusterOf(e)
+}
+
+// raw returns the gated burst signal of Eq. 9's numerator: |D_e^τ| when it
+// reaches θ₁, else 0.
+func (s *Scorer) raw(e kb.EntityID, now int64) float64 {
+	n := s.ckb.RecentCount(e, now, s.opts.Tau)
+	if n < s.opts.Theta1 {
+		return 0
+	}
+	return float64(n)
+}
+
+// Propagated returns entity e's recency signal after propagation at time
+// now (before candidate-set normalisation): the e-th component of the
+// fixpoint of Eq. 11 computed over e's cluster only. With CacheQuantum
+// set, queries within the same time bucket reuse one propagation run per
+// cluster.
+func (s *Scorer) Propagated(e kb.EntityID, now int64) float64 {
+	if s.opts.NoPropagation {
+		return s.raw(e, now)
+	}
+	members := s.net.ClusterOf(e)
+	if members == nil {
+		return s.raw(e, now)
+	}
+	var vec []float64
+	if q := s.opts.CacheQuantum; q > 0 {
+		qnow := now - now%q
+		key := memoKey{cluster: s.net.cluster[e], bucket: qnow / q}
+		s.mu.RLock()
+		vec = s.memo[key]
+		s.mu.RUnlock()
+		if vec == nil {
+			vec = s.propagateCluster(members, qnow)
+			s.mu.Lock()
+			s.memo[key] = vec
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			s.memoN++
+			s.mu.Unlock()
+		}
+	} else {
+		vec = s.propagateCluster(members, now)
+	}
+	for i, m := range members {
+		if m == e {
+			return vec[i]
+		}
+	}
+	return 0
+}
+
+// MemoHits reports how many propagation runs the memo cache saved.
+func (s *Scorer) MemoHits() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.memoN
+}
+
+// propagateCluster runs the Eq. 11 iteration over one cluster, returning
+// the recency vector aligned with members.
+func (s *Scorer) propagateCluster(members []kb.EntityID, now int64) []float64 {
+	idx := s.net.memberIdx
+	s0 := make([]float64, len(members))
+	any := false
+	for i, m := range members {
+		s0[i] = s.raw(m, now)
+		if s0[i] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return s0 // all zeros
+	}
+	cur := append([]float64(nil), s0...)
+	nxt := make([]float64, len(members))
+	lam := s.opts.Lambda
+	for it := 0; it < s.opts.Iterations; it++ {
+		maxDelta := 0.0
+		for i, m := range members {
+			acc := 0.0
+			// Pull formulation: S_r^i[m] = λ·S0[m] + (1−λ)·Σ_j P(j,m)·S_r^{i−1}[j],
+			// with P(j,m) precomputed as the edge's reverse probability.
+			for _, ed := range s.net.adj[m] {
+				acc += ed.RP * cur[idx[ed.To]]
+			}
+			nxt[i] = lam*s0[i] + (1-lam)*acc
+			if d := abs(nxt[i] - cur[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		cur, nxt = nxt, cur
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+	return cur
+}
+
+func reverseP(n *PropNet, from, to kb.EntityID) float64 {
+	for _, ed := range n.adj[from] {
+		if ed.To == to {
+			return ed.P
+		}
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Scores computes S_r(e) for every candidate: the propagated burst signals
+// normalised over the candidate set (Eq. 9's normalisation). The result
+// sums to 1 when any candidate has a burst, else is all zeros.
+func (s *Scorer) Scores(now int64, cands []kb.EntityID) []float64 {
+	out := make([]float64, len(cands))
+	var sum float64
+	for i, e := range cands {
+		out[i] = s.Propagated(e, now)
+		sum += out[i]
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,533 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"microlink/internal/graph"
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// Event is a scheduled burst: a window in which extra postings about one
+// entity are injected, standing in for the real-world events (NBA season,
+// ICML week) that drive entity recency.
+type Event struct {
+	Entity     kb.EntityID
+	Start, End int64 // unix seconds
+}
+
+// Dataset is one generated world: social graph, knowledgebase, tweet
+// corpus with ground truth, and the burst-event schedule.
+type Dataset struct {
+	Params Params
+	Graph  *graph.Graph
+	KB     *kb.KB
+	Store  *tweets.Store
+	Events []Event
+
+	// EntityTopic maps entity → topic cluster.
+	EntityTopic []int
+	// UserTopic maps user → primary topic.
+	UserTopic []int
+	// Broadcasters lists the designated high-activity discriminative
+	// accounts per topic (the @NBAOfficial analogues).
+	Broadcasters [][]kb.UserID
+	// SurfacesOf lists each entity's surface forms, canonical first.
+	SurfacesOf [][]string
+}
+
+// Horizon returns the end of the generated timeline (unix seconds); "now"
+// for evaluation purposes.
+func (d *Dataset) Horizon() int64 { return int64(d.Params.Days) * 86400 }
+
+// categoryWeights follow the test-set distribution reported in
+// Appendix C.1: Person 71.35%, Location 8.38%, Company 2.6%, Product
+// 2.27%, Movie&Music 15.4%.
+var categoryWeights = []float64{0.7135, 0.0838, 0.026, 0.0227, 0.154}
+
+func sampleCategory(r *rand.Rand) kb.Category {
+	x := r.Float64()
+	for c, w := range categoryWeights {
+		if x < w {
+			return kb.Category(c)
+		}
+		x -= w
+	}
+	return kb.CategoryPerson
+}
+
+// Generate builds a Dataset from p. Generation is deterministic in
+// p.Seed: identical parameters always produce the identical world.
+func Generate(p Params) *Dataset {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+	g := newWordGen(r)
+
+	d := &Dataset{Params: p}
+	nEnt := p.Topics * p.EntitiesPerTopic
+
+	// --- Vocabularies ----------------------------------------------------
+	// Each topic owns a small vocabulary, but tweet text is dominated by a
+	// shared general vocabulary of daily-life chatter: the paper's premise
+	// is that tweets are too short and unfocused for context similarity to
+	// disambiguate reliably.
+	vocab := make([][]string, p.Topics)
+	for t := range vocab {
+		vocab[t] = g.words(40)
+	}
+	general := g.words(250)
+
+	// --- Entities ------------------------------------------------------
+	kbb := kb.NewBuilder()
+	d.EntityTopic = make([]int, nEnt)
+	d.SurfacesOf = make([][]string, nEnt)
+	entityOfTopic := make([][]kb.EntityID, p.Topics)
+	for t := 0; t < p.Topics; t++ {
+		for i := 0; i < p.EntitiesPerTopic; i++ {
+			first, last := g.word(), g.word()
+			ctx := make(map[string]float32, 15)
+			for _, w := range pickDistinct(r, vocab[t], 12) {
+				ctx[w] = 1
+			}
+			ctx[first] = 2
+			ctx[last] = 2
+			e := kbb.AddEntity(kb.Entity{
+				Name:     first + " " + last,
+				Category: sampleCategory(r),
+				Context:  ctx,
+			})
+			d.EntityTopic[e] = t
+			canonical := first + " " + last
+			kbb.AddSurface(canonical, e)
+			d.SurfacesOf[e] = []string{canonical}
+			entityOfTopic[t] = append(entityOfTopic[t], e)
+		}
+	}
+
+	// --- Ambiguous surface groups ---------------------------------------
+	// Each shared surface maps to 2–5 entities drawn from *different*
+	// topics: ambiguity is cross-topic ("jordan" → athlete, researcher,
+	// country), which is exactly where social context disambiguates.
+	groupSizeW := []float64{0.5, 0.3, 0.15, 0.05} // sizes 2..5
+	coCand := make([][]kb.EntityID, nEnt)         // same-surface competitors
+	for gi := 0; gi < p.AmbiguousSurfaces; gi++ {
+		word := g.word()
+		size := 2
+		x := r.Float64()
+		for s, w := range groupSizeW {
+			if x < w {
+				size = 2 + s
+				break
+			}
+			x -= w
+		}
+		if size > p.Topics {
+			size = p.Topics
+		}
+		var group []kb.EntityID
+		for _, t := range pickDistinctInts(r, p.Topics, size) {
+			e := entityOfTopic[t][r.Intn(len(entityOfTopic[t]))]
+			kbb.AddSurface(word, e)
+			d.SurfacesOf[e] = append(d.SurfacesOf[e], word)
+			group = append(group, e)
+		}
+		for _, e := range group {
+			for _, o := range group {
+				if o != e {
+					coCand[e] = append(coCand[e], o)
+				}
+			}
+		}
+	}
+
+	// --- Hyperlinks ------------------------------------------------------
+	// Dense intra-topic co-citation plus sparse cross-topic links: WLM is
+	// high inside a topic, near zero across. Targets are Zipf-weighted by
+	// in-topic rank, so the popular entities accumulate inlinks — the
+	// commonness prior real linkers rely on.
+	for e := 0; e < nEnt; e++ {
+		t := d.EntityTopic[e]
+		for _, to := range zipfDistinct(r, entityOfTopic[t], 8) {
+			kbb.AddLink(kb.EntityID(e), to)
+		}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			kbb.AddLink(kb.EntityID(e), kb.EntityID(r.Intn(nEnt)))
+		}
+	}
+	d.KB = kbb.Build()
+
+	// --- Users -----------------------------------------------------------
+	// The first Topics*B users are broadcasters (B per topic); everyone
+	// else is a regular user with Pareto-distributed activity — most are
+	// information seekers who tweet rarely or never but still follow.
+	bPerTopic := max(2, p.Users/(p.Topics*25))
+	nBroadcast := bPerTopic * p.Topics
+	if nBroadcast > p.Users/2 {
+		nBroadcast = p.Users / 2
+		bPerTopic = max(1, nBroadcast/p.Topics)
+		nBroadcast = bPerTopic * p.Topics
+	}
+	d.UserTopic = make([]int, p.Users)
+	secondary := make([]int, p.Users) // -1 when absent
+	activity := make([]int, p.Users)
+	d.Broadcasters = make([][]kb.UserID, p.Topics)
+	specialty := make([][]kb.EntityID, p.Users) // broadcasters only
+
+	for u := 0; u < p.Users; u++ {
+		if u < nBroadcast {
+			t := u / bPerTopic
+			b := u % bPerTopic
+			d.UserTopic[u] = t
+			secondary[u] = -1
+			activity[u] = 150 + r.Intn(150)
+			d.Broadcasters[t] = append(d.Broadcasters[t], kb.UserID(u))
+			// Specialties partition the topic's entities round-robin, so
+			// *every* entity has a discriminative broadcaster account —
+			// the @NBAOfficial of its niche.
+			for i := b; i < len(entityOfTopic[t]); i += bPerTopic {
+				specialty[u] = append(specialty[u], entityOfTopic[t][i])
+			}
+			continue
+		}
+		d.UserTopic[u] = r.Intn(p.Topics)
+		secondary[u] = -1
+		if r.Float64() < 0.4 {
+			if s := r.Intn(p.Topics); s != d.UserTopic[u] {
+				secondary[u] = s
+			}
+		}
+		// Pareto(x_m = 1, α): activity−1 so that most users post little.
+		act := int(math.Pow(1-r.Float64(), -1/p.ActivityAlpha)) - 1
+		if act > p.MaxActivity {
+			act = p.MaxActivity
+		}
+		activity[u] = act
+	}
+
+	// Per-user entity affinities (the stable interests tweets draw from).
+	affinity := make([][]kb.EntityID, p.Users)
+	for u := 0; u < p.Users; u++ {
+		if u < nBroadcast {
+			affinity[u] = specialty[u]
+			continue
+		}
+		aff := zipfDistinct(r, entityOfTopic[d.UserTopic[u]], min(6, p.EntitiesPerTopic))
+		if s := secondary[u]; s >= 0 {
+			aff = append(aff, zipfDistinct(r, entityOfTopic[s], min(3, p.EntitiesPerTopic))...)
+		}
+		affinity[u] = aff
+	}
+
+	// Topic membership lists for follow targeting.
+	topicMembers := make([][]kb.UserID, p.Topics)
+	for u := 0; u < p.Users; u++ {
+		topicMembers[d.UserTopic[u]] = append(topicMembers[d.UserTopic[u]], kb.UserID(u))
+	}
+
+	// --- Follow edges ------------------------------------------------------
+	// Interest is expressed through subscription: half of one's follows go
+	// to broadcasters of one's topics, the rest to same-topic peers and a
+	// sprinkle of random accounts.
+	gb := graph.NewBuilder(p.Users)
+	for u := 0; u < p.Users; u++ {
+		nf := p.MeanFollows/2 + r.Intn(p.MeanFollows+1)
+		for i := 0; i < nf; i++ {
+			t := d.UserTopic[u]
+			if s := secondary[u]; s >= 0 && r.Float64() < 0.25 {
+				t = s
+			}
+			var v kb.UserID
+			switch x := r.Float64(); {
+			case x < 0.5 && len(d.Broadcasters[t]) > 0:
+				v = d.Broadcasters[t][r.Intn(len(d.Broadcasters[t]))]
+			case x < 0.85:
+				v = topicMembers[t][r.Intn(len(topicMembers[t]))]
+			default:
+				v = kb.UserID(r.Intn(p.Users))
+			}
+			if v != kb.UserID(u) {
+				gb.AddEdge(kb.UserID(u), v)
+			}
+		}
+	}
+	d.Graph = gb.Build()
+
+	// --- Burst event schedule ---------------------------------------------
+	// Scheduled before the stream so that regular tweeting can reference
+	// the currently hot entity (off-profile mentions follow the news).
+	horizon := int64(p.Days) * 86400
+	for i := 0; i < p.BurstEvents; i++ {
+		t := r.Intn(p.Topics)
+		e := zipfDistinct(r, entityOfTopic[t], 1)[0]
+		dur := int64(p.BurstDuration) * 3600
+		start := int64(r.Float64() * float64(horizon-dur))
+		d.Events = append(d.Events, Event{Entity: e, Start: start, End: start + dur})
+	}
+	activeEvent := func(ts int64) (kb.EntityID, bool) {
+		// With several concurrent events, pick uniformly among the live
+		// ones via reservoir sampling.
+		var chosen kb.EntityID = kb.NoEntity
+		n := 0
+		for _, ev := range d.Events {
+			if ts >= ev.Start && ts <= ev.End {
+				n++
+				if r.Intn(n) == 0 {
+					chosen = ev.Entity
+				}
+			}
+		}
+		return chosen, n > 0
+	}
+	// activeEventIn reports a live burst entity from the given set.
+	activeEventIn := func(ts int64, set []kb.EntityID) (kb.EntityID, bool) {
+		for _, ev := range d.Events {
+			if ts >= ev.Start && ts <= ev.End && containsEnt(set, ev.Entity) {
+				return ev.Entity, true
+			}
+		}
+		return kb.NoEntity, false
+	}
+	// hotEntity is the off-profile draw: the entity of a live burst when
+	// one exists, otherwise a popularity-weighted global pick.
+	hotEntity := func(ts int64) kb.EntityID {
+		if e, ok := activeEvent(ts); ok && r.Float64() < 0.85 {
+			return e
+		}
+		t := r.Intn(p.Topics)
+		return zipfDistinct(r, entityOfTopic[t], 1)[0]
+	}
+
+	// --- Tweet stream --------------------------------------------------------
+	var all []tweets.Tweet
+	nextID := int64(1)
+	emit := func(u int, ts int64, primary kb.EntityID, kind tweets.MentionKind) {
+		tw := tweets.Tweet{ID: nextID, User: kb.UserID(u), Time: ts}
+		nextID++
+		nMentions := 1
+		switch x := r.Float64(); {
+		case x < 0.70:
+			nMentions = 1
+		case x < 0.95:
+			nMentions = 2
+		case x < 0.99:
+			nMentions = 3
+		default:
+			nMentions = 4
+		}
+		ents := []kb.EntityID{primary}
+		for len(ents) < nMentions {
+			e := affinity[u][r.Intn(len(affinity[u]))]
+			if !containsEnt(ents, e) {
+				ents = append(ents, e)
+			}
+			if len(affinity[u]) <= len(ents) {
+				break
+			}
+		}
+		var words []string
+		for _, e := range ents {
+			surf := d.SurfacesOf[e][0]
+			if len(d.SurfacesOf[e]) > 1 && r.Float64() < p.MentionAmbig {
+				surf = d.SurfacesOf[e][1+r.Intn(len(d.SurfacesOf[e])-1)]
+			}
+			if r.Float64() < p.MisspellProb {
+				surf = misspellPhrase(r, surf)
+			}
+			ctxWord := func() string {
+				if r.Float64() < p.TopicWordProb {
+					tv := vocab[d.EntityTopic[e]]
+					return tv[r.Intn(len(tv))]
+				}
+				return general[r.Intn(len(general))]
+			}
+			mk := kind
+			if e != primary {
+				mk = tweets.KindProfile
+			}
+			words = append(words, ctxWord(), surf, ctxWord())
+			tw.Mentions = append(tw.Mentions, tweets.Mention{Surface: surf, Truth: e, Kind: mk})
+		}
+		tw.Text = strings.Join(words, " ")
+		all = append(all, tw)
+	}
+
+	for u := 0; u < p.Users; u++ {
+		if len(affinity[u]) == 0 {
+			continue
+		}
+		for i := 0; i < activity[u]; i++ {
+			ts := int64(r.Float64() * float64(horizon))
+			primary := affinity[u][r.Intn(len(affinity[u]))]
+			// Even the most discriminative accounts occasionally post
+			// off-specialty, and often about a *co-candidate* of their own
+			// entity (§4.1.2's @NBAOfficial tweeting about Air Jordan) —
+			// the incident that separates the entropy influence estimator
+			// from the tf-idf one, which zeroes a user's influence once
+			// she has touched every candidate of a mention.
+			if u < nBroadcast && r.Float64() < 0.08 {
+				e := kb.EntityID(r.Intn(nEnt))
+				if r.Float64() < 0.6 {
+					s := specialty[u][r.Intn(len(specialty[u]))]
+					if len(coCand[s]) > 0 {
+						e = coCand[s][r.Intn(len(coCand[s]))]
+					}
+				}
+				emit(u, ts, e, tweets.KindChatter)
+				continue
+			}
+			// Interests gravitate toward current events: when an entity
+			// the author cares about is bursting, she is much more likely
+			// to tweet about it (the paper's "Michael Jordan (basketball)
+			// is more likely to be mentioned during NBA seasons").
+			if e, ok := activeEventIn(ts, affinity[u]); ok && r.Float64() < 0.6 {
+				primary = e
+			}
+			kind := tweets.KindProfile
+			if u >= nBroadcast {
+				switch x := r.Float64(); {
+				case x < p.ChatterProb:
+					primary = kb.EntityID(r.Intn(nEnt))
+					kind = tweets.KindChatter
+				case x < p.ChatterProb+p.OffProfileProb:
+					primary = hotEntity(ts)
+					kind = tweets.KindHot
+				}
+			}
+			emit(u, ts, primary, kind)
+		}
+	}
+
+	// --- Burst tweet injection ---------------------------------------------
+	// Each event additionally concentrates extra postings about its entity
+	// inside its window, mostly from same-topic users plus rubberneckers.
+	// Authorship is weighted by activity: prolific accounts dominate event
+	// coverage in real streams, which is what makes the burst visible in a
+	// complemented KB built from active users.
+	activitySampler := func(members []kb.UserID) func() int {
+		cum := make([]float64, len(members))
+		total := 0.0
+		for i, u := range members {
+			total += float64(activity[u] + 1)
+			cum[i] = total
+		}
+		return func() int {
+			x := r.Float64() * total
+			i := 0
+			for i < len(cum)-1 && cum[i] < x {
+				i++
+			}
+			return int(members[i])
+		}
+	}
+	topicSampler := make([]func() int, p.Topics)
+	for t := range topicSampler {
+		topicSampler[t] = activitySampler(topicMembers[t])
+	}
+	allUsers := make([]kb.UserID, p.Users)
+	for i := range allUsers {
+		allUsers[i] = kb.UserID(i)
+	}
+	anySampler := activitySampler(allUsers)
+	for _, ev := range d.Events {
+		t := d.EntityTopic[ev.Entity]
+		dur := ev.End - ev.Start
+		for j := 0; j < p.BurstTweets; j++ {
+			// Events attract cross-community rubberneckers: most burst
+			// postings come from outside the entity's own community (the
+			// ML experts tweeting about MJ during the finals).
+			var u int
+			if r.Float64() < 0.4 {
+				u = topicSampler[t]()
+			} else {
+				u = anySampler()
+			}
+			if len(affinity[u]) == 0 {
+				continue
+			}
+			ts := ev.Start + int64(r.Float64()*float64(dur))
+			emit(u, ts, ev.Entity, tweets.KindHot)
+		}
+	}
+
+	d.Store = tweets.NewStore(all)
+	return d
+}
+
+// zipfDistinct samples k distinct elements of s with probability
+// ∝ 1/(i+2)^0.9 over positions i, so that low-index elements ("popular"
+// entities) dominate while the tail stays reachable.
+func zipfDistinct[T any](r *rand.Rand, s []T, k int) []T {
+	if k >= len(s) {
+		out := make([]T, len(s))
+		copy(out, s)
+		return out
+	}
+	cum := make([]float64, len(s))
+	total := 0.0
+	for i := range s {
+		total += math.Pow(float64(i+2), -0.9)
+		cum[i] = total
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]T, 0, k)
+	for len(out) < k {
+		x := r.Float64() * total
+		i := 0
+		for i < len(cum)-1 && cum[i] < x {
+			i++
+		}
+		if _, dup := chosen[i]; dup {
+			continue
+		}
+		chosen[i] = struct{}{}
+		out = append(out, s[i])
+	}
+	return out
+}
+
+func containsEnt(s []kb.EntityID, e kb.EntityID) bool {
+	for _, x := range s {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// misspellPhrase misspells one word of a (possibly multi-word) surface.
+func misspellPhrase(r *rand.Rand, phrase string) string {
+	parts := strings.Split(phrase, " ")
+	i := r.Intn(len(parts))
+	parts[i] = misspell(r, parts[i])
+	return strings.Join(parts, " ")
+}
+
+// pickDistinct samples k distinct elements from s (k ≤ len(s) enforced by
+// truncation), preserving determinism.
+func pickDistinct[T any](r *rand.Rand, s []T, k int) []T {
+	if k >= len(s) {
+		out := make([]T, len(s))
+		copy(out, s)
+		return out
+	}
+	idx := r.Perm(len(s))[:k]
+	out := make([]T, k)
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// pickDistinctInts samples k distinct ints from [0, n).
+func pickDistinctInts(r *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return r.Perm(n)[:k]
+}

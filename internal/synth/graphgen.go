@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"math/rand"
+
+	"microlink/internal/graph"
+	"microlink/internal/kb"
+)
+
+// GraphParams configures the standalone social-graph generator used by the
+// reachability scale experiments (Table 5, Fig. 5(b)), which need graphs
+// much larger than a full world.
+type GraphParams struct {
+	Seed        int64
+	Users       int // default 2000
+	Topics      int // default max(4, Users/150)
+	MeanFollows int // default 20
+}
+
+func (p *GraphParams) fill() {
+	if p.Users <= 0 {
+		p.Users = 2000
+	}
+	if p.Topics <= 0 {
+		p.Topics = max(4, p.Users/150)
+	}
+	if p.MeanFollows <= 0 {
+		p.MeanFollows = 20
+	}
+}
+
+// GenerateGraph builds only the followee–follower network: the same
+// community-plus-broadcaster structure as Generate, without the KB and the
+// tweet stream. Deterministic in the seed.
+func GenerateGraph(p GraphParams) *graph.Graph {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+
+	bPerTopic := max(2, p.Users/(p.Topics*25))
+	nBroadcast := bPerTopic * p.Topics
+	if nBroadcast > p.Users/2 {
+		bPerTopic = max(1, p.Users/2/p.Topics)
+		nBroadcast = bPerTopic * p.Topics
+	}
+	userTopic := make([]int, p.Users)
+	broadcasters := make([][]kb.UserID, p.Topics)
+	topicMembers := make([][]kb.UserID, p.Topics)
+	for u := 0; u < p.Users; u++ {
+		var t int
+		if u < nBroadcast {
+			t = u / bPerTopic
+			broadcasters[t] = append(broadcasters[t], kb.UserID(u))
+		} else {
+			t = r.Intn(p.Topics)
+		}
+		userTopic[u] = t
+		topicMembers[t] = append(topicMembers[t], kb.UserID(u))
+	}
+
+	gb := graph.NewBuilder(p.Users)
+	for u := 0; u < p.Users; u++ {
+		nf := p.MeanFollows/2 + r.Intn(p.MeanFollows+1)
+		t := userTopic[u]
+		for i := 0; i < nf; i++ {
+			var v kb.UserID
+			switch x := r.Float64(); {
+			case x < 0.5 && len(broadcasters[t]) > 0:
+				v = broadcasters[t][r.Intn(len(broadcasters[t]))]
+			case x < 0.85:
+				v = topicMembers[t][r.Intn(len(topicMembers[t]))]
+			default:
+				v = kb.UserID(r.Intn(p.Users))
+			}
+			if v != kb.UserID(u) {
+				gb.AddEdge(kb.UserID(u), v)
+			}
+		}
+	}
+	return gb.Build()
+}

@@ -1,0 +1,46 @@
+package synth
+
+import "testing"
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	a := GenerateGraph(GraphParams{Seed: 3, Users: 500})
+	b := GenerateGraph(GraphParams{Seed: 3, Users: 500})
+	if a.NumEdges() != b.NumEdges() || a.NumNodes() != b.NumNodes() {
+		t.Fatalf("nondeterministic: %d/%d edges", a.NumEdges(), b.NumEdges())
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		ao, bo := a.Out(int32(u)), b.Out(int32(u))
+		if len(ao) != len(bo) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+		}
+	}
+}
+
+func TestGenerateGraphDefaults(t *testing.T) {
+	g := GenerateGraph(GraphParams{Seed: 1})
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	st := g.Stats()
+	if st.AvgDegree < 5 || st.AvgDegree > 25 {
+		t.Fatalf("avg degree = %f", st.AvgDegree)
+	}
+	// Heavy tail: the max degree dwarfs the average (broadcaster hubs).
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Fatalf("max degree %d not hub-like vs avg %f", st.MaxDegree, st.AvgDegree)
+	}
+}
+
+func TestGenerateGraphScalesLinearly(t *testing.T) {
+	small := GenerateGraph(GraphParams{Seed: 9, Users: 1000, MeanFollows: 10})
+	big := GenerateGraph(GraphParams{Seed: 9, Users: 4000, MeanFollows: 10})
+	ratio := float64(big.NumEdges()) / float64(small.NumEdges())
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("edge growth ratio = %f, want ≈4", ratio)
+	}
+}

@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// wordGen produces pronounceable, globally unique pseudo-words, used for
+// topic vocabularies, entity names and surface forms. Uniqueness matters:
+// a vocabulary word colliding with a surface form would corrupt ground
+// truth, and cross-topic word reuse would blur the context signal.
+type wordGen struct {
+	r    *rand.Rand
+	used map[string]struct{}
+}
+
+var (
+	onsets = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z"}
+	vowels = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas  = []string{"", "", "", "n", "r", "s", "l", "m", "t", "k", "nd", "rn", "st"}
+)
+
+func newWordGen(r *rand.Rand) *wordGen {
+	return &wordGen{r: r, used: make(map[string]struct{})}
+}
+
+// word returns a fresh unique word of 2–3 syllables.
+func (g *wordGen) word() string {
+	for {
+		var b strings.Builder
+		syllables := 2 + g.r.Intn(2)
+		for i := 0; i < syllables; i++ {
+			b.WriteString(onsets[g.r.Intn(len(onsets))])
+			b.WriteString(vowels[g.r.Intn(len(vowels))])
+			if i == syllables-1 {
+				b.WriteString(codas[g.r.Intn(len(codas))])
+			}
+		}
+		w := b.String()
+		if _, dup := g.used[w]; !dup {
+			g.used[w] = struct{}{}
+			return w
+		}
+	}
+}
+
+// words returns n fresh unique words.
+func (g *wordGen) words(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.word()
+	}
+	return out
+}
+
+// misspell mutates one random position of w (substitute, delete or insert
+// one ASCII letter), simulating the typos the fuzzy candidate index must
+// absorb. Words of length ≤ 2 are returned unchanged.
+func misspell(r *rand.Rand, w string) string {
+	if len(w) <= 2 {
+		return w
+	}
+	pos := r.Intn(len(w))
+	switch r.Intn(3) {
+	case 0: // substitute
+		c := byte('a' + r.Intn(26))
+		if c == w[pos] {
+			c = byte('a' + (int(c-'a')+1)%26)
+		}
+		return w[:pos] + string(c) + w[pos+1:]
+	case 1: // delete
+		return w[:pos] + w[pos+1:]
+	default: // insert
+		c := byte('a' + r.Intn(26))
+		return w[:pos] + string(c) + w[pos:]
+	}
+}

@@ -1,0 +1,121 @@
+// Package synth generates the synthetic substitute for the paper's
+// proprietary data (see DESIGN.md §3): a community-structured
+// followee–follower network, a Wikipedia-like knowledgebase with ambiguous
+// surface forms and clustered hyperlinks, and a timestamped tweet stream
+// with known ground truth and scheduled burst events.
+//
+// The generative model preserves the properties the paper's algorithms
+// rely on:
+//
+//   - users have stable topical interests expressed primarily through who
+//     they follow (information seekers follow but rarely tweet);
+//   - each topic has a few high-degree "broadcaster" accounts that tweet
+//     prolifically and discriminatively about specific entities (the
+//     @NBAOfficial pattern that makes influence detection work);
+//   - surface forms are ambiguous *across* topics, so context-free priors
+//     fail exactly where social context helps;
+//   - hyperlinks co-cite same-topic entities, giving WLM its cluster
+//     structure; and
+//   - burst events concentrate postings about one entity in a short
+//     window, feeding the recency feature.
+package synth
+
+// Params configures the generator. Zero values select defaults sized for a
+// laptop-scale run (~2k users, ~600 entities, ~100k tweets).
+type Params struct {
+	Seed int64
+
+	// Social graph.
+	Users       int // default 2000
+	MeanFollows int // average out-degree, default 20
+
+	// Knowledgebase.
+	Topics            int // default 20
+	EntitiesPerTopic  int // default 30
+	AmbiguousSurfaces int // number of shared surface forms, default Topics*EntitiesPerTopic/5
+
+	// Tweet stream.
+	Days          int     // timeline length, default 120
+	ActivityAlpha float64 // Pareto tail exponent of tweets-per-user, default 0.8
+	MaxActivity   int     // activity cap per regular user, default 300
+	MentionAmbig  float64 // probability a mention uses an ambiguous surface, default 0.6
+	MisspellProb  float64 // probability a mention is misspelled, default 0.03
+	// TopicWordProb is the probability that a context word around a
+	// mention comes from the entity's topic vocabulary rather than the
+	// general one (default 0.2). Low values reproduce the paper's premise
+	// that tweets are too short and noisy for context similarity to work.
+	TopicWordProb float64
+	// OffProfileProb is the probability that a mention refers to a
+	// globally hot entity instead of one from the author's own interests
+	// (default 0.12) — the paper's observation that even machine-learning
+	// experts sometimes tweet about Michael Jordan (basketball). During a
+	// burst event the hot entity is the event's entity, which is what
+	// makes recency informative; otherwise it is a popularity-weighted
+	// draw.
+	OffProfileProb float64
+	// ChatterProb is the probability that a mention is daily-life chatter:
+	// a uniformly random entity unrelated to the author's interests or to
+	// current events (default 0.22). Chatter is the reason the paper
+	// distrusts tweet-history interest models — "the topics of users'
+	// tweets vary significantly" — it pollutes history-based inference
+	// while leaving the followee–follower signal untouched.
+	ChatterProb float64
+
+	// Burst events.
+	BurstEvents   int // default = Topics
+	BurstTweets   int // extra tweets injected per event, default 40
+	BurstDuration int // event length in hours, default 36
+}
+
+func (p *Params) fill() {
+	if p.Users <= 0 {
+		p.Users = 2000
+	}
+	if p.MeanFollows <= 0 {
+		p.MeanFollows = 20
+	}
+	if p.Topics <= 0 {
+		p.Topics = 20
+	}
+	if p.EntitiesPerTopic <= 0 {
+		p.EntitiesPerTopic = 30
+	}
+	if p.AmbiguousSurfaces <= 0 {
+		p.AmbiguousSurfaces = p.Topics * p.EntitiesPerTopic / 5
+	}
+	if p.Days <= 0 {
+		p.Days = 120
+	}
+	if p.ActivityAlpha <= 0 {
+		p.ActivityAlpha = 0.8
+	}
+	if p.MaxActivity <= 0 {
+		p.MaxActivity = 300
+	}
+	if p.MentionAmbig <= 0 {
+		p.MentionAmbig = 0.6
+	}
+	if p.MisspellProb < 0 {
+		p.MisspellProb = 0
+	} else if p.MisspellProb == 0 {
+		p.MisspellProb = 0.03
+	}
+	if p.TopicWordProb <= 0 {
+		p.TopicWordProb = 0.2
+	}
+	if p.BurstEvents <= 0 {
+		p.BurstEvents = 6 * p.Topics
+	}
+	if p.BurstTweets <= 0 {
+		p.BurstTweets = 60
+	}
+	if p.BurstDuration <= 0 {
+		p.BurstDuration = 36
+	}
+	if p.OffProfileProb <= 0 {
+		p.OffProfileProb = 0.15
+	}
+	if p.ChatterProb <= 0 {
+		p.ChatterProb = 0.22
+	}
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"microlink/internal/candidate"
+	"microlink/internal/kb"
+)
+
+func smallParams(seed int64) Params {
+	return Params{
+		Seed: seed, Users: 300, Topics: 6, EntitiesPerTopic: 10,
+		MeanFollows: 12, Days: 30, BurstEvents: 4, BurstTweets: 25,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallParams(1))
+	b := Generate(smallParams(1))
+	if a.Store.Len() != b.Store.Len() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("nondeterministic: %d/%d tweets, %d/%d edges",
+			a.Store.Len(), b.Store.Len(), a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for i := 0; i < a.Store.Len(); i++ {
+		x, y := a.Store.At(i), b.Store.At(i)
+		if x.ID != y.ID || x.Text != y.Text || x.User != y.User {
+			t.Fatalf("tweet %d differs", i)
+		}
+	}
+	c := Generate(smallParams(2))
+	if c.Store.Len() == a.Store.Len() && c.Graph.NumEdges() == a.Graph.NumEdges() {
+		t.Fatal("different seeds produced identical worlds (suspicious)")
+	}
+}
+
+func TestGroundTruthConsistent(t *testing.T) {
+	d := Generate(smallParams(3))
+	cand := candidate.NewIndex(d.KB, candidate.Options{MaxEdit: 1})
+	misspelled := 0
+	for _, tw := range d.Store.All() {
+		for _, m := range tw.Mentions {
+			if m.Truth == kb.NoEntity {
+				t.Fatal("generator must always know the truth")
+			}
+			// The truth must be reachable through candidate generation
+			// (exactly or via the fuzzy index for misspelled surfaces).
+			found := false
+			for _, c := range cand.Candidates(m.Surface) {
+				if c.Entity == m.Truth {
+					found = true
+					break
+				}
+			}
+			if !found {
+				if d.KB.HasSurface(m.Surface) {
+					t.Fatalf("surface %q resolves but not to truth %d", m.Surface, m.Truth)
+				}
+				misspelled++
+				continue
+			}
+			if !d.KB.HasSurface(m.Surface) {
+				misspelled++
+			}
+		}
+	}
+	total := d.Store.MentionCount()
+	if misspelled > total/5 {
+		t.Fatalf("%d/%d mentions unresolvable — misspelling rate too destructive", misspelled, total)
+	}
+}
+
+func TestAmbiguityExists(t *testing.T) {
+	d := Generate(smallParams(4))
+	ambiguous := 0
+	d.KB.EachSurface(func(_ string, cands []kb.EntityID) {
+		if len(cands) > 1 {
+			ambiguous++
+		}
+	})
+	if ambiguous < 5 {
+		t.Fatalf("only %d ambiguous surfaces", ambiguous)
+	}
+}
+
+func TestTopicClusteredWLM(t *testing.T) {
+	d := Generate(smallParams(5))
+	r := rand.New(rand.NewSource(1))
+	n := d.KB.NumEntities()
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < 3000; i++ {
+		a, b := kb.EntityID(r.Intn(n)), kb.EntityID(r.Intn(n))
+		if a == b {
+			continue
+		}
+		rel := d.KB.Relatedness(a, b)
+		if d.EntityTopic[a] == d.EntityTopic[b] {
+			intra += rel
+			nIntra++
+		} else {
+			inter += rel
+			nInter++
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Skip("sample too small")
+	}
+	if intra/float64(nIntra) <= 2*inter/float64(nInter) {
+		t.Fatalf("intra-topic WLM %.4f not well above inter-topic %.4f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestFollowGraphEncodesInterest(t *testing.T) {
+	d := Generate(smallParams(6))
+	// Users should follow same-topic accounts far more often than chance.
+	same, total := 0, 0
+	for u := 0; u < d.Graph.NumNodes(); u++ {
+		for _, v := range d.Graph.Out(int32(u)) {
+			total++
+			if d.UserTopic[u] == d.UserTopic[v] {
+				same++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	frac := float64(same) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("same-topic follow fraction = %.3f, want ≥ 0.5", frac)
+	}
+}
+
+func TestBroadcastersAreHubs(t *testing.T) {
+	d := Generate(smallParams(7))
+	var bIn, rIn, nB, nR int
+	isB := make(map[kb.UserID]bool)
+	for _, bs := range d.Broadcasters {
+		for _, b := range bs {
+			isB[b] = true
+		}
+	}
+	for u := 0; u < d.Graph.NumNodes(); u++ {
+		if isB[kb.UserID(u)] {
+			bIn += d.Graph.InDegree(int32(u))
+			nB++
+		} else {
+			rIn += d.Graph.InDegree(int32(u))
+			nR++
+		}
+	}
+	if nB == 0 || nR == 0 {
+		t.Fatal("missing user classes")
+	}
+	if float64(bIn)/float64(nB) < 5*float64(rIn)/float64(nR) {
+		t.Fatalf("broadcaster avg in-degree %.1f not ≫ regular %.1f",
+			float64(bIn)/float64(nB), float64(rIn)/float64(nR))
+	}
+}
+
+func TestActivityHeavyTailed(t *testing.T) {
+	d := Generate(Params{Seed: 8, Users: 2000, Topics: 8, EntitiesPerTopic: 10, Days: 30})
+	inactive, active90 := 0, 0
+	for _, u := range d.Store.Users() {
+		n := d.Store.UserTweetCount(u)
+		if n < 10 {
+			inactive++
+		}
+		if n >= 90 {
+			active90++
+		}
+	}
+	// Users with zero tweets don't appear in Store.Users(); they are also
+	// information seekers.
+	silent := 2000 - len(d.Store.Users())
+	if silent+inactive < 500 {
+		t.Fatalf("only %d low-activity users; tail not heavy enough", silent+inactive)
+	}
+	if active90 < 10 {
+		t.Fatalf("only %d users with ≥90 tweets; D90 analogue impossible", active90)
+	}
+}
+
+func TestBurstEventsCreateWindows(t *testing.T) {
+	d := Generate(smallParams(9))
+	if len(d.Events) != 4 {
+		t.Fatalf("events = %d", len(d.Events))
+	}
+	c := d.ComplementTruth(d.Store)
+	for _, ev := range d.Events {
+		inWindow := 0
+		for _, p := range c.Postings(ev.Entity) {
+			if p.Time >= ev.Start && p.Time <= ev.End {
+				inWindow++
+			}
+		}
+		if inWindow < d.Params.BurstTweets/2 {
+			t.Fatalf("event %+v produced only %d postings in window", ev, inWindow)
+		}
+	}
+}
+
+func TestComplementTruthCounts(t *testing.T) {
+	d := Generate(smallParams(10))
+	c := d.ComplementTruth(d.Store)
+	if int(c.TotalCount()) != d.Store.MentionCount() {
+		t.Fatalf("postings %d != mentions %d", c.TotalCount(), d.Store.MentionCount())
+	}
+}
+
+func TestComplementCollectiveImperfect(t *testing.T) {
+	d := Generate(smallParams(11))
+	cand := candidate.NewIndex(d.KB, candidate.Options{MaxEdit: 1})
+	sub := d.Store.FilterByActivity(10, 0)
+	if sub.Len() == 0 {
+		t.Skip("no active users in this small world")
+	}
+	c := d.ComplementCollective(sub, cand)
+	if c.TotalCount() == 0 {
+		t.Fatal("collective complementation linked nothing")
+	}
+	// It should link most mentions (some may be unlinkable after typos).
+	if float64(c.TotalCount()) < 0.8*float64(sub.MentionCount()) {
+		t.Fatalf("linked %d of %d mentions", c.TotalCount(), sub.MentionCount())
+	}
+}
+
+func TestActivitySplit(t *testing.T) {
+	d := Generate(smallParams(12))
+	active, test := d.ActivitySplit([]int{10, 30}, 9)
+	if len(active) != 2 {
+		t.Fatal("split sizes")
+	}
+	if active[30].Len() > active[10].Len() {
+		t.Fatal("θ=30 corpus cannot exceed θ=10 corpus")
+	}
+	for _, u := range test.Users() {
+		if n := test.UserTweetCount(u); n > 9 {
+			t.Fatalf("test user with %d tweets", n)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	d := Generate(smallParams(13))
+	if d.Horizon() != int64(30)*86400 {
+		t.Fatalf("horizon = %d", d.Horizon())
+	}
+	for _, tw := range d.Store.All() {
+		if tw.Time < 0 || tw.Time > d.Horizon() {
+			t.Fatalf("tweet outside timeline: %d", tw.Time)
+		}
+	}
+}
+
+func TestCategoriesCovered(t *testing.T) {
+	d := Generate(Params{Seed: 14, Users: 100, Topics: 10, EntitiesPerTopic: 40, Days: 10})
+	counts := make(map[kb.Category]int)
+	for e := 0; e < d.KB.NumEntities(); e++ {
+		counts[d.KB.Entity(kb.EntityID(e)).Category]++
+	}
+	if len(counts) < kb.NumCategories {
+		t.Fatalf("categories seen = %v", counts)
+	}
+	if counts[kb.CategoryPerson] < counts[kb.CategoryProduct] {
+		t.Fatal("Person should dominate per Appendix C.1 weights")
+	}
+}

@@ -1,0 +1,119 @@
+package textutil
+
+// Levenshtein returns the exact edit distance (insert/delete/substitute,
+// unit costs) between a and b. It runs in O(len(a)·len(b)) time and
+// O(min(len(a),len(b))) space.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	prev := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		diag := prev[0]
+		prev[0] = j
+		for i := 1; i <= len(a); i++ {
+			cur := prev[i]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := diag + cost
+			if v := prev[i-1] + 1; v < best {
+				best = v
+			}
+			if v := prev[i] + 1; v < best {
+				best = v
+			}
+			prev[i] = best
+			diag = cur
+		}
+	}
+	return prev[len(a)]
+}
+
+// WithinEditDistance reports whether Levenshtein(a, b) <= k without
+// computing the full matrix. It fills only a diagonal band of width 2k+1,
+// giving O(k·min(len(a),len(b))) time — the verification step of the
+// segment-based fuzzy index, where k is small (typically 1 or 2).
+func WithinEditDistance(a, b string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la > lb {
+		a, b, la, lb = b, a, lb, la
+	}
+	if lb-la > k {
+		return false
+	}
+	if k == 0 {
+		return a == b
+	}
+	// Band DP: row i covers columns [i-k, i+k].
+	const inf = 1 << 29
+	width := 2*k + 1
+	prev := make([]int, width)
+	cur := make([]int, width)
+	// Row 0: prev[off] corresponds to column j = off - k; D[0][j] = j.
+	for off := 0; off < width; off++ {
+		j := off - k
+		if j < 0 || j > lb {
+			prev[off] = inf
+		} else {
+			prev[off] = j
+		}
+	}
+	for i := 1; i <= la; i++ {
+		rowMin := inf
+		for off := 0; off < width; off++ {
+			j := i + off - k
+			if j < 0 || j > lb {
+				cur[off] = inf
+				continue
+			}
+			if j == 0 {
+				cur[off] = i
+				rowMin = min(rowMin, i)
+				continue
+			}
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := inf
+			// Substitution: D[i-1][j-1] is prev at same offset.
+			if prev[off] < inf {
+				best = prev[off] + cost
+			}
+			// Deletion from a: D[i-1][j] is prev at offset off+1.
+			if off+1 < width && prev[off+1] < inf {
+				if v := prev[off+1] + 1; v < best {
+					best = v
+				}
+			}
+			// Insertion into a: D[i][j-1] is cur at offset off-1.
+			if off-1 >= 0 && cur[off-1] < inf {
+				if v := cur[off-1] + 1; v < best {
+					best = v
+				}
+			}
+			cur[off] = best
+			rowMin = min(rowMin, best)
+		}
+		if rowMin > k {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	off := lb - la + k
+	return off >= 0 && off < width && prev[off] <= k
+}

@@ -1,0 +1,86 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize asserts the tokenizer's safety invariants on arbitrary
+// input: no panics, offsets point at the raw token, normalised text is
+// lowercase, and re-tokenising the normalised stream is stable.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "@user #Tag http://x.co done",
+		"O'Neal's buzzer-beater!!", "ünïcödé tökens", "\x80\xff broken",
+		strings.Repeat("a ", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for i, tok := range toks {
+			if tok.Pos != i {
+				t.Fatalf("pos %d at index %d", tok.Pos, i)
+			}
+			if tok.Offset < 0 || tok.Offset >= len(s) || !strings.HasPrefix(s[tok.Offset:], tok.Raw) {
+				t.Fatalf("offset %d does not locate %q", tok.Offset, tok.Raw)
+			}
+			if tok.Text == "" {
+				t.Fatal("empty normalised token")
+			}
+			if utf8.ValidString(tok.Text) && tok.Text != strings.ToLower(tok.Text) {
+				t.Fatalf("token %q not lowercased", tok.Text)
+			}
+		}
+		// Stability: tokenizing the joined normalised text reproduces it.
+		texts := make([]string, len(toks))
+		for i, tok := range toks {
+			texts[i] = tok.Text
+		}
+		again := Tokenize(strings.Join(texts, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("re-tokenisation changed count: %d → %d", len(toks), len(again))
+		}
+		for i := range again {
+			if again[i].Text != toks[i].Text {
+				t.Fatalf("token %d changed: %q → %q", i, toks[i].Text, again[i].Text)
+			}
+		}
+	})
+}
+
+// FuzzWithinEditDistance cross-checks the banded distance against the
+// exact DP on arbitrary byte strings.
+func FuzzWithinEditDistance(f *testing.F) {
+	f.Add("kitten", "sitting", 2)
+	f.Add("", "abc", 1)
+	f.Add("same", "same", 0)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		k = k % 5
+		got := WithinEditDistance(a, b, k)
+		want := k >= 0 && Levenshtein(a, b) <= k
+		if got != want {
+			t.Fatalf("WithinEditDistance(%q, %q, %d) = %v, exact says %v", a, b, k, got, want)
+		}
+	})
+}
+
+// FuzzNormalizePhrase asserts idempotence: normalising twice equals once.
+func FuzzNormalizePhrase(f *testing.F) {
+	f.Add("Michael  Jordan")
+	f.Add("  !!x  Y ")
+	f.Fuzz(func(t *testing.T, s string) {
+		once := NormalizePhrase(s)
+		twice := NormalizePhrase(once)
+		if once != twice {
+			t.Fatalf("not idempotent: %q → %q → %q", s, once, twice)
+		}
+	})
+}

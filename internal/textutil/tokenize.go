@@ -1,0 +1,179 @@
+// Package textutil provides the low-level text machinery shared by the
+// mention extractor, the candidate generator and the baselines: a tokenizer
+// tuned to informal microblog text, normalisation helpers, and edit-distance
+// routines (full and banded Levenshtein) used by the segment-based fuzzy
+// index.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single token produced by Tokenize, carrying its position in the
+// token stream and its byte offset in the original text so that callers can
+// map matches back to the source.
+type Token struct {
+	Text   string // normalised (lower-cased) token text
+	Raw    string // original token text as it appeared
+	Offset int    // byte offset of Raw in the input
+	Pos    int    // index in the token stream
+}
+
+// TokenKind classifies tokens the tweet tokenizer distinguishes. Mentions of
+// entities never start inside URLs or @usernames, so the NER stage skips
+// them; hashtags are kept because they frequently carry entity names.
+type TokenKind int
+
+const (
+	// KindWord is a plain word token.
+	KindWord TokenKind = iota
+	// KindHashtag is a #hashtag with the leading '#' stripped in Text.
+	KindHashtag
+	// KindUserRef is an @username reference.
+	KindUserRef
+	// KindURL is a URL token.
+	KindURL
+	// KindNumber is a purely numeric token.
+	KindNumber
+)
+
+// Kind reports the classification of a token based on its raw form.
+func (t Token) Kind() TokenKind {
+	switch {
+	case strings.HasPrefix(t.Raw, "#"):
+		return KindHashtag
+	case strings.HasPrefix(t.Raw, "@"):
+		return KindUserRef
+	case strings.HasPrefix(t.Raw, "http://"), strings.HasPrefix(t.Raw, "https://"), strings.HasPrefix(t.Raw, "www."):
+		return KindURL
+	case isNumeric(t.Raw):
+		return KindNumber
+	default:
+		return KindWord
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokenize splits informal microblog text into tokens. It keeps @user, URL
+// and #hashtag tokens intact (URLs are detected by prefix), lower-cases the
+// normalised form, strips the '#' from hashtags, and drops all other
+// punctuation. It never allocates more than one slice.
+func Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/5+1)
+	i := 0
+	pos := 0
+	for i < len(text) {
+		// Skip separators.
+		r := rune(text[i])
+		if isSeparator(r) {
+			i++
+			continue
+		}
+		start := i
+		// URL: consume until whitespace.
+		if hasURLPrefix(text[i:]) {
+			for i < len(text) && !unicode.IsSpace(rune(text[i])) {
+				i++
+			}
+		} else if text[i] == '@' || text[i] == '#' {
+			i++
+			for i < len(text) && isTokenRune(rune(text[i])) {
+				i++
+			}
+			if i == start+1 { // lone '@' or '#'
+				continue
+			}
+		} else {
+			for i < len(text) && isTokenRune(rune(text[i])) {
+				i++
+			}
+			if i == start { // non-token punctuation
+				i++
+				continue
+			}
+		}
+		raw := text[start:i]
+		norm := normalizeToken(raw)
+		if norm == "" {
+			continue
+		}
+		tokens = append(tokens, Token{Text: norm, Raw: raw, Offset: start, Pos: pos})
+		pos++
+	}
+	return tokens
+}
+
+func hasURLPrefix(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") || strings.HasPrefix(s, "www.")
+}
+
+func isSeparator(r rune) bool {
+	return unicode.IsSpace(r)
+}
+
+// isTokenRune reports whether r may appear inside a word token. Apostrophes
+// and hyphens are kept so "O'Neal" and "Ang-Lee" stay single tokens.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-' || r == '_' || r > unicode.MaxASCII
+}
+
+func normalizeToken(raw string) string {
+	s := strings.TrimPrefix(raw, "#")
+	s = strings.TrimFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	return strings.ToLower(s)
+}
+
+// NormalizePhrase lower-cases a multi-word surface form and collapses runs
+// of whitespace/punctuation into single spaces, producing the canonical key
+// used by the surface-form dictionary.
+func NormalizePhrase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			b.WriteRune(unicode.ToLower(r))
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// JoinTokens joins the normalised text of tokens[i:j] with single spaces,
+// the phrase key for a candidate mention span.
+func JoinTokens(tokens []Token, i, j int) string {
+	if i >= j {
+		return ""
+	}
+	if j-i == 1 {
+		return tokens[i].Text
+	}
+	var b strings.Builder
+	for k := i; k < j; k++ {
+		if k > i {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tokens[k].Text)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	ts := Tokenize("Jordan scored 40 points against the Bulls!")
+	want := []string{"jordan", "scored", "40", "points", "against", "the", "bulls"}
+	got := texts(ts)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeHashtagAndUser(t *testing.T) {
+	ts := Tokenize("watching #NBA with @mike_23 tonight")
+	if ts[1].Text != "nba" || ts[1].Kind() != KindHashtag {
+		t.Errorf("hashtag: got %q kind %v", ts[1].Text, ts[1].Kind())
+	}
+	if ts[3].Text != "mike_23" || ts[3].Kind() != KindUserRef {
+		t.Errorf("user ref: got %q kind %v", ts[3].Text, ts[3].Kind())
+	}
+}
+
+func TestTokenizeURL(t *testing.T) {
+	ts := Tokenize("read this https://t.co/abc123 now")
+	if len(ts) != 4 {
+		t.Fatalf("got %d tokens %v", len(ts), texts(ts))
+	}
+	if ts[2].Kind() != KindURL {
+		t.Errorf("kind = %v, want URL", ts[2].Kind())
+	}
+}
+
+func TestTokenizeApostropheHyphen(t *testing.T) {
+	ts := Tokenize("O'Neal's buzzer-beater")
+	got := texts(ts)
+	if got[0] != "o'neal's" || got[1] != "buzzer-beater" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if ts := Tokenize(""); len(ts) != 0 {
+		t.Fatalf("empty input gave %v", ts)
+	}
+	if ts := Tokenize("   ...  !!"); len(ts) != 0 {
+		t.Fatalf("punct-only input gave %v", ts)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "go Bulls, go!"
+	for _, tok := range Tokenize(text) {
+		if !strings.HasPrefix(text[tok.Offset:], tok.Raw) {
+			t.Errorf("offset %d does not point at %q", tok.Offset, tok.Raw)
+		}
+	}
+}
+
+func TestTokenizePositionsSequential(t *testing.T) {
+	ts := Tokenize("a b c d e")
+	for i, tok := range ts {
+		if tok.Pos != i {
+			t.Errorf("token %d has pos %d", i, tok.Pos)
+		}
+	}
+}
+
+func TestTokenizeKindNumber(t *testing.T) {
+	ts := Tokenize("23 points")
+	if ts[0].Kind() != KindNumber {
+		t.Errorf("kind = %v, want number", ts[0].Kind())
+	}
+	if ts[1].Kind() != KindWord {
+		t.Errorf("kind = %v, want word", ts[1].Kind())
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Michael Jordan", "michael jordan"},
+		{"  New   York -- City ", "new york city"},
+		{"O'Neal", "o'neal"},
+		{"", ""},
+		{"!!!", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizePhrase(c.in); got != c.want {
+			t.Errorf("NormalizePhrase(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJoinTokens(t *testing.T) {
+	ts := Tokenize("the Big Apple is NYC")
+	if got := JoinTokens(ts, 1, 3); got != "big apple" {
+		t.Errorf("got %q", got)
+	}
+	if got := JoinTokens(ts, 2, 2); got != "" {
+		t.Errorf("empty span gave %q", got)
+	}
+	if got := JoinTokens(ts, 4, 5); got != "nyc" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLevenshteinTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"jordan", "jordan", 0},
+		{"jordan", "jodran", 2},
+		{"gumbo", "gambol", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestWithinEditDistanceMatchesExact(t *testing.T) {
+	words := []string{"", "a", "ab", "abc", "abcd", "jordan", "jodan", "jordam", "michael", "micheal", "bulls", "bull", "bulks"}
+	for _, a := range words {
+		for _, b := range words {
+			d := Levenshtein(a, b)
+			for k := 0; k <= 3; k++ {
+				if got, want := WithinEditDistance(a, b, k), d <= k; got != want {
+					t.Errorf("WithinEditDistance(%q,%q,%d) = %v, dist=%d", a, b, k, got, d)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinEditDistanceNegativeK(t *testing.T) {
+	if WithinEditDistance("a", "a", -1) {
+		t.Error("negative k must report false")
+	}
+}
+
+// Property: banded check agrees with the exact distance on random strings.
+func TestQuickWithinEditDistance(t *testing.T) {
+	f := func(a, b string, k8 uint8) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		k := int(k8 % 4)
+		return WithinEditDistance(a, b, k) == (Levenshtein(a, b) <= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Levenshtein.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 24 {
+			a = a[:24]
+		}
+		if len(b) > 24 {
+			b = b[:24]
+		}
+		if len(c) > 24 {
+			c = c[:24]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenization is stable — tokenizing the joined normalised text
+// yields the same normalised token stream.
+func TestQuickTokenizeStable(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		first := Tokenize(s)
+		joined := strings.Join(texts(first), " ")
+		second := Tokenize(joined)
+		if len(first) != len(second) {
+			return false
+		}
+		for i := range first {
+			if first[i].Text != second[i].Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

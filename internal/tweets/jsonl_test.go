@@ -1,0 +1,64 @@
+package tweets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := corpus()
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len %d != %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.At(i), got.At(i)
+		if a.ID != b.ID || a.User != b.User || a.Time != b.Time || a.Text != b.Text {
+			t.Fatalf("tweet %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Mentions) != len(b.Mentions) {
+			t.Fatalf("tweet %d mentions differ", i)
+		}
+		for j := range a.Mentions {
+			if a.Mentions[j] != b.Mentions[j] {
+				t.Fatalf("tweet %d mention %d: %+v vs %+v", i, j, a.Mentions[j], b.Mentions[j])
+			}
+		}
+	}
+}
+
+func TestJSONLEmptyLinesSkipped(t *testing.T) {
+	in := `{"id":1,"user":2,"time":3,"text":"x"}
+
+{"id":2,"user":2,"time":4,"text":"y"}
+`
+	s, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestJSONLMalformed(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"id\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJSONLEmptyInput(t *testing.T) {
+	s, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("s=%v err=%v", s.Len(), err)
+	}
+}

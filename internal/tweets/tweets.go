@@ -1,0 +1,150 @@
+// Package tweets holds the microblog corpus: tweets with timestamps,
+// authorship and their extracted entity mentions. The store feeds the
+// offline knowledge-acquisition phase (complementing the KB via collective
+// linking), serves per-user histories to the collective baseline, and
+// carries generator ground truth for evaluation.
+package tweets
+
+import (
+	"sort"
+
+	"microlink/internal/kb"
+)
+
+// MentionKind tags the generative origin of a mention, for analysis only —
+// linkers must never read it.
+type MentionKind uint8
+
+// Mention origins assigned by the generator.
+const (
+	KindProfile MentionKind = iota // drawn from the author's interests
+	KindHot                        // off-profile reference to a hot entity
+	KindChatter                    // daily-life chatter, uniform entity
+)
+
+// Mention is one entity mention inside a tweet: its surface string (already
+// normalised), its token span, and — when the corpus comes from the
+// generator — the ground-truth entity and its generative origin.
+type Mention struct {
+	Surface    string
+	Start, End int         // token span [Start, End)
+	Truth      kb.EntityID // ground-truth entity, NoEntity when unknown
+	Kind       MentionKind // generative origin (analysis only)
+}
+
+// Tweet is one microblog posting (Table 1's d, with d.t and d.u).
+type Tweet struct {
+	ID       int64
+	User     kb.UserID
+	Time     int64 // unix seconds
+	Text     string
+	Mentions []Mention
+}
+
+// Store is an append-only tweet corpus with per-user indexes. It is frozen
+// after loading; methods are safe for concurrent reads.
+type Store struct {
+	all    []Tweet
+	byUser map[kb.UserID][]int32 // user → indexes into all, in time order
+}
+
+// NewStore builds a Store from tweets, which are sorted by time.
+func NewStore(ts []Tweet) *Store {
+	s := &Store{all: ts, byUser: make(map[kb.UserID][]int32)}
+	sort.Slice(s.all, func(i, j int) bool {
+		if s.all[i].Time != s.all[j].Time {
+			return s.all[i].Time < s.all[j].Time
+		}
+		return s.all[i].ID < s.all[j].ID
+	})
+	for i := range s.all {
+		u := s.all[i].User
+		s.byUser[u] = append(s.byUser[u], int32(i))
+	}
+	return s
+}
+
+// Len returns the number of tweets.
+func (s *Store) Len() int { return len(s.all) }
+
+// At returns the i-th tweet in time order.
+func (s *Store) At(i int) *Tweet { return &s.all[i] }
+
+// All returns the backing slice in time order; callers must not modify it.
+func (s *Store) All() []Tweet { return s.all }
+
+// ByUser returns the tweets of user u in time order (copies of the
+// indexes are not made; do not modify).
+func (s *Store) ByUser(u kb.UserID) []*Tweet {
+	idx := s.byUser[u]
+	out := make([]*Tweet, len(idx))
+	for i, j := range idx {
+		out[i] = &s.all[j]
+	}
+	return out
+}
+
+// UserTweetCount returns the posting count of u — the activity filter
+// (θ postings) that derives the D10…D90 datasets in §5.1.2.
+func (s *Store) UserTweetCount(u kb.UserID) int { return len(s.byUser[u]) }
+
+// Users returns all users with at least one tweet, in ascending order.
+func (s *Store) Users() []kb.UserID {
+	out := make([]kb.UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FilterByActivity partitions the corpus per §5.1.2: tweets of users with
+// at least minPosts postings. Passing maxPosts > 0 additionally bounds the
+// activity from above (used to sample the inactive-user test set Dtest).
+func (s *Store) FilterByActivity(minPosts, maxPosts int) *Store {
+	var kept []Tweet
+	for u, idx := range s.byUser {
+		n := len(idx)
+		if n < minPosts {
+			continue
+		}
+		if maxPosts > 0 && n > maxPosts {
+			continue
+		}
+		_ = u
+		for _, j := range idx {
+			kept = append(kept, s.all[j])
+		}
+	}
+	return NewStore(kept)
+}
+
+// MentionCount returns the total number of mentions across all tweets.
+func (s *Store) MentionCount() int {
+	n := 0
+	for i := range s.all {
+		n += len(s.all[i].Mentions)
+	}
+	return n
+}
+
+// Stats summarises a corpus the way Table 2 does.
+type Stats struct {
+	Users            int
+	Tweets           int
+	Mentions         int
+	TweetsPerUser    float64
+	MentionsPerTweet float64
+}
+
+// Stats computes corpus statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{Users: len(s.byUser), Tweets: len(s.all), Mentions: s.MentionCount()}
+	if st.Users > 0 {
+		st.TweetsPerUser = float64(st.Tweets) / float64(st.Users)
+	}
+	if st.Tweets > 0 {
+		st.MentionsPerTweet = float64(st.Mentions) / float64(st.Tweets)
+	}
+	return st
+}

@@ -1,0 +1,97 @@
+package tweets
+
+import (
+	"testing"
+
+	"microlink/internal/kb"
+)
+
+func corpus() *Store {
+	return NewStore([]Tweet{
+		{ID: 3, User: 1, Time: 300, Text: "c", Mentions: []Mention{{Surface: "x", Truth: 0}}},
+		{ID: 1, User: 1, Time: 100, Text: "a", Mentions: []Mention{{Surface: "x", Truth: 0}, {Surface: "y", Truth: 1}}},
+		{ID: 2, User: 2, Time: 200, Text: "b"},
+		{ID: 4, User: 3, Time: 50, Text: "d"},
+		{ID: 5, User: 1, Time: 400, Text: "e"},
+	})
+}
+
+func TestStoreSortedByTime(t *testing.T) {
+	s := corpus()
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).Time < s.At(i-1).Time {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	if s.At(0).ID != 4 {
+		t.Fatalf("first tweet = %d", s.At(0).ID)
+	}
+}
+
+func TestByUserTimeOrder(t *testing.T) {
+	s := corpus()
+	ts := s.ByUser(1)
+	if len(ts) != 3 || ts[0].ID != 1 || ts[1].ID != 3 || ts[2].ID != 5 {
+		ids := []int64{}
+		for _, tw := range ts {
+			ids = append(ids, tw.ID)
+		}
+		t.Fatalf("user 1 tweets = %v", ids)
+	}
+	if s.UserTweetCount(2) != 1 || s.UserTweetCount(99) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	s := corpus()
+	us := s.Users()
+	if len(us) != 3 || us[0] != 1 || us[1] != 2 || us[2] != 3 {
+		t.Fatalf("users = %v", us)
+	}
+}
+
+func TestFilterByActivity(t *testing.T) {
+	s := corpus()
+	active := s.FilterByActivity(2, 0)
+	if active.Stats().Users != 1 || active.Len() != 3 {
+		t.Fatalf("active stats = %+v", active.Stats())
+	}
+	inactive := s.FilterByActivity(1, 1)
+	if inactive.Stats().Users != 2 || inactive.Len() != 2 {
+		t.Fatalf("inactive stats = %+v", inactive.Stats())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := corpus()
+	st := s.Stats()
+	if st.Tweets != 5 || st.Users != 3 || st.Mentions != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MentionsPerTweet != 0.6 {
+		t.Fatalf("mentions/tweet = %f", st.MentionsPerTweet)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewStore(nil)
+	if s.Len() != 0 || s.MentionCount() != 0 {
+		t.Fatal("empty store not empty")
+	}
+	st := s.Stats()
+	if st.TweetsPerUser != 0 || st.MentionsPerTweet != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	if got := s.ByUser(1); len(got) != 0 {
+		t.Fatal("ByUser on empty store")
+	}
+}
+
+func TestMentionTruthPreserved(t *testing.T) {
+	s := corpus()
+	tw := s.ByUser(1)[0]
+	if tw.Mentions[1].Truth != kb.EntityID(1) {
+		t.Fatalf("truth = %d", tw.Mentions[1].Truth)
+	}
+}

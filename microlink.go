@@ -1,0 +1,360 @@
+// Package microlink is a from-scratch reproduction of "Microblog Entity
+// Linking with Social Temporal Context" (SIGMOD 2015): an on-the-fly
+// entity linker for microblog streams that scores candidate entities by
+// user interest (weighted reachability over the followee–follower network
+// to influential community members), entity recency (sliding-window bursts
+// with PageRank-style propagation between related entities), and entity
+// popularity.
+//
+// The package is a thin facade: it re-exports the building blocks from the
+// internal packages and wires them into a ready-to-query System. Typical
+// use:
+//
+//	world := microlink.Generate(microlink.WorldParams{Seed: 1})
+//	sys := microlink.Build(world, microlink.Options{})
+//	entity, ok := sys.Linker.LinkMention(user, now, "jordan")
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package microlink
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"microlink/internal/baseline"
+	"microlink/internal/candidate"
+	"microlink/internal/core"
+	"microlink/internal/eval"
+	"microlink/internal/graph"
+	"microlink/internal/influence"
+	"microlink/internal/kb"
+	"microlink/internal/ner"
+	"microlink/internal/reach"
+	"microlink/internal/recency"
+	"microlink/internal/synth"
+	"microlink/internal/tweets"
+)
+
+// Re-exported building blocks. The aliases give external callers access to
+// the full engine API without reaching into internal packages.
+type (
+	// WorldParams configures the synthetic world generator.
+	WorldParams = synth.Params
+	// World is a generated dataset: graph, KB, tweet corpus, events.
+	World = synth.Dataset
+	// WorldEvent is one scheduled burst in a generated world.
+	WorldEvent = synth.Event
+	// Linker is the paper's social-temporal linker.
+	Linker = core.Linker
+	// LinkerConfig weighs the Eq. 1 features.
+	LinkerConfig = core.Config
+	// Scored is a ranked candidate with its feature breakdown.
+	Scored = core.Scored
+	// Tweet is one microblog posting.
+	Tweet = tweets.Tweet
+	// Mention is one entity mention inside a tweet.
+	Mention = tweets.Mention
+	// TweetStore is a frozen tweet corpus.
+	TweetStore = tweets.Store
+	// KB is the base knowledgebase.
+	KB = kb.KB
+	// ComplementedKB carries per-entity postings (Definition 5).
+	ComplementedKB = kb.Complemented
+	// EntityID identifies a knowledgebase entity.
+	EntityID = kb.EntityID
+	// UserID identifies a social-network user.
+	UserID = kb.UserID
+	// Accuracy is an evaluation tally.
+	Accuracy = eval.Accuracy
+	// EvalLinker is the contract shared by all evaluated linkers.
+	EvalLinker = eval.Linker
+	// NER is the longest-cover mention extractor.
+	NER = ner.Extractor
+	// CandidateIndex generates candidate entity sets (exact + fuzzy).
+	CandidateIndex = candidate.Index
+	// ReachIndex answers weighted reachability queries.
+	ReachIndex = reach.Index
+	// OnTheFlyBaseline is the TagMe-style comparator [14].
+	OnTheFlyBaseline = baseline.OnTheFly
+	// CollectiveBaseline is the batch comparator [2].
+	CollectiveBaseline = baseline.Collective
+)
+
+// NoEntity marks an unlinkable mention.
+const NoEntity = kb.NoEntity
+
+// ReachKind selects the weighted reachability substrate.
+type ReachKind int
+
+// Reachability substrates (§4.1.1).
+const (
+	// ReachClosure is the extended transitive closure (Algorithm 1):
+	// fastest queries, largest index.
+	ReachClosure ReachKind = iota
+	// ReachTwoHop is the extended 2-hop cover (Algorithm 2): compact
+	// index, slightly slower queries.
+	ReachTwoHop
+	// ReachNaive answers queries by BFS with no index; only sensible for
+	// tiny graphs and tests.
+	ReachNaive
+	// ReachDynamic is the transitive closure with incremental maintenance:
+	// System.Follow repairs the index in place as new follow edges arrive,
+	// instead of rebuilding (the paper's "maintenance cost" concern).
+	ReachDynamic
+)
+
+// Options wires a System. Zero values choose the paper's defaults:
+// transitive-closure reachability with H=4, entropy influence, collective
+// complementation over users with ≥10 postings, and Table 3's weights.
+type Options struct {
+	// Linker weighs the Eq. 1 features (Table 3 defaults when zero).
+	Linker LinkerConfig
+	// Reach selects the reachability substrate.
+	Reach ReachKind
+	// MaxHops is the reachability hop bound H (default 4).
+	MaxHops int
+	// InfluenceMethod selects Eq. 6 (TFIDF) or Eq. 7 (Entropy, default).
+	InfluenceMethod influence.Method
+	// Recency configures the sliding window and propagation (Table 3
+	// defaults when zero).
+	Recency recency.Options
+	// ComplementTheta is the activity threshold θ of the complementation
+	// corpus (default 10, the paper's D10).
+	ComplementTheta int
+	// TruthComplement complements the KB with ground-truth links instead
+	// of running the collective linker — an oracle for controlled
+	// experiments.
+	TruthComplement bool
+	// Candidate configures fuzzy candidate generation.
+	Candidate candidate.Options
+	// PrebuiltReach substitutes a previously built (or loaded) reachability
+	// index; when set, Build skips index construction and ignores Reach.
+	// It must have been built over the same graph (see LoadReachIndex).
+	PrebuiltReach ReachIndex
+}
+
+// System is a fully wired linking stack over one world.
+type System struct {
+	World      *World
+	CKB        *ComplementedKB
+	Candidates *CandidateIndex
+	Reach      ReachIndex
+	Influence  *influence.Estimator
+	Recency    *recency.Scorer
+	Linker     *Linker
+	NER        *NER
+
+	// TestSet holds the inactive-user tweets (≤9 postings) reserved for
+	// evaluation, mirroring the paper's Dtest.
+	TestSet *TweetStore
+
+	textOnce sync.Once
+	textByID map[int64]string
+}
+
+// Generate creates a synthetic world (see internal/synth for the
+// generative model and DESIGN.md §3 for why it stands in for the paper's
+// Twitter/Wikipedia data).
+func Generate(p WorldParams) *World { return synth.Generate(p) }
+
+// Build assembles the full linking stack over a generated world.
+func Build(w *World, opts Options) *System {
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = reach.DefaultMaxHops
+	}
+	if opts.ComplementTheta <= 0 {
+		opts.ComplementTheta = 10
+	}
+
+	cand := candidate.NewIndex(w.KB, opts.Candidate)
+
+	activeStore := w.Store.FilterByActivity(opts.ComplementTheta, 0)
+	var ckb *kb.Complemented
+	if opts.TruthComplement {
+		ckb = w.ComplementTruth(activeStore)
+	} else {
+		ckb = w.ComplementCollective(activeStore, cand)
+	}
+
+	var rx reach.Index
+	switch {
+	case opts.PrebuiltReach != nil:
+		rx = opts.PrebuiltReach
+	default:
+		rx = buildReach(w, opts)
+	}
+
+	inf := influence.New(ckb, opts.InfluenceMethod)
+	var net *recency.PropNet
+	if !opts.Recency.NoPropagation {
+		theta2 := opts.Recency.Theta2
+		if theta2 <= 0 {
+			theta2 = 0.6
+		}
+		net = recency.BuildPropNet(w.KB, theta2)
+	}
+	rec := recency.NewScorer(ckb, net, opts.Recency)
+
+	return &System{
+		World:      w,
+		CKB:        ckb,
+		Candidates: cand,
+		Reach:      rx,
+		Influence:  inf,
+		Recency:    rec,
+		Linker:     core.New(ckb, cand, rx, inf, rec, opts.Linker),
+		NER:        ner.NewExtractor(w.KB, ner.Options{}),
+		TestSet:    w.Store.FilterByActivity(1, 9),
+	}
+}
+
+func buildReach(w *World, opts Options) reach.Index {
+	switch opts.Reach {
+	case ReachTwoHop:
+		return reach.BuildTwoHop(w.Graph, reach.TwoHopOptions{MaxHops: opts.MaxHops})
+	case ReachNaive:
+		return reach.NewNaive(w.Graph, opts.MaxHops)
+	case ReachDynamic:
+		return reach.NewDynamicClosure(w.Graph, opts.MaxHops)
+	default:
+		return reach.BuildTransitiveClosure(w.Graph, reach.ClosureOptions{MaxHops: opts.MaxHops})
+	}
+}
+
+// ErrNotDynamic is returned by Follow when the system was not built with
+// ReachDynamic.
+var ErrNotDynamic = fmt.Errorf("microlink: reachability substrate is not dynamic (build with Options{Reach: ReachDynamic})")
+
+// Follow records a new follow edge u → v and incrementally repairs the
+// weighted reachability index — the social half of the online feedback
+// loop (tweets arrive via Linker.Feedback; follows arrive here). Requires
+// Options.Reach = ReachDynamic.
+func (s *System) Follow(u, v UserID) error {
+	dc, ok := s.Reach.(*reach.DynamicClosure)
+	if !ok {
+		return ErrNotDynamic
+	}
+	dc.InsertEdge(u, v)
+	return nil
+}
+
+// SaveReachIndex serialises a transitive-closure or 2-hop index to path.
+// The naive oracle holds no index and returns an error.
+func SaveReachIndex(path string, idx ReachIndex) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch v := idx.(type) {
+	case *reach.TransitiveClosure:
+		_, err = v.WriteTo(f)
+	case *reach.TwoHop:
+		_, err = v.WriteTo(f)
+	default:
+		err = fmt.Errorf("microlink: index type %T is not serialisable", idx)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadReachIndex reloads an index saved with SaveReachIndex, validating it
+// against g. kind must match the saved index's kind.
+func LoadReachIndex(path string, g *graph.Graph, kind ReachKind) (ReachIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch kind {
+	case ReachTwoHop:
+		return reach.ReadTwoHop(f, g)
+	case ReachClosure:
+		return reach.ReadTransitiveClosure(f, g)
+	default:
+		return nil, fmt.Errorf("microlink: reach kind %d is not serialisable", kind)
+	}
+}
+
+// OnTheFly returns the TagMe-style baseline over this system's KB.
+func (s *System) OnTheFly() *OnTheFlyBaseline {
+	return baseline.NewOnTheFly(s.World.KB, s.Candidates, baseline.OnTheFlyOptions{})
+}
+
+// Collective returns the batch baseline [2] whose user histories come from
+// store (typically the test set, matching the paper's protocol).
+func (s *System) Collective(store *TweetStore) *CollectiveBaseline {
+	return baseline.NewCollective(s.World.KB, s.Candidates, store, baseline.CollectiveOptions{})
+}
+
+// Evaluate scores a linker against ground truth on ts.
+func Evaluate(l EvalLinker, ts []Tweet) Accuracy { return eval.Evaluate(l, ts) }
+
+// SearchResult is one answer of the personalized microblog search flow
+// (§3.2.2, Fig. 1): a tweet retrieved because it is linked to one of the
+// top-k entities of a query mention.
+type SearchResult struct {
+	Entity  EntityID
+	Score   float64 // the entity's Eq. 1 score for the querying user
+	Posting kb.Posting
+	Text    string // tweet text when resolvable from the world's store
+}
+
+// Search implements personalized microblog search: mentions are extracted
+// from the query, disambiguated per-user with the social-temporal scorer,
+// and the postings linked to the winning entities are returned, most
+// recent first. An empty result for a mention-bearing query signals the
+// Appendix D case: the intended meaning is probably missing from the KB.
+func (s *System) Search(user UserID, now int64, query string, k int) []SearchResult {
+	spans := s.NER.Extract(query)
+	var out []SearchResult
+	for _, sp := range spans {
+		for _, scored := range s.Linker.TopK(user, now, sp.Surface, k) {
+			for _, p := range s.CKB.Postings(scored.Entity) {
+				out = append(out, SearchResult{
+					Entity:  scored.Entity,
+					Score:   scored.Score,
+					Posting: p,
+					Text:    s.tweetText(p.Tweet),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Posting.Time != out[j].Posting.Time {
+			return out[i].Posting.Time > out[j].Posting.Time
+		}
+		return out[i].Posting.Tweet > out[j].Posting.Tweet
+	})
+	return out
+}
+
+// tweetText resolves a tweet id against the world's store (linear scan is
+// avoided via the store's time ordering only when ids are dense; fall back
+// to a map built lazily).
+func (s *System) tweetText(id int64) string {
+	s.textOnce.Do(func() {
+		s.textByID = make(map[int64]string, s.World.Store.Len())
+		for _, tw := range s.World.Store.All() {
+			s.textByID[tw.ID] = tw.Text
+		}
+	})
+	return s.textByID[id]
+}
+
+// Describe returns a one-paragraph summary of the system's configuration,
+// for CLI banners and experiment logs.
+func (s *System) Describe() string {
+	cfg := s.Linker.Config()
+	return fmt.Sprintf(
+		"microlink: %d users / %d entities / %d tweets; weights α=%.2f β=%.2f γ=%.2f; influence=%s; reach index=%T (%.1f MB)",
+		s.World.Graph.NumNodes(), s.World.KB.NumEntities(), s.World.Store.Len(),
+		cfg.WInterest, cfg.WRecency, cfg.WPopularity,
+		s.Influence.Method(), s.Reach, float64(s.Reach.SizeBytes())/(1<<20),
+	)
+}

@@ -1,0 +1,265 @@
+package microlink
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"microlink/internal/eval"
+	"microlink/internal/influence"
+	"microlink/internal/recency"
+)
+
+// sharedWorld caches the integration world: generating it is the expensive
+// part and every shape test reads it read-only.
+var (
+	worldOnce sync.Once
+	world     *World
+	baseSys   *System
+)
+
+func integrationWorld(t *testing.T) (*World, *System) {
+	t.Helper()
+	worldOnce.Do(func() {
+		world = Generate(WorldParams{Seed: 42, Users: 1500, Topics: 12, EntitiesPerTopic: 20, Days: 60})
+		baseSys = Build(world, Options{})
+	})
+	return world, baseSys
+}
+
+// TestHeadlineOrdering asserts the paper's Fig. 4(a) shape on the
+// inactive-user test set: our social-temporal linker beats the collective
+// baseline, which beats the on-the-fly baseline, on both metrics.
+func TestHeadlineOrdering(t *testing.T) {
+	_, sys := integrationWorld(t)
+	test := sys.TestSet.All()
+
+	ours := eval.Evaluate(sys.Linker, test)
+	coll := eval.Evaluate(sys.Collective(sys.TestSet), test)
+	otf := eval.Evaluate(sys.OnTheFly(), test)
+
+	t.Logf("ours %.4f/%.4f collective %.4f/%.4f on-the-fly %.4f/%.4f (mention/tweet)",
+		ours.MentionAccuracy(), ours.TweetAccuracy(),
+		coll.MentionAccuracy(), coll.TweetAccuracy(),
+		otf.MentionAccuracy(), otf.TweetAccuracy())
+
+	if ours.MentionAccuracy() <= coll.MentionAccuracy() {
+		t.Errorf("ours (%.4f) must beat collective (%.4f) on mention accuracy",
+			ours.MentionAccuracy(), coll.MentionAccuracy())
+	}
+	if coll.MentionAccuracy() <= otf.MentionAccuracy() {
+		t.Errorf("collective (%.4f) must beat on-the-fly (%.4f) on mention accuracy",
+			coll.MentionAccuracy(), otf.MentionAccuracy())
+	}
+	if ours.TweetAccuracy() <= otf.TweetAccuracy() {
+		t.Errorf("ours (%.4f) must beat on-the-fly (%.4f) on tweet accuracy",
+			ours.TweetAccuracy(), otf.TweetAccuracy())
+	}
+	// Mention accuracy always dominates tweet accuracy (§5.2.1).
+	for _, a := range []Accuracy{ours, coll, otf} {
+		if a.MentionAccuracy() < a.TweetAccuracy() {
+			t.Error("mention accuracy below tweet accuracy")
+		}
+	}
+}
+
+// TestFeatureAblation asserts Table 4's shape: user interest is the
+// strongest single feature, recency beats popularity, and the full
+// combination beats every single feature.
+func TestFeatureAblation(t *testing.T) {
+	w, sys := integrationWorld(t)
+	test := sys.TestSet.All()
+
+	all := eval.Evaluate(sys.Linker, test).MentionAccuracy()
+	interest := eval.Evaluate(Build(w, Options{Linker: LinkerConfig{WInterest: 1}}).Linker, test).MentionAccuracy()
+	rec := eval.Evaluate(Build(w, Options{Linker: LinkerConfig{WRecency: 1}}).Linker, test).MentionAccuracy()
+	pop := eval.Evaluate(Build(w, Options{Linker: LinkerConfig{WPopularity: 1}}).Linker, test).MentionAccuracy()
+
+	t.Logf("all %.4f | interest %.4f recency %.4f popularity %.4f", all, interest, rec, pop)
+	if !(all > interest && interest > rec && rec > pop) {
+		t.Errorf("Table 4 shape violated: all=%.4f interest=%.4f recency=%.4f popularity=%.4f",
+			all, interest, rec, pop)
+	}
+}
+
+// TestInfluenceMethodOrdering asserts Fig. 4(c): entropy-based influence
+// estimation beats the tf-idf variant.
+func TestInfluenceMethodOrdering(t *testing.T) {
+	w, sys := integrationWorld(t)
+	test := sys.TestSet.All()
+
+	entropy := eval.Evaluate(sys.Linker, test).MentionAccuracy() // default = entropy
+	tfidf := eval.Evaluate(Build(w, Options{InfluenceMethod: influence.TFIDF}).Linker, test).MentionAccuracy()
+
+	t.Logf("entropy %.4f tfidf %.4f", entropy, tfidf)
+	if entropy < tfidf {
+		t.Errorf("entropy (%.4f) should not lose to tfidf (%.4f)", entropy, tfidf)
+	}
+}
+
+// TestRecencyPropagationHelps asserts Fig. 4(d): linking with recency
+// propagation beats linking without it.
+func TestRecencyPropagationHelps(t *testing.T) {
+	w, sys := integrationWorld(t)
+	test := sys.TestSet.All()
+
+	withProp := eval.Evaluate(sys.Linker, test).MentionAccuracy()
+	noProp := eval.Evaluate(Build(w, Options{Recency: recency.Options{NoPropagation: true}}).Linker, test).MentionAccuracy()
+
+	t.Logf("propagation %.4f none %.4f", withProp, noProp)
+	if withProp < noProp {
+		t.Errorf("propagation (%.4f) should not lose to no-propagation (%.4f)", withProp, noProp)
+	}
+}
+
+// TestKBComplementationScale asserts the Fig. 4(b) trend: a knowledgebase
+// complemented with the θ=10 corpus (more tweets) beats one complemented
+// with the θ=90 corpus (fewer tweets).
+func TestKBComplementationScale(t *testing.T) {
+	w, sys := integrationWorld(t)
+	test := sys.TestSet.All()
+
+	d10 := eval.Evaluate(sys.Linker, test).MentionAccuracy() // default θ=10
+	d90 := eval.Evaluate(Build(w, Options{ComplementTheta: 90}).Linker, test).MentionAccuracy()
+
+	t.Logf("D10 %.4f D90 %.4f", d10, d90)
+	if d10 <= d90 {
+		t.Errorf("richer complementation D10 (%.4f) must beat D90 (%.4f)", d10, d90)
+	}
+}
+
+// TestNewEntityDetection exercises the Appendix D path end to end: a
+// mention whose true meaning is absent from the KB should yield an empty
+// TopK for an uninterested user.
+func TestNewEntityDetection(t *testing.T) {
+	_, sys := integrationWorld(t)
+	// Pick the user with the fewest follows and several ambiguous
+	// surfaces; the invariant must hold regardless: TopK never returns a
+	// candidate at or below β+γ.
+	g := sys.World.Graph
+	loner := UserID(0)
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(int32(u)) < g.OutDegree(int32(loner)) {
+			loner = UserID(u)
+		}
+	}
+	checked := 0
+	sys.World.KB.EachSurface(func(form string, cands []EntityID) {
+		if checked >= 25 || len(cands) < 3 {
+			return
+		}
+		checked++
+		for _, s := range sys.Linker.TopK(loner, sys.World.Horizon(), form, 3) {
+			if s.Score <= sys.Linker.NewEntityThreshold() {
+				t.Errorf("TopK leaked a below-threshold candidate for %q: %+v", form, s)
+			}
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no ambiguous surfaces found")
+	}
+}
+
+// TestHeadlineAcrossSeeds re-checks the Fig. 4(a) ordering on fresh seeds,
+// guarding against overfitting the generator to one world. Skipped in
+// -short mode (three full worlds are expensive).
+func TestHeadlineAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness check")
+	}
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := Generate(WorldParams{Seed: seed, Users: 1200, Topics: 10, EntitiesPerTopic: 18, Days: 50})
+			sys := Build(w, Options{})
+			test := sys.TestSet.All()
+			ours := eval.Evaluate(sys.Linker, test).MentionAccuracy()
+			coll := eval.Evaluate(sys.Collective(sys.TestSet), test).MentionAccuracy()
+			otf := eval.Evaluate(sys.OnTheFly(), test).MentionAccuracy()
+			t.Logf("ours %.4f collective %.4f on-the-fly %.4f", ours, coll, otf)
+			if !(ours > coll && coll > otf) {
+				t.Errorf("ordering violated at seed %d: %.4f / %.4f / %.4f", seed, ours, coll, otf)
+			}
+		})
+	}
+}
+
+// TestWeiboGeneralizability asserts the Fig. 6(a) shape on the second,
+// Weibo-flavoured corpus (Appendix C.1): the ordering generalises beyond
+// one parameterisation. Skipped in -short mode.
+func TestWeiboGeneralizability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second world is expensive")
+	}
+	p := WorldParams{Seed: 2012, Users: 1500, Topics: 12, EntitiesPerTopic: 20, Days: 60,
+		MentionAmbig: 0.5, AmbiguousSurfaces: 12 * 20 / 4}
+	w := Generate(p)
+	sys := Build(w, Options{})
+	test := sys.TestSet.All()
+	ours := eval.Evaluate(sys.Linker, test).MentionAccuracy()
+	coll := eval.Evaluate(sys.Collective(sys.TestSet), test).MentionAccuracy()
+	otf := eval.Evaluate(sys.OnTheFly(), test).MentionAccuracy()
+	t.Logf("weibo: ours %.4f collective %.4f on-the-fly %.4f", ours, coll, otf)
+	if !(ours > coll && coll > otf) {
+		t.Errorf("Fig 6(a) ordering violated: %.4f / %.4f / %.4f", ours, coll, otf)
+	}
+}
+
+// TestSystemDescribe sanity-checks the facade wiring.
+func TestSystemDescribe(t *testing.T) {
+	_, sys := integrationWorld(t)
+	desc := sys.Describe()
+	if desc == "" {
+		t.Fatal("empty description")
+	}
+	if sys.NER == nil || sys.Candidates == nil || sys.Reach == nil {
+		t.Fatal("facade left components nil")
+	}
+	if sys.TestSet.Len() == 0 {
+		t.Fatal("empty test set")
+	}
+}
+
+// TestReachSubstratesInterchangeable verifies the linker produces identical
+// results over the transitive closure and the naive oracle (both exact).
+func TestReachSubstratesInterchangeable(t *testing.T) {
+	w, _ := integrationWorld(t)
+	closure := Build(w, Options{TruthComplement: true})
+	naive := Build(w, Options{Reach: ReachNaive, TruthComplement: true})
+	test := closure.TestSet.All()
+	n := min(len(test), 120)
+	for i := 0; i < n; i++ {
+		tw := &test[i]
+		a := closure.Linker.LinkTweet(tw)
+		b := naive.Linker.LinkTweet(tw)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("tweet %d mention %d: closure=%d naive=%d", tw.ID, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestStreamFeedbackLoop replays a stream slice through the interactive
+// update path of §3.2.2 and verifies knowledge accumulates.
+func TestStreamFeedbackLoop(t *testing.T) {
+	w, _ := integrationWorld(t)
+	sys := Build(w, Options{TruthComplement: true})
+	before := sys.CKB.TotalCount()
+	test := sys.TestSet.All()
+	n := min(len(test), 50)
+	linked := 0
+	for i := 0; i < n; i++ {
+		tw := &test[i]
+		got := sys.Linker.LinkTweet(tw)
+		sys.Linker.Feedback(tw, got)
+		for _, e := range got {
+			if e != NoEntity {
+				linked++
+			}
+		}
+	}
+	if sys.CKB.TotalCount() != before+int64(linked) {
+		t.Fatalf("feedback added %d, want %d", sys.CKB.TotalCount()-before, linked)
+	}
+}
