@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench repro repro-quick examples vet fmt cover
+.PHONY: all build test test-race bench repro repro-quick examples vet fmt fmt-check cover ci profile
 
 all: build test
 
@@ -14,6 +14,12 @@ vet:
 
 fmt:
 	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Mirror of .github/workflows/ci.yml.
+ci: build vet fmt-check test test-race
 
 test:
 	$(GO) test ./...
@@ -39,3 +45,12 @@ examples:
 	$(GO) run ./examples/personalized
 	$(GO) run ./examples/newsburst
 	$(GO) run ./examples/streamfeed
+
+# Profile the linking hot path: runs the per-stage latency experiment with
+# CPU and heap profiling enabled (see EXPERIMENTS.md, "Profiling").
+profile:
+	$(GO) run ./cmd/linkbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof stages
+	@echo ""
+	@echo "profiles written to ./cpu.pprof and ./mem.pprof — inspect with:"
+	@echo "  go tool pprof -top cpu.pprof"
+	@echo "  go tool pprof -top mem.pprof"

@@ -1,17 +1,22 @@
 // Command linkbench regenerates the paper's tables and figures over
 // synthetic worlds and prints them in the same rows/series the paper
 // reports. Run `linkbench all` for the full evaluation or a single
-// experiment id (fig4a … fig6d, table4, table5, categories).
+// experiment id (fig4a … fig6d, table4, table5, categories). The extra
+// `stages` experiment prints the live per-stage latency breakdown of the
+// Eq. 1 pipeline from the system's metrics registry; -cpuprofile and
+// -memprofile capture pprof profiles of any run (see `make profile`).
 //
 // Usage:
 //
-//	linkbench [-seed N] [-users N] [-quick] <experiment|all>
+//	linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -20,19 +25,54 @@ import (
 )
 
 var (
-	seed  = flag.Int64("seed", 42, "world generator seed")
-	users = flag.Int("users", 1500, "number of users in the accuracy world")
-	quick = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
+	seed       = flag.Int64("seed", 42, "world generator seed")
+	users      = flag.Int("users", 1500, "number of users in the accuracy world")
+	quick      = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] <experiment|all>")
-		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories")
+		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "linkbench: CPU profile written to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "linkbench: heap profile written to %s\n", *memprofile)
+		}()
+	}
 
 	runners := map[string]func(){
 		"fig4a":      fig4a,
@@ -50,6 +90,7 @@ func main() {
 		"fig6d":      fig6d,
 		"categories": categories,
 		"taxonomy":   taxonomy,
+		"stages":     stages,
 	}
 	if id == "all" {
 		ids := make([]string, 0, len(runners))
@@ -237,6 +278,34 @@ func taxonomy() {
 		fmt.Printf("  %-24s %12v %10s %12v\n",
 			r.Substrate, r.Build.Round(time.Millisecond), mb(r.Bytes), r.Query)
 	}
+}
+
+// stages links the whole inactive-user test set and prints the per-stage
+// latency breakdown of the Eq. 1 pipeline from the system's metrics
+// registry — the online view of the offline Fig 5 efficiency study.
+func stages() {
+	banner("per-stage latency breakdown (Eq. 1 pipeline, metrics registry)")
+	sys := microlink.Build(world(), microlink.Options{})
+	start := time.Now()
+	mentions := 0
+	for _, tw := range sys.TestSet.All() {
+		tweet := tw
+		sys.Linker.LinkTweet(&tweet)
+		mentions += len(tw.Mentions)
+	}
+	fmt.Printf("  linked %d tweets / %d mentions in %v\n",
+		sys.TestSet.Len(), mentions, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %-12s %8s %12s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p95", "p99")
+	snaps := sys.Linker.StageStats()
+	for _, stage := range []string{"candidate", "popularity", "recency", "interest"} {
+		s := snaps[stage]
+		fmt.Printf("  %-12s %8d %12v %12v %12v %12v\n", stage, s.Count,
+			secs(s.Mean()), secs(s.Quantile(0.50)), secs(s.Quantile(0.95)), secs(s.Quantile(0.99)))
+	}
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Nanosecond)
 }
 
 func categories() {

@@ -1,6 +1,6 @@
 // Command linkd serves the online-inference module (§3.2.2) over HTTP:
 //
-//	linkd [-addr :8080] [-seed 1] [-users 800]
+//	linkd [-addr :8080] [-seed 1] [-users 800] [-pprof]
 //
 // Endpoints:
 //
@@ -10,6 +10,8 @@
 //	GET  /v1/search?user=U&q=QUERY&k=K          personalized microblog search
 //	POST /v1/tweet                              NER + link (+feedback) a raw tweet
 //	GET  /v1/stats
+//	GET  /metrics                               Prometheus text exposition
+//	GET  /debug/pprof/*                         live profiling (opt-in via -pprof)
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +28,7 @@ import (
 
 	"microlink"
 	"microlink/internal/httpapi"
+	"microlink/internal/obs"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func main() {
 	users := flag.Int("users", 800, "world size")
 	reachKind := flag.String("reach", "closure", "reachability substrate: closure|twohop|naive")
 	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles)")
 	flag.Parse()
 
 	opts := microlink.Options{}
@@ -68,9 +73,23 @@ func main() {
 	}
 	log.Print("linkd: ", sys.Describe())
 
+	// Runtime health gauges (goroutines, heap, GC) sampled into /metrics.
+	collector := obs.CollectRuntime(sys.Metrics, "microlink", 10*time.Second)
+
+	root := http.NewServeMux()
+	root.Handle("/", httpapi.New(sys))
+	if *pprofOn {
+		root.HandleFunc("GET /debug/pprof/", pprof.Index)
+		root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		log.Print("linkd: pprof enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(sys),
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -79,6 +98,7 @@ func main() {
 	go func() {
 		<-done
 		log.Print("linkd: shutting down…")
+		collector.Stop()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"time"
 
 	"microlink"
 )
@@ -63,6 +64,17 @@ func main() {
 		if e, ok := sys.Linker.LinkMention(tw.User, tw.Time, sp.Surface); ok {
 			fmt.Printf("  mention %q → %s\n", sp.Surface, world.KB.Entity(e).Name)
 		}
+	}
+
+	// 5. The system's metrics registry has been recording all along: print
+	//    where the Eq. 1 pipeline spent its time across the runs above.
+	fmt.Println("\nper-stage latency (sys.Linker.StageStats):")
+	stats := sys.Linker.StageStats()
+	for _, stage := range []string{"candidate", "popularity", "recency", "interest"} {
+		s := stats[stage]
+		fmt.Printf("  %-11s n=%-3d p50=%-10v p95=%v\n", stage, s.Count,
+			time.Duration(s.Quantile(0.50)*float64(time.Second)).Round(10*time.Nanosecond),
+			time.Duration(s.Quantile(0.95)*float64(time.Second)).Round(10*time.Nanosecond))
 	}
 }
 

@@ -19,10 +19,12 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"microlink/internal/candidate"
 	"microlink/internal/influence"
 	"microlink/internal/kb"
+	"microlink/internal/obs"
 	"microlink/internal/reach"
 	"microlink/internal/recency"
 	"microlink/internal/tweets"
@@ -74,7 +76,9 @@ type Scored struct {
 }
 
 // Linker is the paper's prototype system. Scoring paths are safe for
-// concurrent use; Feedback serialises internally.
+// concurrent use; Feedback takes the write side of mu so the multi-step
+// KB append + cache invalidation of §3.2.2 is atomic with respect to
+// concurrent scoring.
 type Linker struct {
 	ckb   *kb.Complemented
 	cand  *candidate.Index
@@ -82,6 +86,25 @@ type Linker struct {
 	inf   *influence.Estimator
 	rec   *recency.Scorer
 	cfg   Config
+
+	// mu serialises the interactive feedback path (write) against scoring
+	// (read). The substrates lock individually, but Feedback spans two of
+	// them (complemented KB, influence cache); without this lock a scorer
+	// can observe the new posting with a stale influential-user set.
+	mu  sync.RWMutex
+	met linkerMetrics
+}
+
+// linkerMetrics holds the hot-path instrumentation. All fields are nil
+// until Instrument wires a registry; the obs types are nil-safe, so the
+// scoring path records unconditionally.
+type linkerMetrics struct {
+	stage    *obs.HistogramVec // microlink_linker_stage_seconds{stage}
+	link     *obs.Histogram    // microlink_linker_link_seconds
+	mentions *obs.Counter      // microlink_linker_mentions_total
+	misses   *obs.Counter      // microlink_linker_unlinkable_total
+	tweets   *obs.Counter      // microlink_linker_tweets_total
+	feedback *obs.Counter      // microlink_linker_feedback_total
 }
 
 // New assembles a Linker from its substrates.
@@ -96,12 +119,49 @@ func (l *Linker) Name() string { return "social-temporal" }
 // Config returns the effective configuration.
 func (l *Linker) Config() Config { return l.cfg }
 
+// Instrument registers the linker's hot-path metrics in reg and starts
+// recording: per-stage latency histograms for the four Eq. 1 sections
+// (candidate, popularity, recency, interest), the end-to-end per-mention
+// latency, and mention/tweet/feedback counters.
+func (l *Linker) Instrument(reg *obs.Registry) {
+	l.met = linkerMetrics{
+		stage: reg.HistogramVec("microlink_linker_stage_seconds",
+			"Per-stage Eq. 1 scoring latency.", nil, "stage"),
+		link: reg.Histogram("microlink_linker_link_seconds",
+			"End-to-end per-mention linking latency.", nil),
+		mentions: reg.Counter("microlink_linker_mentions_total",
+			"Mentions scored."),
+		misses: reg.Counter("microlink_linker_unlinkable_total",
+			"Mentions with no candidate entities."),
+		tweets: reg.Counter("microlink_linker_tweets_total",
+			"Tweets linked via LinkTweet."),
+		feedback: reg.Counter("microlink_linker_feedback_total",
+			"Confirmed links appended via the interactive feedback path."),
+	}
+}
+
+// StageStats returns a snapshot of the per-stage latency histograms keyed
+// by stage name (candidate, popularity, recency, interest), or nil when
+// the linker is uninstrumented.
+func (l *Linker) StageStats() map[string]obs.HistogramSnapshot {
+	return l.met.stage.Snapshots()
+}
+
 // ScoreCandidates generates E_m for surface and scores every candidate by
 // Eq. 1 for the given author and time, sorted by descending score (ties by
 // ascending entity ID). An unknown surface yields nil.
 func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Scored {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.met.mentions.Inc()
+	total := obs.StartSpan(l.met.link)
+	sw := obs.StartStopwatch(l.met.stage)
+
 	cands := l.cand.Candidates(surface)
+	sw.Stage("candidate")
 	if len(cands) == 0 {
+		l.met.misses.Inc()
+		total.Stop()
 		return nil
 	}
 	ents := candidate.Entities(cands)
@@ -118,9 +178,11 @@ func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Score
 			pops[i] /= popSum
 		}
 	}
+	sw.Stage("popularity")
 
 	// S_r (Eq. 9 + 11).
 	recs := l.rec.Scores(now, ents)
+	sw.Stage("recency")
 
 	// S_in (Eq. 8): average weighted reachability to the most influential
 	// community members. Like S_p (Eq. 2) and S_r (Eq. 9) it is
@@ -142,6 +204,7 @@ func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Score
 			ints[i] /= intSum
 		}
 	}
+	sw.Stage("interest")
 
 	out := make([]Scored, len(ents))
 	for i, e := range ents {
@@ -161,6 +224,7 @@ func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Score
 		}
 		return out[i].Entity < out[j].Entity
 	})
+	total.Stop()
 	return out
 }
 
@@ -221,6 +285,7 @@ func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
 // LinkTweet links every mention of tw independently (§1.1's third
 // difference: no joint inference), returning one entity per mention.
 func (l *Linker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
+	l.met.tweets.Inc()
 	out := make([]kb.EntityID, len(tw.Mentions))
 	for i, m := range tw.Mentions {
 		e, ok := l.LinkMention(tw.User, tw.Time, m.Surface)
@@ -238,11 +303,14 @@ func (l *Linker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
 // sets of those entities are invalidated. links must be parallel to
 // tw.Mentions; kb.NoEntity entries are skipped.
 func (l *Linker) Feedback(tw *tweets.Tweet, links []kb.EntityID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, e := range links {
 		if e == kb.NoEntity {
 			continue
 		}
 		l.ckb.Link(e, kb.Posting{Tweet: tw.ID, User: tw.User, Time: tw.Time})
 		l.inf.Invalidate(e)
+		l.met.feedback.Inc()
 	}
 }

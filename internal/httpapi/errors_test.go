@@ -1,0 +1,102 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"microlink"
+)
+
+// TestMalformedBodies covers the JSON decoding error paths of both POST
+// endpoints: truncated JSON, wrong top-level type, and empty bodies.
+func TestMalformedBodies(t *testing.T) {
+	s := testServer(t)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/tweet", "{not json"},
+		{"/v1/tweet", `[1,2,3]`},
+		{"/v1/tweet", ""},
+		{"/v1/confirm", `{"tweet": "not-a-number"}`},
+		{"/v1/confirm", "{"},
+		{"/v1/confirm", ""},
+	} {
+		req := httptest.NewRequest("POST", tc.path, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s body %q: status = %d, want 400", tc.path, tc.body, rec.Code)
+		}
+		var e errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s body %q: error body = %q", tc.path, tc.body, rec.Body.String())
+		}
+	}
+}
+
+// TestOutOfRangeIDs covers user/entity validation across every endpoint
+// that takes one.
+func TestOutOfRangeIDs(t *testing.T) {
+	s := testServer(t)
+	users := sys.World.Graph.NumNodes()
+	for _, path := range []string{
+		"/v1/link?user=" + strconv.Itoa(users) + "&mention=x",
+		"/v1/topk?user=-1&mention=x",
+		"/v1/topk?user=" + strconv.Itoa(users+5) + "&mention=x",
+		"/v1/search?user=-3&q=x",
+		"/v1/search?user=" + strconv.Itoa(users) + "&q=x",
+		"/v1/link?user=notanumber&mention=x",
+	} {
+		if rec := get(t, s, path, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+	}
+	for _, body := range []any{
+		TweetRequest{User: int32(users), Text: "x"},
+		ConfirmRequest{User: 1, Entity: microlink.EntityID(sys.World.KB.NumEntities())},
+		ConfirmRequest{User: int32(users), Entity: 0},
+	} {
+		b, _ := json.Marshal(body)
+		path := "/v1/tweet"
+		if _, ok := body.(ConfirmRequest); ok {
+			path = "/v1/confirm"
+		}
+		req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s %+v: status = %d, want 400", path, body, rec.Code)
+		}
+	}
+}
+
+// TestWrongMethods checks that each route rejects the other verb.
+func TestWrongMethods(t *testing.T) {
+	s := testServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/healthz"},
+		{"POST", "/v1/link"},
+		{"POST", "/v1/topk"},
+		{"POST", "/v1/search"},
+		{"GET", "/v1/tweet"},
+		{"GET", "/v1/confirm"},
+		{"DELETE", "/v1/stats"},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", tc.method, tc.path, rec.Code)
+		}
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/v1/nope", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}

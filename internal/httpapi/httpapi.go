@@ -1,8 +1,8 @@
 // Package httpapi exposes the online-inference module (§3.2.2) over HTTP:
 // per-mention linking, top-k with the new-entity threshold, raw-tweet
-// ingestion with NER and optional feedback, and personalized microblog
-// search. The cmd/linkd binary mounts this API; the package keeps the
-// handlers testable without a socket.
+// ingestion with NER and optional feedback, personalized microblog
+// search, and Prometheus metrics. The cmd/linkd binary mounts this API;
+// the package keeps the handlers testable without a socket.
 package httpapi
 
 import (
@@ -14,9 +14,14 @@ import (
 	"time"
 
 	"microlink"
+	"microlink/internal/obs"
 )
 
-// Server wires the linking system into an http.Handler.
+// Server wires the linking system into an http.Handler. Every endpoint is
+// wrapped with the obs HTTP middleware, recording per-endpoint request
+// counts by status class, an in-flight gauge, and latency histograms into
+// the system's metrics registry; GET /metrics exposes the registry in
+// Prometheus text format.
 type Server struct {
 	sys *microlink.System
 	mux *http.ServeMux
@@ -30,13 +35,18 @@ type Server struct {
 // New returns a Server over sys.
 func New(sys *microlink.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/link", s.handleLink)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/tweet", s.handleTweet)
-	s.mux.HandleFunc("POST /v1/confirm", s.handleConfirm)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mw := obs.NewHTTPMetrics(sys.Metrics, "microlink")
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, mw.WrapFunc(endpoint, h))
+	}
+	handle("GET /healthz", "/healthz", s.handleHealth)
+	handle("GET /v1/link", "/v1/link", s.handleLink)
+	handle("GET /v1/topk", "/v1/topk", s.handleTopK)
+	handle("GET /v1/search", "/v1/search", s.handleSearch)
+	handle("POST /v1/tweet", "/v1/tweet", s.handleTweet)
+	handle("POST /v1/confirm", "/v1/confirm", s.handleConfirm)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", sys.Metrics.Handler())
 	return s
 }
 

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefTimeBuckets are the default latency buckets: powers of two from 1 µs
+// to ~8.4 s. Log-spaced bounds keep relative quantile-estimation error
+// constant across the four decades a linking stage can span (a cached
+// reachability query is nanoseconds; whole-community interest is
+// milliseconds).
+var DefTimeBuckets = ExpBuckets(1e-6, 2, 24)
+
+// ExpBuckets returns count exponential bucket upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count ≥ 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// normBuckets validates and copies bucket bounds, defaulting to
+// DefTimeBuckets.
+func normBuckets(b []float64) []float64 {
+	if b == nil {
+		return DefTimeBuckets
+	}
+	if len(b) == 0 {
+		panic("obs: empty bucket list")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: bucket bounds must be strictly ascending")
+		}
+	}
+	return append([]float64(nil), b...)
+}
+
+// Histogram counts observations into fixed buckets, tracking total count
+// and sum. Observing is two atomic adds plus a CAS for the sum — no locks,
+// no allocation. Quantiles are estimated from the bucket layout
+// (Snapshot/Quantile). Methods are nil-receiver-safe.
+type Histogram struct {
+	upper  []float64       // ascending upper bounds (le, inclusive)
+	counts []atomic.Uint64 // len(upper)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot captures the histogram state for quantile estimation and
+// exposition. Buckets are read without a global lock, so a snapshot taken
+// during concurrent observation may be off by the in-flight observations —
+// fine for monitoring, which is the use case.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Upper:  h.upper,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Upper  []float64 // bucket upper bounds (shared, do not modify)
+	Counts []uint64  // per-bucket counts, len(Upper)+1 (last = +Inf)
+	Count  uint64
+	Sum    float64
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket containing the rank. Values beyond the last finite
+// bound clamp to it; an empty histogram yields 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Upper) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Counts {
+		prev := cum
+		cum += n
+		if float64(cum) < rank || n == 0 {
+			continue
+		}
+		if i >= len(s.Upper) {
+			return s.Upper[len(s.Upper)-1] // +Inf bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Upper[i-1]
+		}
+		hi := s.Upper[i]
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return s.Upper[len(s.Upper)-1]
+}

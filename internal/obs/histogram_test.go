@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1 holds 0.5 and 1 (inclusive bound); le=2 holds 1.5; le=4 holds 3;
+	// +Inf holds 100.
+	want := []uint64{2, 1, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 5 || math.Abs(s.Sum-106) > 1e-9 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "", ExpBuckets(0.001, 2, 16))
+	// 1000 observations uniform in (0, 1): p50 ≈ 0.5, p95 ≈ 0.95.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	// Log buckets of factor 2 bound the relative error by 2x.
+	if p50 < 0.25 || p50 > 1.0 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p95 < 0.5 || p95 > 1.5 {
+		t.Fatalf("p95 = %v", p95)
+	}
+	if p99 < p95 {
+		t.Fatalf("p99 (%v) < p95 (%v)", p99, p95)
+	}
+	if m := s.Mean(); m < 0.4 || m > 0.6 {
+		t.Fatalf("mean = %v, want ≈ 0.5", m)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_m_seconds", "", nil)
+	for _, v := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	// Observation beyond the last bound clamps to it.
+	if got, last := s.Quantile(1), DefTimeBuckets[len(DefTimeBuckets)-1]; got != last {
+		t.Fatalf("q=1 over +Inf bucket = %v, want clamp to %v", got, last)
+	}
+}
+
+func TestBadBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets must panic")
+		}
+	}()
+	r.Histogram("test_bad_seconds", "", []float64{1, 1})
+}

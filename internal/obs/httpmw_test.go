@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMetricsWrap(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "app")
+	okHandler := m.WrapFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("hi")) // implicit 200
+	})
+	failHandler := m.WrapFunc("/fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		okHandler.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	failHandler.ServeHTTP(rec, httptest.NewRequest("GET", "/fail", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	if got := m.requests.With("/ok", "2xx").Value(); got != 3 {
+		t.Fatalf("/ok 2xx = %d, want 3", got)
+	}
+	if got := m.requests.With("/fail", "4xx").Value(); got != 1 {
+		t.Fatalf("/fail 4xx = %d, want 1", got)
+	}
+	if v := m.inflight.Value(); v != 0 {
+		t.Fatalf("in-flight after completion = %v", v)
+	}
+	if m.seconds.With("/ok").Count() != 3 {
+		t.Fatalf("latency observations = %d", m.seconds.With("/ok").Count())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`app_http_requests_total{endpoint="/fail",code="4xx"} 1`,
+		`app_http_requests_total{endpoint="/ok",code="2xx"} 3`,
+		"app_http_in_flight_requests 0",
+		`app_http_request_seconds_count{endpoint="/ok"} 3`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestCodeClass(t *testing.T) {
+	for status, want := range map[int]string{200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 42: "42"} {
+		if got := codeClass(status); got != want {
+			t.Errorf("codeClass(%d) = %q, want %q", status, got, want)
+		}
+	}
+}

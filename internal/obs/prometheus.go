@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format 0.0.4: families sorted by name, children sorted by
+// label values, histograms expanded into cumulative _bucket/_sum/_count
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, ch := range f.sortedChildren() {
+			switch f.typ {
+			case typeCounter:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", "", formatUint(ch.c.Value()))
+			case typeGauge:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", "", formatFloat(ch.g.Value()))
+			default:
+				s := ch.h.Snapshot()
+				var cum uint64
+				for i, n := range s.Counts {
+					cum += n
+					le := "+Inf"
+					if i < len(s.Upper) {
+						le = formatFloat(s.Upper[i])
+					}
+					writeSample(bw, f.name, "_bucket", f.labels, ch.values, "le", le, formatUint(cum))
+				}
+				writeSample(bw, f.name, "_sum", f.labels, ch.values, "", "", formatFloat(s.Sum))
+				writeSample(bw, f.name, "_count", f.labels, ch.values, "", "", formatUint(s.Count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one line: name[suffix]{labels…[,extraK="extraV"]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraK, extraV, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraV))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

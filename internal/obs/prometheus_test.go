@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_ops_total", "Total ops.").Add(7)
+	r.Gauge("app_temp_celsius", "Temperature.").Set(-3.5)
+	r.CounterVec("app_reqs_total", "Requests.", "endpoint", "code").With("/v1/link", "2xx").Add(2)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(8)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP app_ops_total Total ops.",
+		"# TYPE app_ops_total counter",
+		"app_ops_total 7",
+		"app_temp_celsius -3.5",
+		`app_reqs_total{endpoint="/v1/link",code="2xx"} 2`,
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.5"} 1`,
+		`app_latency_seconds_bucket{le="2"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 9.25",
+		"app_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families must appear sorted by name.
+	if strings.Index(out, "app_latency_seconds") > strings.Index(out, "app_ops_total") {
+		t.Error("families not sorted by name")
+	}
+
+	checkExposition(t, out)
+}
+
+// checkExposition is a minimal parser for the text format: every
+// non-comment line must be `name[{labels}] value` with a parseable float
+// value and balanced, quoted labels.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces: %q", line)
+			}
+			for _, pair := range splitLabels(rest[i+1 : j]) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("bad label %q in %q", pair, line)
+				}
+			}
+			rest = rest[:i] + rest[j+1:]
+		}
+		name, value, ok := strings.Cut(rest, " ")
+		if !ok || !validName(name) {
+			t.Fatalf("bad sample line %q", line)
+		}
+		if value != "+Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("unparseable value %q in %q", value, line)
+			}
+		}
+	}
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("app_weird_total", "", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `app_weird_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "app_x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

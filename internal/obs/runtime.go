@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector periodically samples Go runtime health into gauges:
+// goroutine count, heap allocation, GC cycle count, and cumulative GC
+// pause time. Start it once per process; Stop shuts the sampling goroutine
+// down cleanly (idempotently).
+type RuntimeCollector struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	heapObj    *Gauge
+	gcCycles   *Gauge
+	gcPause    *Gauge
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// CollectRuntime registers the runtime gauges under
+// <prefix>_runtime_<name> and starts sampling them every interval
+// (default 10 s when interval ≤ 0). The first sample is taken
+// synchronously so the gauges are populated before the first scrape.
+func CollectRuntime(r *Registry, prefix string, interval time.Duration) *RuntimeCollector {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c := &RuntimeCollector{
+		goroutines: r.Gauge(prefix+"_runtime_goroutines", "Number of live goroutines."),
+		heapAlloc:  r.Gauge(prefix+"_runtime_heap_alloc_bytes", "Bytes of allocated heap objects."),
+		heapSys:    r.Gauge(prefix+"_runtime_heap_sys_bytes", "Bytes of heap obtained from the OS."),
+		heapObj:    r.Gauge(prefix+"_runtime_heap_objects", "Number of allocated heap objects."),
+		gcCycles:   r.Gauge(prefix+"_runtime_gc_cycles_total", "Completed GC cycles."),
+		gcPause:    r.Gauge(prefix+"_runtime_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time."),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	c.sample()
+	go c.loop(interval)
+	return c
+}
+
+func (c *RuntimeCollector) loop(interval time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.sample()
+		}
+	}
+}
+
+func (c *RuntimeCollector) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+	c.heapObj.Set(float64(ms.HeapObjects))
+	c.gcCycles.Set(float64(ms.NumGC))
+	c.gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+}
+
+// Stop terminates the sampling goroutine and waits for it to exit. Safe to
+// call more than once.
+func (c *RuntimeCollector) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}

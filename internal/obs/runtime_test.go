@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	c := CollectRuntime(r, "app", time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	c.Stop() // idempotent
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"app_runtime_goroutines",
+		"app_runtime_heap_alloc_bytes",
+		"app_runtime_heap_sys_bytes",
+		"app_runtime_heap_objects",
+		"app_runtime_gc_cycles_total",
+		"app_runtime_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("missing %s in exposition", name)
+		}
+	}
+	if c.goroutines.Value() < 1 {
+		t.Fatalf("goroutines gauge = %v", c.goroutines.Value())
+	}
+	if c.heapAlloc.Value() <= 0 {
+		t.Fatalf("heap alloc gauge = %v", c.heapAlloc.Value())
+	}
+}

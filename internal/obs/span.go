@@ -1,0 +1,62 @@
+package obs
+
+import "time"
+
+// Span times one operation into a histogram:
+//
+//	defer obs.StartSpan(h).Stop()
+//
+// A nil histogram still measures (Stop returns the elapsed time) but
+// records nothing, so spans can wrap code that is only sometimes
+// instrumented.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing into h.
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed seconds into the histogram and returns the
+// duration.
+func (s Span) Stop() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// Stopwatch times the successive stages of one request into a labelled
+// histogram family: each Stage call records the time elapsed since the
+// previous one under {label=stage}. This is the per-request stage-timer
+// used by the Eq. 1 scoring pipeline — one Stopwatch per request, one
+// Stage mark per pipeline section.
+//
+//	sw := obs.StartStopwatch(stageVec)
+//	… candidate generation …
+//	sw.Stage("candidate")
+//	… recency scoring …
+//	sw.Stage("recency")
+//
+// A Stopwatch over a nil vec keeps correct time and records nothing.
+type Stopwatch struct {
+	vec  *HistogramVec
+	last time.Time
+}
+
+// StartStopwatch starts a stopwatch recording into vec, which must have
+// exactly one label (the stage name).
+func StartStopwatch(vec *HistogramVec) Stopwatch {
+	return Stopwatch{vec: vec, last: time.Now()}
+}
+
+// Stage records the time since the last mark (or start) under the given
+// stage label and resets the mark. Returns the stage duration.
+func (w *Stopwatch) Stage(stage string) time.Duration {
+	now := time.Now()
+	d := now.Sub(w.last)
+	w.last = now
+	w.vec.With(stage).Observe(d.Seconds())
+	return d
+}

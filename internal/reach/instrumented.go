@@ -1,0 +1,81 @@
+package reach
+
+import (
+	"fmt"
+
+	"microlink/internal/graph"
+	"microlink/internal/obs"
+)
+
+// Instrumented wraps an Index, counting queries and recording their
+// latency into a registry under
+//
+//	microlink_reach_queries_total{kind=…}
+//	microlink_reach_query_seconds{kind=…}
+//
+// where kind names the substrate (closure, twohop, naive, dynamic). The
+// wrapper adds two clock reads per query on top of the atomic updates;
+// callers that need the raw substrate (serialisation, incremental
+// maintenance) can recover it via Unwrap.
+type Instrumented struct {
+	inner   Index
+	queries *obs.Counter
+	seconds *obs.Histogram
+}
+
+// Instrument wraps idx with query metrics registered in reg.
+func Instrument(idx Index, reg *obs.Registry) *Instrumented {
+	kind := KindName(idx)
+	return &Instrumented{
+		inner: idx,
+		queries: reg.CounterVec("microlink_reach_queries_total",
+			"Weighted reachability queries, by index substrate.", "kind").With(kind),
+		seconds: reg.HistogramVec("microlink_reach_query_seconds",
+			"Weighted reachability query latency, by index substrate.", nil, "kind").With(kind),
+	}
+}
+
+// KindName names an index substrate for metric labels.
+func KindName(idx Index) string {
+	switch idx.(type) {
+	case *TransitiveClosure:
+		return "closure"
+	case *TwoHop:
+		return "twohop"
+	case *Naive:
+		return "naive"
+	case *DynamicClosure:
+		return "dynamic"
+	case *Instrumented:
+		return KindName(idx.(*Instrumented).inner)
+	default:
+		return fmt.Sprintf("%T", idx)
+	}
+}
+
+// Unwrap returns the underlying index.
+func (x *Instrumented) Unwrap() Index { return x.inner }
+
+// Query implements Index.
+func (x *Instrumented) Query(u, v graph.NodeID) (Result, bool) {
+	sp := obs.StartSpan(x.seconds)
+	res, ok := x.inner.Query(u, v)
+	sp.Stop()
+	x.queries.Inc()
+	return res, ok
+}
+
+// R implements Index.
+func (x *Instrumented) R(u, v graph.NodeID) float64 {
+	sp := obs.StartSpan(x.seconds)
+	r := x.inner.R(u, v)
+	sp.Stop()
+	x.queries.Inc()
+	return r
+}
+
+// SizeBytes implements Index, reporting the wrapped index's size.
+func (x *Instrumented) SizeBytes() int64 { return x.inner.SizeBytes() }
+
+// BuildStats implements Index.
+func (x *Instrumented) BuildStats() BuildStats { return x.inner.BuildStats() }

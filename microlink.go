@@ -32,6 +32,7 @@ import (
 	"microlink/internal/influence"
 	"microlink/internal/kb"
 	"microlink/internal/ner"
+	"microlink/internal/obs"
 	"microlink/internal/reach"
 	"microlink/internal/recency"
 	"microlink/internal/synth"
@@ -77,6 +78,13 @@ type (
 	CandidateIndex = candidate.Index
 	// ReachIndex answers weighted reachability queries.
 	ReachIndex = reach.Index
+	// MetricsRegistry is the observability registry every built System
+	// carries (see internal/obs): counters, gauges, latency histograms,
+	// and a Prometheus text-exposition writer.
+	MetricsRegistry = obs.Registry
+	// HistogramSnapshot is a point-in-time histogram view with quantile
+	// estimation (p50/p95/p99 via Quantile).
+	HistogramSnapshot = obs.HistogramSnapshot
 	// OnTheFlyBaseline is the TagMe-style comparator [14].
 	OnTheFlyBaseline = baseline.OnTheFly
 	// CollectiveBaseline is the batch comparator [2].
@@ -134,6 +142,11 @@ type Options struct {
 	// index; when set, Build skips index construction and ignores Reach.
 	// It must have been built over the same graph (see LoadReachIndex).
 	PrebuiltReach ReachIndex
+	// DisableMetrics builds the stack without hot-path instrumentation:
+	// System.Metrics stays an empty registry, the linker records no stage
+	// timings, and reachability queries go to the raw index. For
+	// micro-benchmarks that begrudge the instrumentation's clock reads.
+	DisableMetrics bool
 }
 
 // System is a fully wired linking stack over one world.
@@ -146,6 +159,13 @@ type System struct {
 	Recency    *recency.Scorer
 	Linker     *Linker
 	NER        *NER
+
+	// Metrics is the system's observability registry: the linker's
+	// per-stage timings, reachability query histograms, and anything the
+	// serving layer adds (HTTP traffic, runtime gauges). Always non-nil;
+	// empty when Options.DisableMetrics is set. Expose it over HTTP with
+	// Metrics.Handler() or print it with Metrics.WritePrometheus.
+	Metrics *MetricsRegistry
 
 	// TestSet holds the inactive-user tweets (≤9 postings) reserved for
 	// evaluation, mirroring the paper's Dtest.
@@ -187,6 +207,11 @@ func Build(w *World, opts Options) *System {
 		rx = buildReach(w, opts)
 	}
 
+	reg := obs.NewRegistry()
+	if !opts.DisableMetrics {
+		rx = reach.Instrument(rx, reg)
+	}
+
 	inf := influence.New(ckb, opts.InfluenceMethod)
 	var net *recency.PropNet
 	if !opts.Recency.NoPropagation {
@@ -198,6 +223,11 @@ func Build(w *World, opts Options) *System {
 	}
 	rec := recency.NewScorer(ckb, net, opts.Recency)
 
+	linker := core.New(ckb, cand, rx, inf, rec, opts.Linker)
+	if !opts.DisableMetrics {
+		linker.Instrument(reg)
+	}
+
 	return &System{
 		World:      w,
 		CKB:        ckb,
@@ -205,10 +235,21 @@ func Build(w *World, opts Options) *System {
 		Reach:      rx,
 		Influence:  inf,
 		Recency:    rec,
-		Linker:     core.New(ckb, cand, rx, inf, rec, opts.Linker),
+		Linker:     linker,
 		NER:        ner.NewExtractor(w.KB, ner.Options{}),
+		Metrics:    reg,
 		TestSet:    w.Store.FilterByActivity(1, 9),
 	}
+}
+
+// unwrapReach peels the metrics wrapper off an index, returning the raw
+// substrate for type-dependent operations (serialisation, incremental
+// maintenance).
+func unwrapReach(idx reach.Index) reach.Index {
+	if x, ok := idx.(*reach.Instrumented); ok {
+		return x.Unwrap()
+	}
+	return idx
 }
 
 func buildReach(w *World, opts Options) reach.Index {
@@ -233,7 +274,7 @@ var ErrNotDynamic = fmt.Errorf("microlink: reachability substrate is not dynamic
 // loop (tweets arrive via Linker.Feedback; follows arrive here). Requires
 // Options.Reach = ReachDynamic.
 func (s *System) Follow(u, v UserID) error {
-	dc, ok := s.Reach.(*reach.DynamicClosure)
+	dc, ok := unwrapReach(s.Reach).(*reach.DynamicClosure)
 	if !ok {
 		return ErrNotDynamic
 	}
@@ -249,7 +290,7 @@ func SaveReachIndex(path string, idx ReachIndex) error {
 		return err
 	}
 	defer f.Close()
-	switch v := idx.(type) {
+	switch v := unwrapReach(idx).(type) {
 	case *reach.TransitiveClosure:
 		_, err = v.WriteTo(f)
 	case *reach.TwoHop:
@@ -355,6 +396,6 @@ func (s *System) Describe() string {
 		"microlink: %d users / %d entities / %d tweets; weights α=%.2f β=%.2f γ=%.2f; influence=%s; reach index=%T (%.1f MB)",
 		s.World.Graph.NumNodes(), s.World.KB.NumEntities(), s.World.Store.Len(),
 		cfg.WInterest, cfg.WRecency, cfg.WPopularity,
-		s.Influence.Method(), s.Reach, float64(s.Reach.SizeBytes())/(1<<20),
+		s.Influence.Method(), unwrapReach(s.Reach), float64(s.Reach.SizeBytes())/(1<<20),
 	)
 }
