@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench repro repro-quick examples vet fmt fmt-check cover ci profile
+.PHONY: all build test test-race bench bench-smoke repro repro-quick examples vet fmt fmt-check cover ci profile
 
 all: build test
 
@@ -19,7 +19,7 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmt-check test test-race
+ci: build vet fmt-check test test-race bench-smoke
 
 test:
 	$(GO) test ./...
@@ -32,6 +32,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot in the bench harness
+# without paying for steady-state measurements.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

@@ -6,6 +6,7 @@
 package microlink_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -476,6 +477,43 @@ func BenchmarkCandidateLookup(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sys.Candidates.Candidates(fuzzy)
 		}
+	})
+}
+
+// --- Batch pipeline: LinkBatch vs the serial single-mention path ----------
+
+// benchBatchQueries flattens the test set into serving-mode mention
+// queries (now = world horizon, as the HTTP API defaults).
+func benchBatchQueries(sys *microlink.System, n int) []microlink.MentionQuery {
+	now := sys.World.Horizon()
+	qs := make([]microlink.MentionQuery, 0, n)
+	for _, tw := range sys.TestSet.All() {
+		for _, m := range tw.Mentions {
+			if len(qs) == n {
+				return qs
+			}
+			qs = append(qs, microlink.MentionQuery{User: tw.User, Now: now, Surface: m.Surface})
+		}
+	}
+	return qs
+}
+
+func BenchmarkBatchLink(b *testing.B) {
+	_, sys := benchSetup(b)
+	qs := benchBatchQueries(sys, 256)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				sys.Linker.ScoreCandidates(q.User, q.Now, q.Surface)
+			}
+		}
+		b.ReportMetric(float64(len(qs)), "queries/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.Linker.LinkBatch(context.Background(), qs)
+		}
+		b.ReportMetric(float64(len(qs)), "queries/op")
 	})
 }
 

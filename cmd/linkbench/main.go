@@ -3,8 +3,10 @@
 // reports. Run `linkbench all` for the full evaluation or a single
 // experiment id (fig4a … fig6d, table4, table5, categories). The extra
 // `stages` experiment prints the live per-stage latency breakdown of the
-// Eq. 1 pipeline from the system's metrics registry; -cpuprofile and
-// -memprofile capture pprof profiles of any run (see `make profile`).
+// Eq. 1 pipeline from the system's metrics registry; `batch` compares the
+// serial single-mention path against the concurrent LinkBatch pipeline;
+// -cpuprofile and -memprofile capture pprof profiles of any run (see
+// `make profile`).
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +39,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>")
-		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
@@ -91,6 +94,7 @@ func main() {
 		"categories": categories,
 		"taxonomy":   taxonomy,
 		"stages":     stages,
+		"batch":      batch,
 	}
 	if id == "all" {
 		ids := make([]string, 0, len(runners))
@@ -306,6 +310,59 @@ func stages() {
 
 func secs(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second)).Round(10 * time.Nanosecond)
+}
+
+// batch compares the serial single-mention path against the concurrent
+// batch pipeline over the inactive-user test set in serving mode (now =
+// world horizon, the HTTP API default). Each side runs on its own freshly
+// built system so neither inherits the other's warm caches; the batch
+// side reports its interest-cache hit rate.
+func batch() {
+	banner("batch pipeline: serial ScoreCandidates vs concurrent LinkBatch")
+	w := world()
+
+	var queries []microlink.MentionQuery
+	serialSys := microlink.Build(w, microlink.Options{})
+	now := w.Horizon()
+	for _, tw := range serialSys.TestSet.All() {
+		for _, m := range tw.Mentions {
+			queries = append(queries, microlink.MentionQuery{User: tw.User, Now: now, Surface: m.Surface})
+		}
+	}
+
+	start := time.Now()
+	linked := 0
+	for _, q := range queries {
+		if scored := serialSys.Linker.ScoreCandidates(q.User, q.Now, q.Surface); len(scored) > 0 {
+			linked++
+		}
+	}
+	serialDur := time.Since(start)
+
+	batchSys := microlink.Build(w, microlink.Options{})
+	start = time.Now()
+	results := batchSys.Linker.LinkBatch(context.Background(), queries)
+	batchDur := time.Since(start)
+
+	batchLinked := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("  batch error: %v\n", r.Err)
+			return
+		}
+		if len(r.Scored) > 0 {
+			batchLinked++
+		}
+	}
+	if batchLinked != linked {
+		fmt.Printf("  WARNING: serial linked %d, batch linked %d\n", linked, batchLinked)
+	}
+
+	rate := func(d time.Duration) float64 { return float64(len(queries)) / d.Seconds() }
+	hits, misses := batchSys.Linker.CacheStats()
+	fmt.Printf("  %-10s %8d queries %12v %12.0f mentions/sec\n", "serial", len(queries), serialDur.Round(time.Millisecond), rate(serialDur))
+	fmt.Printf("  %-10s %8d queries %12v %12.0f mentions/sec\n", "batch", len(queries), batchDur.Round(time.Millisecond), rate(batchDur))
+	fmt.Printf("  speedup %.2fx   interest cache %d hits / %d misses\n", serialDur.Seconds()/batchDur.Seconds(), hits, misses)
 }
 
 func categories() {

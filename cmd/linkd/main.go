@@ -1,17 +1,25 @@
 // Command linkd serves the online-inference module (§3.2.2) over HTTP:
 //
-//	linkd [-addr :8080] [-seed 1] [-users 800] [-pprof]
+//	linkd [-addr :8080] [-seed 1] [-users 800] [-pprof] [-request-timeout 30s]
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /v1/link?user=U&mention=M[&now=T]      score all candidates
+//	POST /v1/link/batch                         score up to 256 mention queries concurrently
 //	GET  /v1/topk?user=U&mention=M&k=K[&now=T]  top-k above the β+γ threshold
 //	GET  /v1/search?user=U&q=QUERY&k=K          personalized microblog search
 //	POST /v1/tweet                              NER + link (+feedback) a raw tweet
+//	POST /v1/confirm                            interactive feedback: confirm a link
 //	GET  /v1/stats
 //	GET  /metrics                               Prometheus text exposition
 //	GET  /debug/pprof/*                         live profiling (opt-in via -pprof)
+//
+// Errors use the structured envelope documented in internal/httpapi. The
+// -request-timeout flag bounds each request with a context deadline that
+// the scoring pipeline observes, so slow queries return a
+// deadline_exceeded envelope instead of holding a connection; SIGINT or
+// SIGTERM drains in-flight requests before exit.
 package main
 
 import (
@@ -38,6 +46,11 @@ func main() {
 	reachKind := flag.String("reach", "closure", "reachability substrate: closure|twohop|naive")
 	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "max time to read a request")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max time to write a response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request context deadline observed by the scoring pipeline (0 disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	opts := microlink.Options{}
@@ -89,17 +102,22 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           root,
+		Handler:           withRequestTimeout(*reqTimeout, root),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-done
 		log.Print("linkd: shutting down…")
 		collector.Stop()
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("linkd: shutdown: %v", err)
@@ -110,4 +128,21 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("linkd: %v", err)
 	}
+	<-drained // don't exit before in-flight requests finish draining
+	log.Print("linkd: bye")
+}
+
+// withRequestTimeout bounds every request with a context deadline. The
+// httpapi handlers propagate it into the scoring pipeline, so an
+// over-budget query gets a deadline_exceeded error envelope (or per-item
+// errors on the batch endpoint) instead of tying up the connection.
+func withRequestTimeout(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"microlink/internal/kb"
+	"microlink/internal/obs"
+)
+
+// BatchOptions tunes the concurrent batch pipeline and the interest cache.
+// The zero value selects the defaults noted on each field.
+type BatchOptions struct {
+	// Workers bounds the LinkBatch worker pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// ParallelInterestThreshold fans the per-candidate S_in computations
+	// of a single mention across a worker pool when
+	// len(candidates)×TopInfluential exceeds it — the point where the
+	// reachability reads outweigh goroutine handoff. 0 selects the default
+	// (64); negative disables intra-mention parallelism.
+	ParallelInterestThreshold int
+	// DisableInterestCache turns off the (user, entity) interest cache,
+	// recomputing Eq. 8 on every score — the pre-cache behaviour, kept for
+	// benchmarks and bisection.
+	DisableInterestCache bool
+	// CacheEntriesPerShard bounds the interest cache's memory (16 shards);
+	// ≤ 0 selects the default 4096 entries per shard.
+	CacheEntriesPerShard int
+}
+
+func (b *BatchOptions) fill() {
+	if b.ParallelInterestThreshold == 0 {
+		b.ParallelInterestThreshold = 64
+	}
+}
+
+// MentionQuery is one (user, time, surface) triple to score.
+type MentionQuery struct {
+	User    kb.UserID
+	Now     int64
+	Surface string
+}
+
+// BatchResult is the outcome of one MentionQuery. Exactly one of the
+// following holds: Err is non-nil (the item was cancelled, timed out, or
+// panicked — Entity is kb.NoEntity and Scored nil); or Err is nil and
+// Scored carries the full ranking with Entity its best candidate (both
+// empty/kb.NoEntity for an unlinkable surface, mirroring LinkMention's
+// ok=false).
+type BatchResult struct {
+	Entity kb.EntityID
+	Scored []Scored
+	Err    error
+}
+
+// LinkBatch scores many mention queries concurrently and returns one
+// BatchResult per query, in input order.
+//
+// The pipeline exploits the Eq. 1 split between user-independent and
+// user-dependent work: queries are grouped by (surface, now), each group
+// pays candidate generation, popularity, and recency once, and only the
+// interest stage runs per query (answered from the interest cache when a
+// live entry exists). Groups fan out across a worker pool bounded by
+// BatchOptions.Workers (default GOMAXPROCS).
+//
+// Failure isolation is per item: a cancelled or expired context marks the
+// not-yet-scored items with ctx.Err() and returns promptly without
+// discarding completed ones, and a panic while scoring one item is
+// captured into that item's Err. LinkBatch only reads linker state, so it
+// is safe to run concurrently with Feedback and with dynamic reachability
+// maintenance; each group observes a consistent snapshot (it scores
+// entirely inside one read-locked critical section).
+func (l *Linker) LinkBatch(ctx context.Context, queries []MentionQuery) []BatchResult {
+	res := make([]BatchResult, len(queries))
+	l.met.batchSize.Observe(float64(len(queries)))
+	if len(queries) == 0 {
+		return res
+	}
+
+	type groupKey struct {
+		now     int64
+		surface string
+	}
+	groups := make(map[groupKey][]int)
+	order := make([]groupKey, 0, len(queries))
+	for i, q := range queries {
+		k := groupKey{now: q.Now, surface: q.Surface}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	workers := l.cfg.Batch.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	if workers <= 1 {
+		for _, k := range order {
+			l.scoreGroup(ctx, k.now, k.surface, groups[k], queries, res)
+		}
+		return res
+	}
+
+	ch := make(chan groupKey)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ch {
+				l.met.batchWorkers.Inc()
+				l.scoreGroup(ctx, k.now, k.surface, groups[k], queries, res)
+				l.met.batchWorkers.Dec()
+			}
+		}()
+	}
+	for _, k := range order {
+		ch <- k
+	}
+	close(ch)
+	wg.Wait()
+	return res
+}
+
+// scoreGroup scores every query index in idxs, all sharing (surface, now),
+// writing into res. The whole group runs inside one read-locked critical
+// section so its items see one consistent snapshot of the knowledgebase.
+func (l *Linker) scoreGroup(ctx context.Context, now int64, surface string, idxs []int, queries []MentionQuery, res []BatchResult) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+
+	var sh *sharedScores
+	if err := capture(func() { sh = l.sharedLocked(now, surface) }); err != nil {
+		for _, i := range idxs {
+			res[i] = BatchResult{Entity: kb.NoEntity, Err: err}
+		}
+		return
+	}
+	for _, i := range idxs {
+		l.met.mentions.Inc()
+		switch {
+		case ctx.Err() != nil:
+			res[i] = BatchResult{Entity: kb.NoEntity, Err: ctx.Err()}
+		case sh == nil:
+			l.met.misses.Inc()
+			res[i] = BatchResult{Entity: kb.NoEntity}
+		default:
+			i := i
+			if err := capture(func() { res[i] = l.scoreItem(ctx, queries[i].User, sh) }); err != nil {
+				res[i] = BatchResult{Entity: kb.NoEntity, Err: err}
+			}
+		}
+	}
+}
+
+func (l *Linker) scoreItem(ctx context.Context, u kb.UserID, sh *sharedScores) BatchResult {
+	span := obs.StartSpan(l.met.link)
+	scored, err := l.finishLocked(ctx, u, sh)
+	span.Stop()
+	if err != nil {
+		return BatchResult{Entity: kb.NoEntity, Err: err}
+	}
+	best := kb.NoEntity
+	if len(scored) > 0 {
+		best = scored[0].Entity
+	}
+	return BatchResult{Entity: best, Scored: scored}
+}
+
+// capture runs fn, converting a panic into an error so one poisoned query
+// cannot take down the whole batch (or the server goroutine above it).
+func capture(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("microlink: batch item panicked: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+func batchQueries(n int) []MentionQuery {
+	surfaces := []string{"jordan", "nba", "icml", "zzzz"}
+	qs := make([]MentionQuery, n)
+	for i := range qs {
+		qs[i] = MentionQuery{
+			User:    kb.UserID(i % 4),
+			Now:     100,
+			Surface: surfaces[i%len(surfaces)],
+		}
+	}
+	return qs
+}
+
+// LinkBatch must agree with the serial ScoreCandidates path query by
+// query, across pool sizes and with the cache on and off.
+func TestLinkBatchMatchesSerial(t *testing.T) {
+	f := newFixture(50, 5)
+	qs := batchQueries(40)
+	for _, opt := range []BatchOptions{
+		{},
+		{Workers: 1},
+		{Workers: 8},
+		{DisableInterestCache: true},
+	} {
+		l := f.linker(Config{Batch: opt})
+		want := make([][]Scored, len(qs))
+		for i, q := range qs {
+			want[i] = l.ScoreCandidates(q.User, q.Now, q.Surface)
+		}
+		got := l.LinkBatch(context.Background(), qs)
+		if len(got) != len(qs) {
+			t.Fatalf("opt=%+v: %d results for %d queries", opt, len(got), len(qs))
+		}
+		for i, r := range got {
+			if r.Err != nil {
+				t.Fatalf("opt=%+v query %d: err = %v", opt, i, r.Err)
+			}
+			if len(r.Scored) != len(want[i]) {
+				t.Fatalf("opt=%+v query %d: %d scored, want %d", opt, i, len(r.Scored), len(want[i]))
+			}
+			for j := range want[i] {
+				if r.Scored[j].Entity != want[i][j].Entity ||
+					math.Abs(r.Scored[j].Score-want[i][j].Score) > 1e-12 {
+					t.Fatalf("opt=%+v query %d cand %d: %+v != %+v", opt, i, j, r.Scored[j], want[i][j])
+				}
+			}
+			wantBest := kb.NoEntity
+			if len(want[i]) > 0 {
+				wantBest = want[i][0].Entity
+			}
+			if r.Entity != wantBest {
+				t.Fatalf("opt=%+v query %d: best %d, want %d", opt, i, r.Entity, wantBest)
+			}
+		}
+	}
+}
+
+func TestLinkBatchEmpty(t *testing.T) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{})
+	if got := l.LinkBatch(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// An already-expired context must mark every item with the context error
+// and return promptly rather than scoring anything.
+func TestLinkBatchExpiredContext(t *testing.T) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	start := time.Now()
+	got := l.LinkBatch(ctx, batchQueries(200))
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("expired batch took %v", el)
+	}
+	for i, r := range got {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("query %d: err = %v, want deadline exceeded", i, r.Err)
+		}
+		if r.Entity != kb.NoEntity || r.Scored != nil {
+			t.Fatalf("query %d carries results despite deadline: %+v", i, r)
+		}
+	}
+}
+
+func TestScoreCandidatesCtxCancelled(t *testing.T) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.ScoreCandidatesCtx(ctx, 0, 100, "jordan"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if _, _, err := l.LinkMentionCtx(ctx, 0, 100, "jordan"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LinkMentionCtx err = %v", err)
+	}
+	if _, err := l.TopKCtx(ctx, 0, 100, "jordan", 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKCtx err = %v", err)
+	}
+}
+
+// The interest cache must serve repeat scores without recomputation and
+// drop entries for an entity as soon as Feedback appends postings to it.
+func TestInterestCacheInvalidation(t *testing.T) {
+	f := newFixture(50, 5)
+	cached := f.linker(Config{WInterest: 1})
+	fresh := f.linker(Config{WInterest: 1, Batch: BatchOptions{DisableInterestCache: true}})
+
+	first := cached.ScoreCandidates(0, 100, "jordan")
+	again := cached.ScoreCandidates(0, 100, "jordan")
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("cached rescore diverged: %+v != %+v", first[i], again[i])
+		}
+	}
+
+	// Feedback: the target user (0) posts about basketball MJ many times,
+	// making herself part of that community and shifting Eq. 8.
+	for i := 0; i < 10; i++ {
+		tw := &tweets.Tweet{ID: int64(1000 + i), User: 0, Time: 100,
+			Mentions: []tweets.Mention{{Surface: "jordan"}}}
+		links := []kb.EntityID{0}
+		cached.Feedback(tw, links)
+		fresh.Feedback(tw, links)
+	}
+
+	got := cached.ScoreCandidates(0, 100, "jordan")
+	want := fresh.ScoreCandidates(0, 100, "jordan")
+	for i := range want {
+		if got[i].Entity != want[i].Entity || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("post-feedback cand %d: cached %+v, fresh %+v (stale cache?)", i, got[i], want[i])
+		}
+	}
+	if got[0].Interest == first[0].Interest && got[0].Entity == first[0].Entity && got[0].Score == first[0].Score {
+		t.Fatal("feedback did not change the score at all; invalidation untested")
+	}
+}
+
+// InvalidateReachability must flush every entry, not just one entity's.
+func TestInvalidateReachabilityFlushesAll(t *testing.T) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{})
+	l.ScoreCandidates(0, 100, "jordan")
+	l.ScoreCandidates(3, 100, "jordan")
+	if l.cache == nil {
+		t.Fatal("cache unexpectedly disabled")
+	}
+	if _, ok := l.cache.get(0, 0, hashEntitySet([]kb.EntityID{0, 1})); !ok {
+		t.Fatal("expected a live cache entry for (0, 0)")
+	}
+	l.InvalidateReachability()
+	if _, ok := l.cache.get(0, 0, hashEntitySet([]kb.EntityID{0, 1})); ok {
+		t.Fatal("entry survived InvalidateReachability")
+	}
+}
+
+// The parallel interest fan-out must produce the same scores as the
+// serial loop. GOMAXPROCS is raised so fanOutInterest actually fires on
+// single-core CI machines; threshold 1 forces the pool for the tiny
+// fixture's 2-candidate sets.
+func TestParallelInterestMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	f := newFixture(50, 5)
+	par := f.linker(Config{Batch: BatchOptions{ParallelInterestThreshold: 1, DisableInterestCache: true}})
+	ser := f.linker(Config{Batch: BatchOptions{ParallelInterestThreshold: -1, DisableInterestCache: true}})
+	if !par.fanOutInterest(2) {
+		t.Fatal("fan-out not engaged despite threshold 1")
+	}
+	for u := kb.UserID(0); u < 4; u++ {
+		got := par.ScoreCandidates(u, 100, "jordan")
+		want := ser.ScoreCandidates(u, 100, "jordan")
+		if len(got) != len(want) {
+			t.Fatalf("user %d: %d vs %d candidates", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d cand %d: parallel %+v != serial %+v", u, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	c := newInterestCache(1000, 2)
+	for i := 0; i < 100; i++ {
+		c.put(kb.UserID(i), kb.EntityID(i%1000), 1, float64(i))
+	}
+	total := 0
+	for s := range c.shards {
+		total += len(c.shards[s].m)
+	}
+	if total > interestCacheShards*2 {
+		t.Fatalf("cache holds %d entries, bound is %d", total, interestCacheShards*2)
+	}
+}

@@ -10,6 +10,13 @@
 // intra- or inter-tweet joint inference — which is what makes the
 // framework fast enough for stream-rate linking.
 //
+// Scoring decomposes into a user-independent part (candidate generation,
+// popularity, recency — functions of the mention surface and time only)
+// and a user-dependent part (interest). The batch pipeline in batch.go
+// exploits the split: queries sharing (surface, now) pay the shared stages
+// once, and the per-(user, entity) interest values are memoised in a
+// sharded generation-stamped cache (cache.go).
+//
 // Naming note: the paper's α/β/γ are internally inconsistent (Eq. 1 binds
 // β to popularity and γ to recency, while Table 3, Table 4 and Fig. 6(d)
 // clearly treat β as recency and γ as popularity, e.g. "β=1" scoring
@@ -18,8 +25,11 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"microlink/internal/candidate"
 	"microlink/internal/influence"
@@ -52,6 +62,9 @@ type Config struct {
 	// decide. ≤ 0 selects the default 0.05; pass a tiny positive value
 	// (e.g. 1e-12) to effectively disable the floor.
 	MinInterest float64
+	// Batch tunes the concurrent batch pipeline and interest cache (see
+	// batch.go); the zero value selects sensible defaults.
+	Batch BatchOptions
 }
 
 func (c *Config) fill() {
@@ -64,6 +77,7 @@ func (c *Config) fill() {
 	if c.MinInterest <= 0 {
 		c.MinInterest = 0.05
 	}
+	c.Batch.fill()
 }
 
 // Scored is one ranked candidate with its feature breakdown.
@@ -87,10 +101,16 @@ type Linker struct {
 	rec   *recency.Scorer
 	cfg   Config
 
+	// cache memoises raw S_in(u, e) values; nil when disabled. Reads and
+	// writes happen under mu's read side, invalidation under the write
+	// side (Feedback) or InvalidateReachability.
+	cache *interestCache
+
 	// mu serialises the interactive feedback path (write) against scoring
-	// (read). The substrates lock individually, but Feedback spans two of
-	// them (complemented KB, influence cache); without this lock a scorer
-	// can observe the new posting with a stale influential-user set.
+	// (read). The substrates lock individually, but Feedback spans three of
+	// them (complemented KB, influence cache, interest cache); without this
+	// lock a scorer can observe the new posting with a stale
+	// influential-user set.
 	mu  sync.RWMutex
 	met linkerMetrics
 }
@@ -99,18 +119,26 @@ type Linker struct {
 // until Instrument wires a registry; the obs types are nil-safe, so the
 // scoring path records unconditionally.
 type linkerMetrics struct {
-	stage    *obs.HistogramVec // microlink_linker_stage_seconds{stage}
-	link     *obs.Histogram    // microlink_linker_link_seconds
-	mentions *obs.Counter      // microlink_linker_mentions_total
-	misses   *obs.Counter      // microlink_linker_unlinkable_total
-	tweets   *obs.Counter      // microlink_linker_tweets_total
-	feedback *obs.Counter      // microlink_linker_feedback_total
+	stage        *obs.HistogramVec // microlink_linker_stage_seconds{stage}
+	link         *obs.Histogram    // microlink_linker_link_seconds
+	mentions     *obs.Counter      // microlink_linker_mentions_total
+	misses       *obs.Counter      // microlink_linker_unlinkable_total
+	tweets       *obs.Counter      // microlink_linker_tweets_total
+	feedback     *obs.Counter      // microlink_linker_feedback_total
+	cacheHits    *obs.Counter      // microlink_linker_interest_cache_hits_total
+	cacheMisses  *obs.Counter      // microlink_linker_interest_cache_misses_total
+	batchSize    *obs.Histogram    // microlink_linker_batch_size_queries
+	batchWorkers *obs.Gauge        // microlink_linker_batch_workers_active
 }
 
 // New assembles a Linker from its substrates.
 func New(ckb *kb.Complemented, cand *candidate.Index, rx reach.Index, inf *influence.Estimator, rec *recency.Scorer, cfg Config) *Linker {
 	cfg.fill()
-	return &Linker{ckb: ckb, cand: cand, reach: rx, inf: inf, rec: rec, cfg: cfg}
+	l := &Linker{ckb: ckb, cand: cand, reach: rx, inf: inf, rec: rec, cfg: cfg}
+	if !cfg.Batch.DisableInterestCache {
+		l.cache = newInterestCache(ckb.KB().NumEntities(), cfg.Batch.CacheEntriesPerShard)
+	}
+	return l
 }
 
 // Name implements the eval.Linker convention.
@@ -122,7 +150,8 @@ func (l *Linker) Config() Config { return l.cfg }
 // Instrument registers the linker's hot-path metrics in reg and starts
 // recording: per-stage latency histograms for the four Eq. 1 sections
 // (candidate, popularity, recency, interest), the end-to-end per-mention
-// latency, and mention/tweet/feedback counters.
+// latency, mention/tweet/feedback counters, interest-cache hit/miss
+// counters, the batch-size histogram, and the batch pool-depth gauge.
 func (l *Linker) Instrument(reg *obs.Registry) {
 	l.met = linkerMetrics{
 		stage: reg.HistogramVec("microlink_linker_stage_seconds",
@@ -137,6 +166,14 @@ func (l *Linker) Instrument(reg *obs.Registry) {
 			"Tweets linked via LinkTweet."),
 		feedback: reg.Counter("microlink_linker_feedback_total",
 			"Confirmed links appended via the interactive feedback path."),
+		cacheHits: reg.Counter("microlink_linker_interest_cache_hits_total",
+			"Interest-cache lookups answered without reachability averaging."),
+		cacheMisses: reg.Counter("microlink_linker_interest_cache_misses_total",
+			"Interest-cache lookups that recomputed Eq. 8."),
+		batchSize: reg.Histogram("microlink_linker_batch_size_queries",
+			"Queries per LinkBatch call.", obs.ExpBuckets(1, 2, 12)),
+		batchWorkers: reg.Gauge("microlink_linker_batch_workers_active",
+			"Batch pool workers currently scoring a query group."),
 	}
 }
 
@@ -147,21 +184,32 @@ func (l *Linker) StageStats() map[string]obs.HistogramSnapshot {
 	return l.met.stage.Snapshots()
 }
 
-// ScoreCandidates generates E_m for surface and scores every candidate by
-// Eq. 1 for the given author and time, sorted by descending score (ties by
-// ascending entity ID). An unknown surface yields nil.
-func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Scored {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	l.met.mentions.Inc()
-	total := obs.StartSpan(l.met.link)
+// CacheStats returns the interest cache's hit/miss counts since
+// Instrument. Both are zero on an uninstrumented or cache-disabled linker.
+func (l *Linker) CacheStats() (hits, misses uint64) {
+	return l.met.cacheHits.Value(), l.met.cacheMisses.Value()
+}
+
+// sharedScores is the user-independent part of one Eq. 1 evaluation: the
+// candidate set for a surface plus its normalised popularity and recency
+// vectors at one instant. Queries that differ only in the querying user
+// can share it (LinkBatch does); it must not outlive the read-locked
+// critical section it was computed in.
+type sharedScores struct {
+	ents    []kb.EntityID
+	setHash uint64 // candidate-set stamp for the interest cache
+	pops    []float64
+	recs    []float64
+}
+
+// sharedLocked computes the candidate, popularity and recency stages.
+// Returns nil when the surface has no candidates. Callers hold mu.RLock.
+func (l *Linker) sharedLocked(now int64, surface string) *sharedScores {
 	sw := obs.StartStopwatch(l.met.stage)
 
 	cands := l.cand.Candidates(surface)
 	sw.Stage("candidate")
 	if len(cands) == 0 {
-		l.met.misses.Inc()
-		total.Stop()
 		return nil
 	}
 	ents := candidate.Entities(cands)
@@ -184,35 +232,27 @@ func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Score
 	recs := l.rec.Scores(now, ents)
 	sw.Stage("recency")
 
-	// S_in (Eq. 8): average weighted reachability to the most influential
-	// community members. Like S_p (Eq. 2) and S_r (Eq. 9) it is
-	// normalised over the candidate set, so the three features of Eq. 1
-	// mix on a common scale; the paper normalises the other two
-	// explicitly and leaves Eq. 8 raw, which would let a structurally
-	// small reachability value be drowned by the normalised features.
-	ints := make([]float64, len(ents))
-	var intSum float64
-	for i, e := range ents {
-		ints[i] = l.interest(u, e, ents)
-		if ints[i] < l.cfg.MinInterest {
-			ints[i] = 0 // small-world noise, not interest
-		}
-		intSum += ints[i]
-	}
-	if intSum > 0 {
-		for i := range ints {
-			ints[i] /= intSum
-		}
+	return &sharedScores{ents: ents, setHash: hashEntitySet(ents), pops: pops, recs: recs}
+}
+
+// finishLocked computes the user-dependent interest stage against sh and
+// combines Eq. 1, sorted by descending score (ties by ascending entity
+// ID). Callers hold mu.RLock.
+func (l *Linker) finishLocked(ctx context.Context, u kb.UserID, sh *sharedScores) ([]Scored, error) {
+	sw := obs.StartStopwatch(l.met.stage)
+	ints, err := l.interests(ctx, u, sh)
+	if err != nil {
+		return nil, err
 	}
 	sw.Stage("interest")
 
-	out := make([]Scored, len(ents))
-	for i, e := range ents {
+	out := make([]Scored, len(sh.ents))
+	for i, e := range sh.ents {
 		out[i] = Scored{
 			Entity:     e,
 			Interest:   ints[i],
-			Recency:    recs[i],
-			Popularity: pops[i],
+			Recency:    sh.recs[i],
+			Popularity: sh.pops[i],
 		}
 		out[i].Score = l.cfg.WInterest*out[i].Interest +
 			l.cfg.WRecency*out[i].Recency +
@@ -224,7 +264,138 @@ func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Score
 		}
 		return out[i].Entity < out[j].Entity
 	})
-	total.Stop()
+	return out, nil
+}
+
+// interests computes the S_in vector (Eq. 8) for u over sh.ents, floored
+// by MinInterest and normalised over the candidate set. Like S_p (Eq. 2)
+// and S_r (Eq. 9) it is normalised so the three features of Eq. 1 mix on
+// a common scale; the paper normalises the other two explicitly and
+// leaves Eq. 8 raw, which would let a structurally small reachability
+// value be drowned by the normalised features.
+//
+// When the amount of work — len(ents) candidates × TopInfluential
+// reachability reads each — exceeds the configured threshold, the
+// per-candidate computations fan out across a bounded worker pool: each
+// is an independent read (reach.R and the influence cache are
+// concurrent-safe, and the caller's read lock spans the fan-out).
+func (l *Linker) interests(ctx context.Context, u kb.UserID, sh *sharedScores) ([]float64, error) {
+	ints := make([]float64, len(sh.ents))
+	if l.fanOutInterest(len(sh.ents)) {
+		if err := l.interestsParallel(ctx, u, sh, ints); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, e := range sh.ents {
+			if i&7 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			ints[i] = l.cachedInterest(u, e, sh)
+		}
+	}
+	var sum float64
+	for i := range ints {
+		if ints[i] < l.cfg.MinInterest {
+			ints[i] = 0 // small-world noise, not interest
+		}
+		sum += ints[i]
+	}
+	if sum > 0 {
+		for i := range ints {
+			ints[i] /= sum
+		}
+	}
+	return ints, nil
+}
+
+// fanOutInterest reports whether the interest stage should use the worker
+// pool: enough independent work to amortise goroutine handoff, and more
+// than one P to run it on.
+func (l *Linker) fanOutInterest(numCands int) bool {
+	thr := l.cfg.Batch.ParallelInterestThreshold
+	return thr > 0 && numCands*l.cfg.TopInfluential > thr && runtime.GOMAXPROCS(0) > 1
+}
+
+func (l *Linker) interestsParallel(ctx context.Context, u kb.UserID, sh *sharedScores, ints []float64) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sh.ents) {
+		workers = len(sh.ents)
+	}
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sh.ents) || cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				ints[i] = l.cachedInterest(u, sh.ents[i], sh)
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// cachedInterest answers S_in(u, e) from the interest cache when a live
+// entry exists, computing and storing it otherwise. Callers hold mu.RLock,
+// which makes the generation read + compute + store atomic with respect to
+// Feedback's invalidation bumps.
+func (l *Linker) cachedInterest(u kb.UserID, e kb.EntityID, sh *sharedScores) float64 {
+	if l.cache == nil {
+		return l.interest(u, e, sh.ents)
+	}
+	if v, ok := l.cache.get(u, e, sh.setHash); ok {
+		l.met.cacheHits.Inc()
+		return v
+	}
+	v := l.interest(u, e, sh.ents)
+	l.cache.put(u, e, sh.setHash, v)
+	l.met.cacheMisses.Inc()
+	return v
+}
+
+// ScoreCandidatesCtx generates E_m for surface and scores every candidate
+// by Eq. 1 for the given author and time, sorted by descending score (ties
+// by ascending entity ID). An unknown surface yields nil with a nil error.
+// The context is observed between scoring stages and inside the interest
+// loop: cancellation or an expired deadline aborts with ctx.Err(), and the
+// deadline propagates into nothing blocking — every stage is pure
+// in-memory computation, so the check granularity is a few microseconds.
+func (l *Linker) ScoreCandidatesCtx(ctx context.Context, u kb.UserID, now int64, surface string) ([]Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.met.mentions.Inc()
+	total := obs.StartSpan(l.met.link)
+	defer total.Stop()
+
+	sh := l.sharedLocked(now, surface)
+	if sh == nil {
+		l.met.misses.Inc()
+		return nil, nil
+	}
+	return l.finishLocked(ctx, u, sh)
+}
+
+// ScoreCandidates is ScoreCandidatesCtx with a background context.
+func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Scored {
+	out, _ := l.ScoreCandidatesCtx(context.Background(), u, now, surface)
 	return out
 }
 
@@ -247,14 +418,21 @@ func (l *Linker) interest(u kb.UserID, e kb.EntityID, ents []kb.EntityID) float6
 	return sum / float64(len(users))
 }
 
-// LinkMention links one mention to its best entity. ok is false when the
-// surface has no candidates.
-func (l *Linker) LinkMention(u kb.UserID, now int64, surface string) (kb.EntityID, bool) {
-	scored := l.ScoreCandidates(u, now, surface)
-	if len(scored) == 0 {
-		return kb.NoEntity, false
+// LinkMentionCtx links one mention to its best entity. ok is false when
+// the surface has no candidates; a non-nil error reports context
+// cancellation or deadline expiry.
+func (l *Linker) LinkMentionCtx(ctx context.Context, u kb.UserID, now int64, surface string) (kb.EntityID, bool, error) {
+	scored, err := l.ScoreCandidatesCtx(ctx, u, now, surface)
+	if err != nil || len(scored) == 0 {
+		return kb.NoEntity, false, err
 	}
-	return scored[0].Entity, true
+	return scored[0].Entity, true, nil
+}
+
+// LinkMention is LinkMentionCtx with a background context.
+func (l *Linker) LinkMention(u kb.UserID, now int64, surface string) (kb.EntityID, bool) {
+	e, ok, _ := l.LinkMentionCtx(context.Background(), u, now, surface)
+	return e, ok
 }
 
 // NewEntityThreshold returns β+γ — the score ceiling of any candidate the
@@ -263,11 +441,14 @@ func (l *Linker) LinkMention(u kb.UserID, now int64, surface string) (kb.EntityI
 // empty result rather than a false positive.
 func (l *Linker) NewEntityThreshold() float64 { return l.cfg.WRecency + l.cfg.WPopularity }
 
-// TopK returns up to k candidates whose score strictly exceeds the
+// TopKCtx returns up to k candidates whose score strictly exceeds the
 // new-entity threshold. An empty result signals that the mention likely
 // refers to an entity or meaning absent from the knowledgebase.
-func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
-	scored := l.ScoreCandidates(u, now, surface)
+func (l *Linker) TopKCtx(ctx context.Context, u kb.UserID, now int64, surface string, k int) ([]Scored, error) {
+	scored, err := l.ScoreCandidatesCtx(ctx, u, now, surface)
+	if err != nil {
+		return nil, err
+	}
 	thr := l.NewEntityThreshold()
 	out := scored[:0:0]
 	for _, s := range scored {
@@ -279,6 +460,12 @@ func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
 			break
 		}
 	}
+	return out, nil
+}
+
+// TopK is TopKCtx with a background context.
+func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
+	out, _ := l.TopKCtx(context.Background(), u, now, surface, k)
 	return out
 }
 
@@ -299,9 +486,9 @@ func (l *Linker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
 
 // Feedback implements the interactive update path of §3.2.2: once the
 // linking of tw is confirmed, the tweet is appended to the complemented
-// knowledgebase under each linked entity and the cached influential-user
-// sets of those entities are invalidated. links must be parallel to
-// tw.Mentions; kb.NoEntity entries are skipped.
+// knowledgebase under each linked entity, and the cached influential-user
+// sets and interest values of those entities are invalidated. links must
+// be parallel to tw.Mentions; kb.NoEntity entries are skipped.
 func (l *Linker) Feedback(tw *tweets.Tweet, links []kb.EntityID) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -311,6 +498,28 @@ func (l *Linker) Feedback(tw *tweets.Tweet, links []kb.EntityID) {
 		}
 		l.ckb.Link(e, kb.Posting{Tweet: tw.ID, User: tw.User, Time: tw.Time})
 		l.inf.Invalidate(e)
+		l.cache.invalidateEntity(e)
 		l.met.feedback.Inc()
 	}
 }
+
+// UpdateReachability runs fn — a mutation of the reachability substrate,
+// e.g. a dynamic-closure edge insertion — under the linker's write lock,
+// excluding every concurrent scorer, then drops all cached interest
+// values (a repaired edge can move any user's weighted reachability, so
+// every cached S_in is suspect). The facade's Follow path uses it; the
+// dynamic closure itself is not concurrency-safe, so routing mutations
+// through here is what makes reach.R safe to read behind the RWMutex.
+func (l *Linker) UpdateReachability(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	l.cache.invalidateAll()
+}
+
+// InvalidateReachability drops every cached interest value without
+// mutating the substrate — for callers that changed reachability out of
+// band and only need the cache flushed.
+func (l *Linker) InvalidateReachability() { l.UpdateReachability(nil) }

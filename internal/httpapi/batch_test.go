@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"microlink"
+)
+
+func postBatch(t *testing.T, s *Server, req BatchRequest, ctx context.Context) *httptest.ResponseRecorder {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	r := httptest.NewRequest("POST", "/v1/link/batch", bytes.NewReader(b))
+	if ctx != nil {
+		r = r.WithContext(ctx)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, r)
+	return rec
+}
+
+// TestBatchEndpoint checks the happy path: results come back in request
+// order and agree with the single-mention endpoint for the same (user,
+// mention) pair.
+func TestBatchEndpoint(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	req := BatchRequest{Queries: []BatchQuery{
+		{User: 100, Mention: surface},
+		{User: 101, Mention: surface},
+		{User: 100, Mention: "zzzzzzzz"}, // unlinkable, not an error
+	}}
+	rec := postBatch(t, s, req, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 || resp.Linked != 3 || resp.Failed != 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	for i, item := range resp.Results {
+		if item.Mention != req.Queries[i].Mention {
+			t.Fatalf("item %d out of order: %+v", i, item)
+		}
+		if item.Error != nil {
+			t.Fatalf("item %d unexpected error: %+v", i, item.Error)
+		}
+	}
+	if len(resp.Results[0].Candidates) < 2 || resp.Results[0].Entity != resp.Results[0].Candidates[0].Entity {
+		t.Fatalf("ambiguous item: %+v", resp.Results[0])
+	}
+	if resp.Results[2].Entity != microlink.NoEntity || len(resp.Results[2].Candidates) != 0 {
+		t.Fatalf("unlinkable item: %+v", resp.Results[2])
+	}
+
+	// Agreement with the single-mention endpoint.
+	var single LinkResponse
+	if rec := get(t, s, "/v1/link?user=100&mention="+surface, &single); rec.Code != http.StatusOK {
+		t.Fatalf("single link status = %d", rec.Code)
+	}
+	if len(single.Candidates) != len(resp.Results[0].Candidates) {
+		t.Fatalf("batch %d candidates vs single %d", len(resp.Results[0].Candidates), len(single.Candidates))
+	}
+	for i := range single.Candidates {
+		if single.Candidates[i] != resp.Results[0].Candidates[i] {
+			t.Fatalf("candidate %d: batch %+v != single %+v", i, resp.Results[0].Candidates[i], single.Candidates[i])
+		}
+	}
+}
+
+// TestBatchValidation covers the request-level rejections: empty batches
+// and batches over the cap.
+func TestBatchValidation(t *testing.T) {
+	s := testServer(t)
+
+	decodeError(t, postBatch(t, s, BatchRequest{}, nil), http.StatusBadRequest, CodeEmptyBatch)
+
+	over := BatchRequest{Queries: make([]BatchQuery, MaxBatchQueries+1)}
+	for i := range over.Queries {
+		over.Queries[i] = BatchQuery{User: 1, Mention: "x"}
+	}
+	decodeError(t, postBatch(t, s, over, nil), http.StatusBadRequest, CodeBatchTooLarge)
+}
+
+// TestBatchPartialFailure checks per-item isolation: invalid items carry
+// their own error codes while valid ones in the same request still score.
+func TestBatchPartialFailure(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	users := int32(sys.World.Graph.NumNodes())
+	rec := postBatch(t, s, BatchRequest{Queries: []BatchQuery{
+		{User: users, Mention: surface}, // out of range
+		{User: 100, Mention: surface},   // valid
+		{User: -7, Mention: surface},    // out of range
+		{User: 100, Mention: ""},        // missing mention
+	}}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Linked != 1 || resp.Failed != 3 {
+		t.Fatalf("linked/failed = %d/%d: %+v", resp.Linked, resp.Failed, resp)
+	}
+	wantCodes := []string{CodeUnknownUser, "", CodeUnknownUser, CodeMissingMention}
+	for i, item := range resp.Results {
+		switch {
+		case wantCodes[i] == "":
+			if item.Error != nil || len(item.Candidates) == 0 {
+				t.Errorf("item %d should have scored: %+v", i, item)
+			}
+		case item.Error == nil || item.Error.Code != wantCodes[i]:
+			t.Errorf("item %d error = %+v, want code %q", i, item.Error, wantCodes[i])
+		}
+	}
+}
+
+// TestBatchExpiredContext checks the deadline path end to end: a request
+// whose context has already expired returns promptly with every scored
+// item marked deadline_exceeded (HTTP status stays 200 — failures are per
+// item).
+func TestBatchExpiredContext(t *testing.T) {
+	s := testServer(t)
+	surface := ambiguousSurface(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	start := time.Now()
+	queries := make([]BatchQuery, 32)
+	for i := range queries {
+		queries[i] = BatchQuery{User: int32(i), Mention: surface}
+	}
+	rec := postBatch(t, s, BatchRequest{Queries: queries}, ctx)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired batch took %v, want prompt return", elapsed)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != len(queries) {
+		t.Fatalf("failed = %d, want %d: %+v", resp.Failed, len(queries), resp)
+	}
+	for i, item := range resp.Results {
+		if item.Error == nil || item.Error.Code != CodeDeadlineExceeded {
+			t.Fatalf("item %d error = %+v, want %s", i, item.Error, CodeDeadlineExceeded)
+		}
+	}
+}

@@ -12,8 +12,9 @@ import (
 	"microlink"
 )
 
-// TestMalformedBodies covers the JSON decoding error paths of both POST
-// endpoints: truncated JSON, wrong top-level type, and empty bodies.
+// TestMalformedBodies covers the JSON decoding error paths of the POST
+// endpoints: truncated JSON, wrong top-level type, and empty bodies. All
+// are 400 invalid_json in the structured envelope.
 func TestMalformedBodies(t *testing.T) {
 	s := testServer(t)
 	for _, tc := range []struct{ path, body string }{
@@ -23,6 +24,8 @@ func TestMalformedBodies(t *testing.T) {
 		{"/v1/confirm", `{"tweet": "not-a-number"}`},
 		{"/v1/confirm", "{"},
 		{"/v1/confirm", ""},
+		{"/v1/link/batch", `{"queries": "nope"}`},
+		{"/v1/link/batch", ""},
 	} {
 		req := httptest.NewRequest("POST", tc.path, strings.NewReader(tc.body))
 		rec := httptest.NewRecorder()
@@ -30,46 +33,50 @@ func TestMalformedBodies(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s body %q: status = %d, want 400", tc.path, tc.body, rec.Code)
 		}
-		var e errorBody
-		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		var e ErrorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code != CodeInvalidJSON {
 			t.Errorf("%s body %q: error body = %q", tc.path, tc.body, rec.Body.String())
 		}
 	}
 }
 
-// TestOutOfRangeIDs covers user/entity validation across every endpoint
-// that takes one.
+// TestOutOfRangeIDs covers the 400-vs-404 split across every endpoint
+// that takes an ID: malformed values are 400, well-formed IDs outside the
+// world are 404 with unknown_user / unknown_entity.
 func TestOutOfRangeIDs(t *testing.T) {
 	s := testServer(t)
 	users := sys.World.Graph.NumNodes()
-	for _, path := range []string{
-		"/v1/link?user=" + strconv.Itoa(users) + "&mention=x",
-		"/v1/topk?user=-1&mention=x",
-		"/v1/topk?user=" + strconv.Itoa(users+5) + "&mention=x",
-		"/v1/search?user=-3&q=x",
-		"/v1/search?user=" + strconv.Itoa(users) + "&q=x",
-		"/v1/link?user=notanumber&mention=x",
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/link?user=" + strconv.Itoa(users) + "&mention=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/topk?user=-1&mention=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/topk?user=" + strconv.Itoa(users+5) + "&mention=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/search?user=-3&q=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/search?user=" + strconv.Itoa(users) + "&q=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/link?user=notanumber&mention=x", http.StatusBadRequest, CodeInvalidUser},
 	} {
-		if rec := get(t, s, path, nil); rec.Code != http.StatusBadRequest {
-			t.Errorf("%s: status = %d, want 400", path, rec.Code)
-		}
+		decodeError(t, get(t, s, tc.path, nil), tc.status, tc.code)
 	}
-	for _, body := range []any{
-		TweetRequest{User: int32(users), Text: "x"},
-		ConfirmRequest{User: 1, Entity: microlink.EntityID(sys.World.KB.NumEntities())},
-		ConfirmRequest{User: int32(users), Entity: 0},
+	for _, tc := range []struct {
+		body any
+		code string
+	}{
+		{TweetRequest{User: int32(users), Text: "x"}, CodeUnknownUser},
+		{ConfirmRequest{User: 1, Entity: microlink.EntityID(sys.World.KB.NumEntities())}, CodeUnknownEntity},
+		{ConfirmRequest{User: int32(users), Entity: 0}, CodeUnknownUser},
 	} {
-		b, _ := json.Marshal(body)
+		b, _ := json.Marshal(tc.body)
 		path := "/v1/tweet"
-		if _, ok := body.(ConfirmRequest); ok {
+		if _, ok := tc.body.(ConfirmRequest); ok {
 			path = "/v1/confirm"
 		}
 		req := httptest.NewRequest("POST", path, bytes.NewReader(b))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
-		if rec.Code != http.StatusBadRequest {
-			t.Errorf("%s %+v: status = %d, want 400", path, body, rec.Code)
-		}
+		decodeError(t, rec, http.StatusNotFound, tc.code)
 	}
 }
 
@@ -79,6 +86,7 @@ func TestWrongMethods(t *testing.T) {
 	for _, tc := range []struct{ method, path string }{
 		{"POST", "/healthz"},
 		{"POST", "/v1/link"},
+		{"GET", "/v1/link/batch"},
 		{"POST", "/v1/topk"},
 		{"POST", "/v1/search"},
 		{"GET", "/v1/tweet"},

@@ -1,12 +1,48 @@
 // Package httpapi exposes the online-inference module (§3.2.2) over HTTP:
-// per-mention linking, top-k with the new-entity threshold, raw-tweet
-// ingestion with NER and optional feedback, personalized microblog
-// search, and Prometheus metrics. The cmd/linkd binary mounts this API;
-// the package keeps the handlers testable without a socket.
+// per-mention linking (single and batched), top-k with the new-entity
+// threshold, raw-tweet ingestion with NER and optional feedback,
+// personalized microblog search, and Prometheus metrics. The cmd/linkd
+// binary mounts this API; the package keeps the handlers testable without
+// a socket.
+//
+// # Errors
+//
+// Every error response carries a structured envelope,
+//
+//	{"error": {"code": "unknown_user", "message": "user 9000 out of range"}}
+//
+// with a machine-readable code from the catalogue below. Malformed input
+// (unparseable JSON, non-numeric or missing parameters) is 400; references
+// to IDs outside the world (users, entities) are 404.
+//
+//	invalid_json       400  request body is not valid JSON
+//	invalid_user       400  user parameter missing or not an integer
+//	missing_mention    400  mention parameter/field missing or empty
+//	missing_query      400  q parameter missing or empty
+//	empty_batch        400  batch request carries no queries
+//	batch_too_large    400  batch request exceeds MaxBatchQueries
+//	unknown_user       404  user ID outside the world
+//	unknown_entity     404  entity ID outside the knowledgebase
+//	deadline_exceeded  504  request (or batch item) deadline expired
+//	canceled           499  request context canceled mid-flight
+//	internal           500  unexpected failure
+//
+// The deadline_exceeded and canceled codes also appear per item in batch
+// responses, where the HTTP status stays 200 and failures are isolated to
+// the items they hit.
+//
+// # Deadlines
+//
+// Handlers propagate the request context into the scoring pipeline
+// (core.ScoreCandidatesCtx and friends), so server-side timeouts and
+// client disconnects cancel in-flight scoring instead of burning CPU on
+// an answer nobody will read.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"log"
 	"net/http"
 	"strconv"
@@ -17,30 +53,70 @@ import (
 	"microlink/internal/obs"
 )
 
+// Error codes returned in the error envelope. See the package
+// documentation for the status each maps to.
+const (
+	CodeInvalidJSON      = "invalid_json"
+	CodeInvalidUser      = "invalid_user"
+	CodeMissingMention   = "missing_mention"
+	CodeMissingQuery     = "missing_query"
+	CodeEmptyBatch       = "empty_batch"
+	CodeBatchTooLarge    = "batch_too_large"
+	CodeUnknownUser      = "unknown_user"
+	CodeUnknownEntity    = "unknown_entity"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeCanceled         = "canceled"
+	CodeInternal         = "internal"
+)
+
+// MaxBatchQueries caps the number of queries one /v1/link/batch request
+// may carry; larger batches are rejected with batch_too_large.
+const MaxBatchQueries = 256
+
+// StatusClientClosedRequest is the (nginx-conventional) status reported
+// when the client goes away mid-request; net/http cannot actually deliver
+// it, but it keeps the metrics honest.
+const StatusClientClosedRequest = 499
+
 // Server wires the linking system into an http.Handler. Every endpoint is
 // wrapped with the obs HTTP middleware, recording per-endpoint request
 // counts by status class, an in-flight gauge, and latency histograms into
 // the system's metrics registry; GET /metrics exposes the registry in
 // Prometheus text format.
 type Server struct {
-	sys *microlink.System
-	mux *http.ServeMux
+	sys  *microlink.System
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
 
 	started time.Time
 	nLink   atomic.Int64
+	nBatch  atomic.Int64
 	nTweet  atomic.Int64
 	nSearch atomic.Int64
 }
 
+// Option customises a Server.
+type Option func(*Server)
+
+// WithLogger replaces the request/error logger (default log.Printf). Pass
+// a no-op to silence the server, e.g. under `go test`.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
 // New returns a Server over sys.
-func New(sys *microlink.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), started: time.Now()}
+func New(sys *microlink.System, opts ...Option) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), logf: log.Printf, started: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	mw := obs.NewHTTPMetrics(sys.Metrics, "microlink")
 	handle := func(pattern, endpoint string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, mw.WrapFunc(endpoint, h))
 	}
 	handle("GET /healthz", "/healthz", s.handleHealth)
 	handle("GET /v1/link", "/v1/link", s.handleLink)
+	handle("POST /v1/link/batch", "/v1/link/batch", s.handleLinkBatch)
 	handle("GET /v1/topk", "/v1/topk", s.handleTopK)
 	handle("GET /v1/search", "/v1/search", s.handleSearch)
 	handle("POST /v1/tweet", "/v1/tweet", s.handleTweet)
@@ -50,36 +126,84 @@ func New(sys *microlink.System) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler with basic request logging.
+// ServeHTTP implements http.Handler with request logging through the
+// injectable logger (the obs middleware separately records metrics).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mux.ServeHTTP(w, r)
-	log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start))
+	s.logf("%s %s %v", r.Method, r.URL.Path, time.Since(start))
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// ErrorInfo is the machine-readable payload of the error envelope.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// ErrorBody is the uniform error envelope: {"error":{"code":...,"message":...}}.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("httpapi: encode response: %v", err)
+		s.logf("httpapi: encode response: %v", err)
 	}
 }
 
-func badRequest(w http.ResponseWriter, msg string) {
-	writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
+// writeError emits the structured error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: msg}})
 }
 
-// parseUser extracts and validates the user parameter.
-func (s *Server) parseUser(r *http.Request) (microlink.UserID, bool) {
-	u, err := strconv.Atoi(r.URL.Query().Get("user"))
-	if err != nil || u < 0 || u >= s.sys.World.Graph.NumNodes() {
-		return 0, false
+// apiErr is a deferred writeError: parse/validation helpers return it so
+// handlers decide uniformly whether to fail the request or one batch item.
+type apiErr struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiErr) send(s *Server, w http.ResponseWriter) {
+	s.writeError(w, e.status, e.code, e.msg)
+}
+
+// ctxErrInfo maps a context error onto the catalogue.
+func ctxErrInfo(err error) (int, ErrorInfo) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, ErrorInfo{Code: CodeDeadlineExceeded, Message: "deadline exceeded while scoring"}
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, ErrorInfo{Code: CodeCanceled, Message: "request canceled"}
+	default:
+		return http.StatusInternalServerError, ErrorInfo{Code: CodeInternal, Message: err.Error()}
 	}
-	return microlink.UserID(u), true
+}
+
+// validateUser range-checks an already-parsed user ID.
+func (s *Server) validateUser(u int64) *apiErr {
+	if u < 0 || u >= int64(s.sys.World.Graph.NumNodes()) {
+		return &apiErr{http.StatusNotFound, CodeUnknownUser,
+			"user " + strconv.FormatInt(u, 10) + " out of range"}
+	}
+	return nil
+}
+
+// parseUser extracts and validates the user query parameter: 400 for a
+// missing or non-numeric value, 404 for an out-of-range ID.
+func (s *Server) parseUser(r *http.Request) (microlink.UserID, *apiErr) {
+	raw := r.URL.Query().Get("user")
+	u, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, &apiErr{http.StatusBadRequest, CodeInvalidUser,
+			"user parameter missing or not an integer: " + strconv.Quote(raw)}
+	}
+	if e := s.validateUser(u); e != nil {
+		return 0, e
+	}
+	return microlink.UserID(u), nil
 }
 
 // parseNow extracts the optional now parameter, defaulting to the world
@@ -94,7 +218,7 @@ func (s *Server) parseNow(r *http.Request) int64 {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // ScoredEntity is the JSON form of one ranked candidate.
@@ -133,18 +257,116 @@ type LinkResponse struct {
 
 func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	s.nLink.Add(1)
-	user, ok := s.parseUser(r)
-	if !ok {
-		badRequest(w, "missing or invalid user")
+	user, aerr := s.parseUser(r)
+	if aerr != nil {
+		aerr.send(s, w)
 		return
 	}
 	mention := r.URL.Query().Get("mention")
 	if mention == "" {
-		badRequest(w, "missing mention")
+		s.writeError(w, http.StatusBadRequest, CodeMissingMention, "missing mention parameter")
 		return
 	}
-	scored := s.sys.Linker.ScoreCandidates(user, s.parseNow(r), mention)
-	writeJSON(w, http.StatusOK, LinkResponse{Mention: mention, Candidates: s.scoredJSON(scored)})
+	scored, err := s.sys.Linker.ScoreCandidatesCtx(r.Context(), user, s.parseNow(r), mention)
+	if err != nil {
+		status, info := ctxErrInfo(err)
+		s.writeError(w, status, info.Code, info.Message)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, LinkResponse{Mention: mention, Candidates: s.scoredJSON(scored)})
+}
+
+// BatchQuery is one query of POST /v1/link/batch. A missing now defaults
+// to the world horizon ("link it as of right now").
+type BatchQuery struct {
+	User    int32  `json:"user"`
+	Now     *int64 `json:"now,omitempty"`
+	Mention string `json:"mention"`
+}
+
+// BatchRequest is the body of POST /v1/link/batch.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchItem is the outcome of one batch query, in request order. Exactly
+// one of Candidates or Error is populated; Entity is the best candidate
+// (-1 when unlinkable or failed).
+type BatchItem struct {
+	Mention    string             `json:"mention"`
+	Entity     microlink.EntityID `json:"entity"`
+	Candidates []ScoredEntity     `json:"candidates,omitempty"`
+	Error      *ErrorInfo         `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/link/batch. Linked counts the
+// items that scored successfully; failures stay per-item.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Linked  int         `json:"linked"`
+	Failed  int         `json:"failed"`
+}
+
+func (s *Server) handleLinkBatch(w http.ResponseWriter, r *http.Request) {
+	s.nBatch.Add(1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, CodeEmptyBatch, "batch carries no queries")
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		s.writeError(w, http.StatusBadRequest, CodeBatchTooLarge,
+			"batch of "+strconv.Itoa(len(req.Queries))+" queries exceeds the cap of "+strconv.Itoa(MaxBatchQueries))
+		return
+	}
+
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	// Validate items first so malformed ones fail without occupying the
+	// scoring pool; valid ones are forwarded to LinkBatch positionally.
+	queries := make([]microlink.MentionQuery, 0, len(req.Queries))
+	forward := make([]int, 0, len(req.Queries)) // queries[j] scores Results[forward[j]]
+	for i, q := range req.Queries {
+		resp.Results[i] = BatchItem{Mention: q.Mention, Entity: microlink.NoEntity}
+		if aerr := s.validateUser(int64(q.User)); aerr != nil {
+			resp.Results[i].Error = &ErrorInfo{Code: aerr.code, Message: aerr.msg}
+			continue
+		}
+		if q.Mention == "" {
+			resp.Results[i].Error = &ErrorInfo{Code: CodeMissingMention, Message: "missing mention field"}
+			continue
+		}
+		now := s.sys.World.Horizon()
+		if q.Now != nil {
+			now = *q.Now
+		}
+		queries = append(queries, microlink.MentionQuery{
+			User: microlink.UserID(q.User), Now: now, Surface: q.Mention,
+		})
+		forward = append(forward, i)
+	}
+
+	for j, br := range s.sys.Linker.LinkBatch(r.Context(), queries) {
+		item := &resp.Results[forward[j]]
+		if br.Err != nil {
+			_, info := ctxErrInfo(br.Err)
+			item.Error = &info
+			continue
+		}
+		item.Entity = br.Entity
+		item.Candidates = s.scoredJSON(br.Scored)
+	}
+	for _, item := range resp.Results {
+		if item.Error != nil {
+			resp.Failed++
+		} else {
+			resp.Linked++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // TopKResponse is the body of /v1/topk. NewEntityLikely reports the
@@ -157,33 +379,40 @@ type TopKResponse struct {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.nLink.Add(1)
-	user, ok := s.parseUser(r)
-	if !ok {
-		badRequest(w, "missing or invalid user")
+	user, aerr := s.parseUser(r)
+	if aerr != nil {
+		aerr.send(s, w)
 		return
 	}
 	mention := r.URL.Query().Get("mention")
 	if mention == "" {
-		badRequest(w, "missing mention")
+		s.writeError(w, http.StatusBadRequest, CodeMissingMention, "missing mention parameter")
 		return
 	}
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k <= 0 {
 		k = 3
 	}
-	top := s.sys.Linker.TopK(user, s.parseNow(r), mention, k)
-	writeJSON(w, http.StatusOK, TopKResponse{
+	top, err := s.sys.Linker.TopKCtx(r.Context(), user, s.parseNow(r), mention, k)
+	if err != nil {
+		status, info := ctxErrInfo(err)
+		s.writeError(w, status, info.Code, info.Message)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, TopKResponse{
 		Mention:         mention,
 		Top:             s.scoredJSON(top),
 		NewEntityLikely: len(top) == 0 && len(s.sys.Candidates.Candidates(mention)) > 0,
 	})
 }
 
-// TweetRequest is the body of POST /v1/tweet: a raw tweet to ingest.
+// TweetRequest is the body of POST /v1/tweet: a raw tweet to ingest. Time
+// is a pointer so that an explicit epoch-0 timestamp is distinguishable
+// from an absent field (which defaults to the world horizon).
 type TweetRequest struct {
 	ID       int64  `json:"id"`
 	User     int32  `json:"user"`
-	Time     int64  `json:"time"`
+	Time     *int64 `json:"time,omitempty"`
 	Text     string `json:"text"`
 	Feedback bool   `json:"feedback"` // append confirmed links to the KB
 }
@@ -200,22 +429,27 @@ type TweetResponse struct {
 	Mentions []TweetMention `json:"mentions"`
 }
 
+// timeOrHorizon resolves an optional timestamp field.
+func (s *Server) timeOrHorizon(t *int64) int64 {
+	if t != nil {
+		return *t
+	}
+	return s.sys.World.Horizon()
+}
+
 func (s *Server) handleTweet(w http.ResponseWriter, r *http.Request) {
 	s.nTweet.Add(1)
 	var req TweetRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		badRequest(w, "invalid JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: "+err.Error())
 		return
 	}
-	if req.User < 0 || int(req.User) >= s.sys.World.Graph.NumNodes() {
-		badRequest(w, "invalid user")
+	if aerr := s.validateUser(int64(req.User)); aerr != nil {
+		aerr.send(s, w)
 		return
-	}
-	if req.Time == 0 {
-		req.Time = s.sys.World.Horizon()
 	}
 	spans := s.sys.NER.Extract(req.Text)
-	tw := microlink.Tweet{ID: req.ID, User: req.User, Time: req.Time, Text: req.Text}
+	tw := microlink.Tweet{ID: req.ID, User: req.User, Time: s.timeOrHorizon(req.Time), Text: req.Text}
 	for _, sp := range spans {
 		tw.Mentions = append(tw.Mentions, microlink.Mention{Surface: sp.Surface, Truth: microlink.NoEntity})
 	}
@@ -231,41 +465,40 @@ func (s *Server) handleTweet(w http.ResponseWriter, r *http.Request) {
 	if req.Feedback {
 		s.sys.Linker.Feedback(&tw, links)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ConfirmRequest is the body of POST /v1/confirm: the interactive
 // consultation of §3.2.2 — the author confirms which entity a mention
 // meant, and the confirmed link complements the knowledgebase (including
-// the Appendix D warm-up case where the top-k was empty).
+// the Appendix D warm-up case where the top-k was empty). Time is a
+// pointer for the same epoch-0 reason as TweetRequest.Time.
 type ConfirmRequest struct {
 	Tweet  int64              `json:"tweet"`
 	User   int32              `json:"user"`
-	Time   int64              `json:"time"`
+	Time   *int64             `json:"time,omitempty"`
 	Entity microlink.EntityID `json:"entity"`
 }
 
 func (s *Server) handleConfirm(w http.ResponseWriter, r *http.Request) {
 	var req ConfirmRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		badRequest(w, "invalid JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: "+err.Error())
 		return
 	}
-	if req.User < 0 || int(req.User) >= s.sys.World.Graph.NumNodes() {
-		badRequest(w, "invalid user")
+	if aerr := s.validateUser(int64(req.User)); aerr != nil {
+		aerr.send(s, w)
 		return
 	}
 	if req.Entity < 0 || int(req.Entity) >= s.sys.World.KB.NumEntities() {
-		badRequest(w, "invalid entity")
+		s.writeError(w, http.StatusNotFound, CodeUnknownEntity,
+			"entity "+strconv.FormatInt(int64(req.Entity), 10)+" out of range")
 		return
 	}
-	if req.Time == 0 {
-		req.Time = s.sys.World.Horizon()
-	}
-	tw := microlink.Tweet{ID: req.Tweet, User: req.User, Time: req.Time,
+	tw := microlink.Tweet{ID: req.Tweet, User: req.User, Time: s.timeOrHorizon(req.Time),
 		Mentions: []microlink.Mention{{Truth: microlink.NoEntity}}}
 	s.sys.Linker.Feedback(&tw, []microlink.EntityID{req.Entity})
-	writeJSON(w, http.StatusOK, map[string]string{"status": "linked"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "linked"})
 }
 
 // SearchResponse is the body of /v1/search.
@@ -286,14 +519,14 @@ type SearchResult struct {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.nSearch.Add(1)
-	user, ok := s.parseUser(r)
-	if !ok {
-		badRequest(w, "missing or invalid user")
+	user, aerr := s.parseUser(r)
+	if aerr != nil {
+		aerr.send(s, w)
 		return
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		badRequest(w, "missing q")
+		s.writeError(w, http.StatusBadRequest, CodeMissingQuery, "missing q parameter")
 		return
 	}
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
@@ -319,7 +552,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Text:   h.Text,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse is the body of /v1/stats.
@@ -329,18 +562,20 @@ type StatsResponse struct {
 	Entities      int     `json:"entities"`
 	Postings      int64   `json:"postings"`
 	LinkRequests  int64   `json:"link_requests"`
+	BatchRequests int64   `json:"batch_requests"`
 	TweetIngests  int64   `json:"tweet_ingests"`
 	Searches      int64   `json:"searches"`
 	ReachIndexMB  float64 `json:"reach_index_mb"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Users:         s.sys.World.Graph.NumNodes(),
 		Entities:      s.sys.World.KB.NumEntities(),
 		Postings:      s.sys.CKB.TotalCount(),
 		LinkRequests:  s.nLink.Load(),
+		BatchRequests: s.nBatch.Load(),
 		TweetIngests:  s.nTweet.Load(),
 		Searches:      s.nSearch.Load(),
 		ReachIndexMB:  float64(s.sys.Reach.SizeBytes()) / (1 << 20),

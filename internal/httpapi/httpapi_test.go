@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -25,7 +26,29 @@ func testServer(t *testing.T) *Server {
 		})
 		sys = microlink.Build(w, microlink.Options{TruthComplement: true})
 	})
-	return New(sys)
+	return New(sys, WithLogger(func(string, ...any) {}))
+}
+
+// i64 builds the optional timestamp fields of the POST bodies.
+func i64(v int64) *int64 { return &v }
+
+// decodeError asserts an error-envelope response with the given status and
+// code.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if rec.Code != status {
+		t.Errorf("status = %d, want %d (%s)", rec.Code, status, rec.Body.String())
+	}
+	var e ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error envelope does not parse: %v (%s)", err, rec.Body.String())
+	}
+	if e.Error.Code != code {
+		t.Errorf("error code = %q, want %q (%s)", e.Error.Code, code, rec.Body.String())
+	}
+	if e.Error.Message == "" {
+		t.Errorf("error message empty: %s", rec.Body.String())
+	}
 }
 
 func get(t *testing.T, s *Server, path string, out any) *httptest.ResponseRecorder {
@@ -86,15 +109,17 @@ func TestLinkEndpoint(t *testing.T) {
 
 func TestLinkValidation(t *testing.T) {
 	s := testServer(t)
-	for _, path := range []string{
-		"/v1/link?mention=x", // no user
-		"/v1/link?user=-1&mention=x",
-		"/v1/link?user=999999&mention=x",
-		"/v1/link?user=1", // no mention
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/link?mention=x", http.StatusBadRequest, CodeInvalidUser}, // no user
+		{"/v1/link?user=-1&mention=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/link?user=999999&mention=x", http.StatusNotFound, CodeUnknownUser},
+		{"/v1/link?user=1", http.StatusBadRequest, CodeMissingMention}, // no mention
 	} {
-		if rec := get(t, s, path, nil); rec.Code != http.StatusBadRequest {
-			t.Errorf("%s: status = %d, want 400", path, rec.Code)
-		}
+		decodeError(t, get(t, s, tc.path, nil), tc.status, tc.code)
 	}
 }
 
@@ -164,22 +189,79 @@ func TestTweetValidation(t *testing.T) {
 	req := httptest.NewRequest("POST", "/v1/tweet", strings.NewReader("{not json"))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("status = %d", rec.Code)
-	}
+	decodeError(t, rec, http.StatusBadRequest, CodeInvalidJSON)
+
 	body, _ := json.Marshal(TweetRequest{User: -5, Text: "x"})
 	req = httptest.NewRequest("POST", "/v1/tweet", bytes.NewReader(body))
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("invalid user: status = %d", rec.Code)
+	decodeError(t, rec, http.StatusNotFound, CodeUnknownUser)
+}
+
+// TestTimeZeroNotConflatedWithUnset is the regression test for the *int64
+// Time fields: an explicit epoch-0 timestamp must reach the substrate as
+// 0, while an absent field defaults to the world horizon. Before the
+// pointer switch both decoded to int64(0) and were rewritten to the
+// horizon.
+func TestTimeZeroNotConflatedWithUnset(t *testing.T) {
+	s := testServer(t)
+	post := func(req ConfirmRequest) {
+		t.Helper()
+		b, _ := json.Marshal(req)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/confirm", bytes.NewReader(b)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("confirm %+v: status = %d: %s", req, rec.Code, rec.Body.String())
+		}
+	}
+	byTweet := func(id int64) microlink.Posting {
+		t.Helper()
+		for _, p := range sys.CKB.Postings(1) {
+			if p.Tweet == id {
+				return p
+			}
+		}
+		t.Fatalf("posting for tweet %d not found", id)
+		return microlink.Posting{}
+	}
+
+	post(ConfirmRequest{Tweet: 31337, User: 10, Time: i64(0), Entity: 1})
+	if p := byTweet(31337); p.Time != 0 {
+		t.Fatalf("explicit time=0 stored as %d (conflated with unset)", p.Time)
+	}
+	post(ConfirmRequest{Tweet: 31338, User: 10, Entity: 1})
+	if p := byTweet(31338); p.Time != sys.World.Horizon() {
+		t.Fatalf("unset time stored as %d, want horizon %d", p.Time, sys.World.Horizon())
+	}
+}
+
+// TestLoggerInjection is the regression test for the double-logging bug:
+// the injected logger must see exactly one line per request (ServeHTTP
+// used to log unconditionally on top of the caller's own logging).
+func TestLoggerInjection(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s := New(sys, WithLogger(func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}))
+	get(t, s, "/healthz", nil)
+	get(t, s, "/v1/stats", nil)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("logger saw %d lines for 2 requests: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "/healthz") || !strings.Contains(lines[1], "/v1/stats") {
+		t.Fatalf("unexpected log lines: %q", lines)
 	}
 }
 
 func TestConfirmEndpoint(t *testing.T) {
 	s := testServer(t)
 	before := sys.CKB.Count(0)
-	body, _ := json.Marshal(ConfirmRequest{Tweet: 777, User: 10, Time: 500, Entity: 0})
+	body, _ := json.Marshal(ConfirmRequest{Tweet: 777, User: 10, Time: i64(500), Entity: 0})
 	req := httptest.NewRequest("POST", "/v1/confirm", bytes.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
@@ -189,19 +271,20 @@ func TestConfirmEndpoint(t *testing.T) {
 	if sys.CKB.Count(0) != before+1 {
 		t.Fatal("confirm did not complement the KB")
 	}
-	// Validation paths.
-	for _, bad := range []ConfirmRequest{
-		{User: -1, Entity: 0},
-		{User: 1, Entity: -2},
-		{User: 1, Entity: 1 << 30},
+	// Unknown IDs are 404 with the matching code.
+	for _, tc := range []struct {
+		bad  ConfirmRequest
+		code string
+	}{
+		{ConfirmRequest{User: -1, Entity: 0}, CodeUnknownUser},
+		{ConfirmRequest{User: 1, Entity: -2}, CodeUnknownEntity},
+		{ConfirmRequest{User: 1, Entity: 1 << 30}, CodeUnknownEntity},
 	} {
-		b, _ := json.Marshal(bad)
+		b, _ := json.Marshal(tc.bad)
 		req := httptest.NewRequest("POST", "/v1/confirm", bytes.NewReader(b))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
-		if rec.Code != http.StatusBadRequest {
-			t.Errorf("%+v: status = %d, want 400", bad, rec.Code)
-		}
+		decodeError(t, rec, http.StatusNotFound, tc.code)
 	}
 }
 

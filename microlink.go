@@ -54,6 +54,12 @@ type (
 	LinkerConfig = core.Config
 	// Scored is a ranked candidate with its feature breakdown.
 	Scored = core.Scored
+	// MentionQuery is one (user, time, surface) triple for Linker.LinkBatch.
+	MentionQuery = core.MentionQuery
+	// BatchResult is the per-query outcome of Linker.LinkBatch.
+	BatchResult = core.BatchResult
+	// BatchOptions tunes the concurrent batch pipeline and interest cache.
+	BatchOptions = core.BatchOptions
 	// Tweet is one microblog posting.
 	Tweet = tweets.Tweet
 	// Mention is one entity mention inside a tweet.
@@ -64,6 +70,9 @@ type (
 	KB = kb.KB
 	// ComplementedKB carries per-entity postings (Definition 5).
 	ComplementedKB = kb.Complemented
+	// Posting is one confirmed (tweet, user, time) link in the
+	// complemented KB.
+	Posting = kb.Posting
 	// EntityID identifies a knowledgebase entity.
 	EntityID = kb.EntityID
 	// UserID identifies a social-network user.
@@ -120,6 +129,12 @@ const (
 type Options struct {
 	// Linker weighs the Eq. 1 features (Table 3 defaults when zero).
 	Linker LinkerConfig
+	// Batch tunes the concurrent batch-linking pipeline and the interest
+	// cache (worker-pool size, intra-mention fan-out threshold, cache
+	// sizing). Zero values select the defaults documented on
+	// core.BatchOptions; when any field is set it takes precedence over a
+	// Batch embedded in Linker.
+	Batch BatchOptions
 	// Reach selects the reachability substrate.
 	Reach ReachKind
 	// MaxHops is the reachability hop bound H (default 4).
@@ -223,6 +238,9 @@ func Build(w *World, opts Options) *System {
 	}
 	rec := recency.NewScorer(ckb, net, opts.Recency)
 
+	if opts.Batch != (BatchOptions{}) {
+		opts.Linker.Batch = opts.Batch
+	}
 	linker := core.New(ckb, cand, rx, inf, rec, opts.Linker)
 	if !opts.DisableMetrics {
 		linker.Instrument(reg)
@@ -271,14 +289,19 @@ var ErrNotDynamic = fmt.Errorf("microlink: reachability substrate is not dynamic
 
 // Follow records a new follow edge u → v and incrementally repairs the
 // weighted reachability index — the social half of the online feedback
-// loop (tweets arrive via Linker.Feedback; follows arrive here). Requires
+// loop (tweets arrive via Linker.Feedback; follows arrive here). The
+// repair runs under the linker's write lock — the dynamic closure is not
+// safe for concurrent use, and the scoring paths read it behind the
+// linker's read lock — and the linker's interest cache is invalidated
+// wholesale afterwards: a repaired edge can move any user's weighted
+// reachability, so every cached S_in value is suspect. Requires
 // Options.Reach = ReachDynamic.
 func (s *System) Follow(u, v UserID) error {
 	dc, ok := unwrapReach(s.Reach).(*reach.DynamicClosure)
 	if !ok {
 		return ErrNotDynamic
 	}
-	dc.InsertEdge(u, v)
+	s.Linker.UpdateReachability(func() { dc.InsertEdge(u, v) })
 	return nil
 }
 
