@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke repro repro-quick examples vet fmt fmt-check cover ci profile
+.PHONY: all build test test-race bench bench-smoke repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
 
 all: build test
 
@@ -12,6 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-invariant static analysis (internal/lint): lock discipline on
+# annotated fields, context propagation, map-order determinism, dropped
+# errors. Fails on any diagnostic; suppress only with a justified
+# //nolint:microlint/<analyzer> comment (see README "Static analysis").
+lint:
+	$(GO) run ./cmd/microlint ./...
+
 fmt:
 	gofmt -w .
 
@@ -19,13 +26,13 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmt-check test test-race bench-smoke
+ci: build vet lint fmt-check test test-race bench-smoke fuzz-smoke
 
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -vet=all -race ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -37,6 +44,14 @@ bench:
 # without paying for steady-state measurements.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# A few seconds of coverage-guided fuzzing per target. Targets are named
+# individually: -fuzz accepts only one match per package.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzTokenize -fuzztime=5s ./internal/textutil
+	$(GO) test -run=NONE -fuzz=FuzzNormalizePhrase -fuzztime=5s ./internal/textutil
+	$(GO) test -run=NONE -fuzz=FuzzWithinEditDistance -fuzztime=5s ./internal/textutil
+	$(GO) test -run=NONE -fuzz=FuzzDecodeLinkRequest -fuzztime=5s ./internal/httpapi
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

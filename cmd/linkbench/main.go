@@ -56,7 +56,10 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "linkbench: closing CPU profile: %v\n", err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "linkbench: CPU profile written to %s\n", *cpuprofile)
 		}()
 	}

@@ -1,0 +1,65 @@
+// Command microlint runs the project's static-analysis suite
+// (internal/lint) over the module containing the working directory.
+//
+// Usage:
+//
+//	microlint [-json] [dir]
+//
+// The optional dir argument selects where to start looking for go.mod
+// (default "."); patterns like ./... are accepted and treated the same
+// way, since microlint always analyzes the whole module. Exit status is
+// 0 when the module is clean, 1 when there are diagnostics, and 2 when
+// the module fails to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microlink/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: microlint [-json] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := "."
+	if args := flag.Args(); len(args) > 1 {
+		flag.Usage()
+		os.Exit(2)
+	} else if len(args) == 1 {
+		// Accept go-style patterns: microlint ./... means "this module".
+		dir = strings.TrimSuffix(args[0], "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "microlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod, lint.Analyzers())
+	var werr error
+	if *jsonOut {
+		werr = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		werr = lint.WriteText(os.Stdout, diags)
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "microlint: %v\n", werr)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "microlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -59,7 +59,7 @@ type interestEntry struct {
 
 type interestShard struct {
 	mu sync.RWMutex
-	m  map[interestKey]interestEntry
+	m  map[interestKey]interestEntry // microlint:guarded-by mu
 }
 
 func newInterestCache(numEntities, maxPerShard int) *interestCache {
@@ -71,6 +71,7 @@ func newInterestCache(numEntities, maxPerShard int) *interestCache {
 		maxPerShard: maxPerShard,
 	}
 	for i := range c.shards {
+		//nolint:microlint/lockcheck -- cache not yet published; no other goroutine can hold a reference
 		c.shards[i].m = make(map[interestKey]interestEntry)
 	}
 	return c

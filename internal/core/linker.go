@@ -395,6 +395,7 @@ func (l *Linker) ScoreCandidatesCtx(ctx context.Context, u kb.UserID, now int64,
 
 // ScoreCandidates is ScoreCandidatesCtx with a background context.
 func (l *Linker) ScoreCandidates(u kb.UserID, now int64, surface string) []Scored {
+	//nolint:microlint/errdrop -- background context cannot be cancelled, so the error is impossible here
 	out, _ := l.ScoreCandidatesCtx(context.Background(), u, now, surface)
 	return out
 }
@@ -431,6 +432,7 @@ func (l *Linker) LinkMentionCtx(ctx context.Context, u kb.UserID, now int64, sur
 
 // LinkMention is LinkMentionCtx with a background context.
 func (l *Linker) LinkMention(u kb.UserID, now int64, surface string) (kb.EntityID, bool) {
+	//nolint:microlint/errdrop -- background context cannot be cancelled, so the error is impossible here
 	e, ok, _ := l.LinkMentionCtx(context.Background(), u, now, surface)
 	return e, ok
 }
@@ -465,6 +467,7 @@ func (l *Linker) TopKCtx(ctx context.Context, u kb.UserID, now int64, surface st
 
 // TopK is TopKCtx with a background context.
 func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
+	//nolint:microlint/errdrop -- background context cannot be cancelled, so the error is impossible here
 	out, _ := l.TopKCtx(context.Background(), u, now, surface, k)
 	return out
 }

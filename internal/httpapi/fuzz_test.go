@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"microlink"
+)
+
+// fuzzServer shares the package test fixture: the world build is
+// expensive, the server is cheap.
+func fuzzServer() *Server {
+	once.Do(func() {
+		w := microlink.Generate(microlink.WorldParams{
+			Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20,
+		})
+		sys = microlink.Build(w, microlink.Options{TruthComplement: true})
+	})
+	return New(sys, WithLogger(func(string, ...any) {}))
+}
+
+// FuzzDecodeLinkRequest throws arbitrary bytes at the batch-link
+// decoder. The contract under test: the server never panics, and every
+// non-200 response is the structured error envelope — malformed JSON
+// must yield a 400 with a machine-readable code, not a naked http.Error
+// line or a crash.
+func FuzzDecodeLinkRequest(f *testing.F) {
+	seeds := []string{
+		`{"queries":[{"user":1,"surface":"acme"}]}`,
+		`{"queries":[{"user":1,"surface":"acme","now":123,"k":3}]}`,
+		`{"queries":[]}`,
+		`{"queries":null}`,
+		`{}`,
+		``,
+		`{`,
+		`[]`,
+		`null`,
+		`"queries"`,
+		`{"queries":[{"user":"not a number"}]}`,
+		`{"queries":[{"user":-1,"surface":""}]}`,
+		`{"queries":[{"user":1e309}]}`,
+		`{"queries":[{"user":1,"surface":"a","now":9223372036854775807}]}`,
+		strings.Repeat(`{"queries":[`, 40) + strings.Repeat(`]}`, 40),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	srv := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/link/batch", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // a panic here fails the fuzz run
+
+		switch {
+		case rec.Code == http.StatusOK:
+			var out BatchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 body does not parse as BatchResponse: %v (%q)", err, rec.Body.String())
+			}
+		default:
+			var e ErrorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("status %d body is not the error envelope: %v (%q)", rec.Code, err, rec.Body.String())
+			}
+			if e.Error.Code == "" {
+				t.Fatalf("status %d envelope has empty code (%q)", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

@@ -55,7 +55,7 @@ type Estimator struct {
 	method Method
 
 	mu    sync.RWMutex
-	cache map[cacheKey][]kb.UserID
+	cache map[cacheKey][]kb.UserID // microlint:guarded-by mu
 }
 
 type cacheKey struct {

@@ -22,9 +22,9 @@ type Complemented struct {
 	kb *KB
 
 	mu       sync.RWMutex
-	postings [][]Posting        // per entity, sorted by Time
-	perUser  []map[UserID]int32 // per entity: |D_e^u|
-	total    int64              // total postings across all entities
+	postings [][]Posting        // microlint:guarded-by mu — per entity, sorted by Time
+	perUser  []map[UserID]int32 // microlint:guarded-by mu — per entity: |D_e^u|
+	total    int64              // microlint:guarded-by mu — total postings across all entities
 }
 
 // Complement wraps a base KB into an (initially empty) complemented KB.
@@ -109,7 +109,11 @@ func (c *Complemented) CommunitySize(e EntityID) int {
 	return len(c.perUser[e])
 }
 
-// Community returns U_e as a freshly allocated, unordered slice.
+// Community returns U_e as a freshly allocated slice, sorted by user
+// ID. The order matters: whole-community interest (Eq. 8) sums
+// floating-point reachabilities over this slice, and float addition is
+// not associative — iterating in map order would make scores differ in
+// the last ulps from run to run.
 func (c *Complemented) Community(e EntityID) []UserID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -117,6 +121,7 @@ func (c *Complemented) Community(e EntityID) []UserID {
 	for u := range c.perUser[e] {
 		out = append(out, u)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches `// want "..." "..."` expectation comments; each
+// quoted string is a regexp that one diagnostic on that line must
+// match.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every .go file under dir for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %w", p, i+1, q[1], err)
+				}
+				wants = append(wants, &expectation{file: p, line: i + 1, pattern: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runCorpus loads testdata/src/<name> as module corpus/<name>, runs the
+// given analyzers, and checks the diagnostics against the want
+// comments.
+func runCorpus(t *testing.T, name string, analyzers []Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadTree(dir, "corpus/"+name)
+	if err != nil {
+		t.Fatalf("load corpus %s: %v", name, err)
+	}
+	diags := Run(mod, analyzers)
+	wants := collectWants(t, dir)
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	for _, name := range []string{"lockcheck", "ctxcheck", "detercheck", "errdrop"} {
+		t.Run(name, func(t *testing.T) {
+			a, ok := AnalyzerByName(name)
+			if !ok {
+				t.Fatalf("no analyzer %q", name)
+			}
+			runCorpus(t, name, []Analyzer{a})
+		})
+	}
+}
+
+// TestNolintReasonRequired checks both halves of the reason rule: a
+// reason-less directive suppresses its target but yields an
+// analyzer="nolint" diagnostic; a justified one is silent.
+func TestNolintReasonRequired(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "nolintreason"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadTree(dir, "corpus/nolintreason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the missing reason): %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "nolint" || !strings.Contains(d.Message, "requires a reason") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}

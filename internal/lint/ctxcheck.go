@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxcheck enforces context propagation on request paths. Inside
+//
+//   - any package whose import path ends in internal/httpapi (the HTTP
+//     layer, where every handler has r.Context() in hand), and
+//   - any function that already receives a context.Context, or whose
+//     name carries the repo's Ctx suffix convention (the core scoring
+//     entrypoints ScoreCandidatesCtx / LinkMentionCtx / TopKCtx),
+//
+// calls to context.Background() or context.TODO() are banned: they
+// detach the work from the caller's deadline and cancellation, which is
+// exactly what the PR 2 batch pipeline plumbed contexts to avoid.
+// Test files are not loaded by the module loader, so tests may use
+// context.Background freely.
+type ctxcheck struct{}
+
+func (ctxcheck) Name() string { return "ctxcheck" }
+func (ctxcheck) Doc() string {
+	return "no context.Background/TODO in httpapi or in functions that already have a context"
+}
+
+// ctxBannedPkgSuffixes lists import-path suffixes where Background/TODO
+// are banned everywhere, not just in ctx-carrying functions.
+var ctxBannedPkgSuffixes = []string{"internal/httpapi"}
+
+func (ctxcheck) Run(pkg *Package, report func(token.Pos, string)) {
+	banEverywhere := false
+	for _, suf := range ctxBannedPkgSuffixes {
+		if pkg.PkgPath == suf || strings.HasSuffix(pkg.PkgPath, "/"+suf) {
+			banEverywhere = true
+			break
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !banEverywhere && !strings.HasSuffix(fd.Name.Name, "Ctx") && !hasCtxParam(pkg, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := contextConstructor(pkg, call)
+				if name == "" {
+					return true
+				}
+				report(call.Pos(), "context."+name+"() detaches from the caller's deadline and cancellation; propagate the context you already have (handlers: r.Context())")
+				return true
+			})
+		}
+	}
+}
+
+// hasCtxParam reports whether fd declares a parameter of type
+// context.Context.
+func hasCtxParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if t := pkg.Info.TypeOf(p.Type); t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// contextConstructor returns "Background" or "TODO" if call is
+// context.Background() or context.TODO(), else "".
+func contextConstructor(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Background", "TODO":
+	default:
+		return ""
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}

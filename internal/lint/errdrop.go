@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errdrop flags error returns that are silently discarded in non-test
+// code: a call whose result set contains an error used as a bare
+// statement, or an error result assigned to the blank identifier. Both
+// forms hide failures (a half-written results file, a refused write)
+// that the caller should at least log.
+//
+// Deliberate discards stay possible — and visible — via
+// //nolint:microlint/errdrop with a written reason.
+//
+// Exemptions, to keep the signal high:
+//   - direct `defer f()` / `go f()` statements (the idiomatic
+//     `defer f.Close()` on read paths); deferred *closures* get no such
+//     pass, so errors dropped inside them are still caught;
+//   - the fmt print family, hash.Hash.Write (documented to never fail),
+//     and sticky-error writers (*bufio.Writer, strings.Builder,
+//     bytes.Buffer), whose error returns are checked once at flush time
+//     by convention.
+type errdrop struct{}
+
+func (errdrop) Name() string { return "errdrop" }
+func (errdrop) Doc() string {
+	return "no unchecked or blank-discarded error returns outside tests"
+}
+
+func (errdrop) Run(pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		// Calls that are the immediate operand of defer/go.
+		direct := map[*ast.CallExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				direct[s.Call] = true
+			case *ast.GoStmt:
+				direct[s.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || direct[call] || exemptCall(pkg, call) {
+					return true
+				}
+				if pos := errorResultIndex(pkg, call); pos >= 0 {
+					report(stmt.Pos(), fmt.Sprintf(
+						"result of %s includes an error that is silently discarded; check it or suppress with a reason",
+						calleeLabel(pkg, call)))
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pkg, stmt, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign reports error results assigned to _.
+func checkBlankAssign(pkg *Package, stmt *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// out, _ := f(...): tuple positions line up with Lhs.
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || exemptCall(pkg, call) {
+			return
+		}
+		tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(stmt.Lhs); i++ {
+			if isBlank(stmt.Lhs[i]) && isErrorType(tuple.At(i).Type()) {
+				report(stmt.Lhs[i].Pos(), fmt.Sprintf(
+					"error result of %s assigned to _; check it or suppress with a reason",
+					calleeLabel(pkg, call)))
+			}
+		}
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		call, ok := stmt.Rhs[i].(*ast.CallExpr)
+		if !ok || exemptCall(pkg, call) {
+			continue
+		}
+		if t := pkg.Info.TypeOf(call); t != nil && isErrorType(t) {
+			report(lhs.Pos(), fmt.Sprintf(
+				"error result of %s assigned to _; check it or suppress with a reason",
+				calleeLabel(pkg, call)))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// errorResultIndex returns the index of the first error in call's
+// result types, or -1.
+func errorResultIndex(pkg *Package, call *ast.CallExpr) int {
+	t := pkg.Info.TypeOf(call)
+	switch tt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if isErrorType(tt.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// exemptCall reports whether call belongs to the conventional
+// don't-check list: fmt printing and sticky-error writers.
+func exemptCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	// hash.Hash.Write is documented to never return an error. The method
+	// object resolves through the embedded io.Writer, so match on the
+	// receiver expression's static type instead.
+	if name == "Write" {
+		if rt := pkg.Info.TypeOf(sel.X); rt != nil && strings.HasPrefix(rt.String(), "hash.Hash") {
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch sig.Recv().Type().String() {
+	case "*bufio.Writer", "*strings.Builder", "*bytes.Buffer":
+		// Write* never returns a non-nil error on these types (bufio
+		// sticks the error for Flush to report).
+		return strings.HasPrefix(name, "Write")
+	}
+	return false
+}
+
+// calleeLabel renders a short human name for the called function.
+func calleeLabel(pkg *Package, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "testing"
+
+// TestModuleIsClean is the dogfooding gate: microlint over the real
+// module must report nothing. Every deliberate exception in the tree
+// carries a //nolint:microlint/<name> directive with a written reason;
+// anything else that shows up here is a genuine regression.
+func TestModuleIsClean(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if mod.Path != "microlink" {
+		t.Fatalf("loaded module %q, want microlink", mod.Path)
+	}
+	diags := Run(mod, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("microlint found %d diagnostic(s) in the module; fix them or suppress with a reason", len(diags))
+	}
+
+	// The load must have covered the whole tree, not a stray subset.
+	seen := map[string]bool{}
+	for _, p := range mod.Pkgs {
+		seen[p.PkgPath] = true
+	}
+	for _, want := range []string{
+		"microlink",
+		"microlink/internal/core",
+		"microlink/internal/httpapi",
+		"microlink/internal/kb",
+		"microlink/internal/lint",
+		"microlink/cmd/microlint",
+	} {
+		if !seen[want] {
+			t.Errorf("module load missed package %s", want)
+		}
+	}
+}

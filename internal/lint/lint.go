@@ -1,0 +1,154 @@
+// Package lint implements microlint, the project's static-analysis
+// suite. It loads every package of the module with go/parser + go/types
+// (no external dependencies) and runs a fixed set of analyzers that
+// encode repo-specific invariants: lock discipline on annotated fields,
+// context propagation on request paths, determinism of map iteration
+// feeding scores, and no silently dropped errors.
+//
+// Diagnostics can be suppressed with a justified
+// //nolint:microlint/<analyzer> comment; see nolint.go.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the loaded module.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check run over every package of a module.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	// Run inspects pkg and reports findings through report. Positions
+	// must be valid in pkg.Fset.
+	Run(pkg *Package, report func(pos token.Pos, msg string))
+}
+
+// Analyzers returns the full microlint suite in its canonical order.
+func Analyzers() []Analyzer {
+	return []Analyzer{lockcheck{}, ctxcheck{}, detercheck{}, errdrop{}}
+}
+
+// AnalyzerByName resolves a single analyzer, for corpus tests.
+func AnalyzerByName(name string) (Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the given analyzers over every package of mod, applies
+// nolint suppression, and returns the surviving diagnostics sorted by
+// position. Reason-less nolint directives produce their own
+// diagnostics (analyzer "nolint"), so a suppression never silently
+// weakens the build.
+func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			name := a.Name()
+			a.Run(pkg, func(pos token.Pos, msg string) {
+				diags = append(diags, Diagnostic{
+					Pos:      mod.Fset.Position(pos),
+					Analyzer: name,
+					Message:  msg,
+				})
+			})
+		}
+	}
+	dirs, dirDiags := collectDirectives(mod)
+	kept := dirDiags
+	for _, d := range diags {
+		if !dirs.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return dedupe(kept)
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// dedupe drops exact duplicates (same position, analyzer, and message),
+// which nested range statements can produce. ds must be sorted.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// jsonDiagnostic is the wire form of a Diagnostic for -json output.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits diagnostics as a JSON array, one object per finding.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteText emits diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

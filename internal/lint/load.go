@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a parsed and type-checked view of one Go module: every
+// non-test package found under the module root, in deterministic
+// (import-path) order.
+type Module struct {
+	Dir  string // absolute module root (directory containing go.mod)
+	Path string // module path from the `module` directive
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Package is one type-checked package of a Module. Files holds only
+// non-_test.go files: microlint checks production code, and test files
+// routinely do things (context.TODO, discarded errors) the analyzers ban.
+type Package struct {
+	PkgPath string // full import path, e.g. "microlink/internal/core"
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadModule locates the module containing dir, then parses and
+// type-checks every package in it.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return LoadTree(root, mp)
+}
+
+// rawPkg is a parsed-but-not-yet-type-checked package.
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool
+}
+
+// LoadTree parses and type-checks every non-test package under root,
+// treating root as the module root for import path modPath. Directories
+// named testdata or vendor, and hidden/underscore directories, are
+// skipped (matching the go tool's walk rules).
+//
+// Type information for stdlib dependencies comes from the source
+// importer (go/importer "source"): modern toolchains no longer ship
+// precompiled export data, so importing from source is the only
+// dependency-free option. Cgo is disabled for the load so that packages
+// like net resolve to their pure-Go fallbacks, which the source
+// importer can check.
+func LoadTree(root, modPath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	raws := map[string]*rawPkg{}
+	walkErr := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", p, err)
+		}
+		dir := filepath.Dir(p)
+		ip := importPathFor(root, modPath, dir)
+		rp := raws[ip]
+		if rp == nil {
+			rp = &rawPkg{path: ip, dir: dir, imports: map[string]bool{}}
+			raws[ip] = rp
+		}
+		rp.files = append(rp.files, file)
+		for _, spec := range file.Imports {
+			rp.imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages under %s", root)
+	}
+
+	order, err := topoOrder(raws)
+	if err != nil {
+		return nil, err
+	}
+
+	mod := &Module{Dir: root, Path: modPath, Fset: fset}
+	local := map[string]*types.Package{}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	imp := &chainImporter{local: local, std: std}
+	for _, ip := range order {
+		rp := raws[ip]
+		// Deterministic file order within the package.
+		sort.Slice(rp.files, func(i, j int) bool {
+			return fset.File(rp.files[i].Pos()).Name() < fset.File(rp.files[j].Pos()).Name()
+		})
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(ip, fset, rp.files, info)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", ip, firstErr)
+		}
+		local[ip] = tpkg
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			PkgPath: ip,
+			Dir:     rp.dir,
+			Fset:    fset,
+			Files:   rp.files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return mod, nil
+}
+
+// importPathFor maps a directory under root to its import path.
+func importPathFor(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// topoOrder sorts packages so that every intra-module import is
+// type-checked before its importers. External (stdlib) imports are
+// ignored; import cycles are a hard error, as in the compiler.
+func topoOrder(raws map[string]*rawPkg) ([]string, error) {
+	paths := make([]string, 0, len(raws))
+	for p := range raws {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = visiting
+		deps := make([]string, 0, len(raws[p].imports))
+		for dep := range raws[p].imports {
+			if _, isLocal := raws[dep]; isLocal {
+				deps = append(deps, dep)
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves intra-module imports from the packages already
+// type-checked in this load, and everything else (stdlib) from source.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}

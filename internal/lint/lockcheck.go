@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockcheck enforces the repo's lock-discipline annotations. A struct
+// field carrying a
+//
+//	// microlint:guarded-by mu
+//
+// comment (doc or trailing) may only be accessed inside functions that
+// call Lock or RLock on that same mutex field. This is the exact bug
+// class PR 2 fixed in the facade's Follow: a write to shared state that
+// every other path guarded.
+//
+// Matching is by field object identity, not by expression text, so
+// sh.m guarded by sh.mu and c.shards[i].m guarded by the same field
+// resolve correctly. Functions whose names end in "Locked" are exempt
+// by convention: their contract is that the caller holds the lock.
+type lockcheck struct{}
+
+func (lockcheck) Name() string { return "lockcheck" }
+func (lockcheck) Doc() string {
+	return "fields annotated `microlint:guarded-by mu` must only be accessed under that mutex"
+}
+
+const guardedByMarker = "microlint:guarded-by"
+
+func (lockcheck) Run(pkg *Package, report func(token.Pos, string)) {
+	guards := collectGuards(pkg, report)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedMutexes(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pkg.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, guarded := guards[fv]
+				if !guarded || locked[mu] {
+					return true
+				}
+				report(sel.Sel.Pos(), fmt.Sprintf(
+					"field %s is guarded by %s, but %s accesses it without calling %s.Lock or %s.RLock",
+					fv.Name(), mu.Name(), fd.Name.Name, mu.Name(), mu.Name()))
+				return true
+			})
+		}
+	}
+}
+
+// collectGuards resolves every guarded-by annotation in the package to
+// a map from guarded field object to its mutex field object. Broken
+// annotations (guard missing, or not a sync.Mutex/RWMutex) are
+// themselves diagnostics: a misspelled annotation must not silently
+// disable the check.
+func collectGuards(pkg *Package, report func(token.Pos, string)) map[*types.Var]*types.Var {
+	guards := map[*types.Var]*types.Var{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				guardName := annotationGuard(fld)
+				if guardName == "" {
+					continue
+				}
+				mu := siblingField(pkg, st, guardName)
+				if mu == nil {
+					report(fld.Pos(), fmt.Sprintf(
+						"guarded-by annotation names %q, which is not a field of this struct", guardName))
+					continue
+				}
+				if !isMutexType(mu.Type()) {
+					report(fld.Pos(), fmt.Sprintf(
+						"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex", guardName))
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotationGuard extracts the guard name from a field's doc or
+// trailing comment, or "" if the field is not annotated.
+func annotationGuard(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if rest, ok := strings.CutPrefix(text, guardedByMarker); ok {
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// siblingField finds the named field in the same struct literal and
+// returns its object.
+func siblingField(pkg *Package, st *ast.StructType, name string) *types.Var {
+	for _, fld := range st.Fields.List {
+		for _, id := range fld.Names {
+			if id.Name == name {
+				if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	switch t.String() {
+	case "sync.Mutex", "sync.RWMutex", "*sync.Mutex", "*sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+// lockedMutexes collects the set of mutex field objects on which body
+// calls Lock or RLock, directly or via defer.
+func lockedMutexes(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	locked := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+		default:
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := pkg.Info.Selections[inner]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				locked[v] = true
+			}
+		}
+		return true
+	})
+	return locked
+}

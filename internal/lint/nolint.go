@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one //nolint:microlint/<analyzer>[,...] comment. A
+// directive suppresses matching diagnostics on its own line and on the
+// line directly below it (so it can sit above a long statement), within
+// the same file. Every directive must carry a written reason after
+// " -- " or a trailing "// "; a reason-less directive still suppresses
+// its target but emits an analyzer="nolint" diagnostic, keeping the
+// build red until someone writes down the why.
+type directive struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+	reason    string
+	pos       token.Pos
+}
+
+const nolintPrefix = "//nolint:"
+
+// directiveSet indexes directives by file and line for suppression.
+type directiveSet struct {
+	byFileLine map[string]map[int][]*directive
+}
+
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	lines := s.byFileLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, dl := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[dl] {
+			if dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment of the module for microlint
+// nolint directives. It returns the directive index plus one diagnostic
+// per reason-less directive.
+func collectDirectives(mod *Module) (*directiveSet, []Diagnostic) {
+	set := &directiveSet{byFileLine: map[string]map[int][]*directive{}}
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					dir, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					dir.file = pos.Filename
+					dir.line = pos.Line
+					dir.pos = c.Pos()
+					lines := set.byFileLine[dir.file]
+					if lines == nil {
+						lines = map[int][]*directive{}
+						set.byFileLine[dir.file] = lines
+					}
+					lines[dir.line] = append(lines[dir.line], dir)
+					if dir.reason == "" {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "nolint",
+							Message:  "nolint:microlint directive requires a reason (append `-- why this is safe`)",
+						})
+					}
+				}
+			}
+		}
+	}
+	return set, diags
+}
+
+// parseDirective parses a comment like
+//
+//	//nolint:microlint/errdrop -- best-effort write, client may vanish
+//	//nolint:microlint/lockcheck,microlint/detercheck -- init-time only
+//
+// Directives that name no microlint analyzer (e.g. //nolint:errcheck
+// for other tools) are ignored entirely.
+func parseDirective(text string) (*directive, bool) {
+	rest, ok := strings.CutPrefix(text, nolintPrefix)
+	if !ok {
+		return nil, false
+	}
+	// The analyzer list runs until the first whitespace.
+	list := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		list = rest[:i]
+		reason = strings.TrimSpace(rest[i:])
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(reason, "--"))
+	if i := strings.Index(reason, "//"); i == 0 {
+		reason = strings.TrimSpace(reason[2:])
+	}
+	dir := &directive{analyzers: map[string]bool{}}
+	for _, entry := range strings.Split(list, ",") {
+		if name, ok := strings.CutPrefix(strings.TrimSpace(entry), "microlint/"); ok && name != "" {
+			dir.analyzers[name] = true
+		}
+	}
+	if len(dir.analyzers) == 0 {
+		return nil, false
+	}
+	dir.reason = reason
+	return dir, true
+}

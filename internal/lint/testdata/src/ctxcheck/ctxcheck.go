@@ -1,0 +1,27 @@
+// Corpus for the ctxcheck analyzer: Background/TODO bans in
+// ctx-carrying and Ctx-suffixed functions, with plain functions exempt.
+package ctxcheck
+
+import "context"
+
+// HasParam already holds a context; minting a fresh one detaches it.
+func HasParam(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want "detaches from the caller's deadline"
+}
+
+// ScoreCtx follows the repo's Ctx-suffix convention.
+func ScoreCtx() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// Plain has no context and no Ctx suffix: entrypoints may mint roots.
+func Plain() context.Context {
+	return context.Background()
+}
+
+func Suppressed(ctx context.Context) context.Context {
+	_ = ctx
+	//nolint:microlint/ctxcheck -- detached audit write must outlive the request
+	return context.Background()
+}

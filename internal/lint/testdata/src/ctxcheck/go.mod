@@ -1,0 +1,3 @@
+module corpus/ctxcheck
+
+go 1.22

@@ -1,0 +1,18 @@
+// The internal/httpapi import-path suffix puts this whole package under
+// the ban: handlers must propagate r.Context().
+package httpapi
+
+import (
+	"context"
+	"net/http"
+)
+
+func Handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "r.Context"
+	_ = ctx
+	_ = r.Context()
+}
+
+func helper() context.Context {
+	return context.TODO() // want "context.TODO"
+}

@@ -1,0 +1,3 @@
+module corpus/detercheck
+
+go 1.22

@@ -1,0 +1,50 @@
+// Corpus for the errdrop analyzer: bare-statement and blank-discarded
+// error returns, with the defer/go, fmt, and sticky-writer exemptions.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func Bad() {
+	mayFail()        // want "silently discarded"
+	_ = mayFail()    // want "assigned to _"
+	n, _ := pair()   // want "assigned to _"
+	_, err := pair() // fine: only the value is dropped
+	_, _ = n, err
+}
+
+func BadInDeferredClosure() {
+	f, _ := os.Open("x") // want "assigned to _"
+	defer func() {
+		f.Close() // want "silently discarded"
+	}()
+}
+
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // direct defer: exempt
+	fmt.Println("ok")
+	var sb strings.Builder
+	sb.WriteString("sticky")
+	_ = sb.String()
+	return nil
+}
+
+func Suppressed() {
+	//nolint:microlint/errdrop -- best-effort cleanup on shutdown
+	_ = mayFail()
+}

@@ -1,0 +1,3 @@
+module corpus/errdrop
+
+go 1.22

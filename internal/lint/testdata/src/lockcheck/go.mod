@@ -1,0 +1,3 @@
+module corpus/lockcheck
+
+go 1.22

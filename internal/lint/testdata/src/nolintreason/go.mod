@@ -1,0 +1,3 @@
+module corpus/nolintreason
+
+go 1.22

@@ -1,0 +1,18 @@
+// Corpus for the reason-required rule: a reason-less nolint directive
+// still suppresses its target, but emits its own diagnostic so the
+// build stays red until the why is written down.
+package nolintreason
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func Bad() {
+	//nolint:microlint/errdrop
+	_ = mayFail()
+}
+
+func Good() {
+	//nolint:microlint/errdrop -- best-effort, failure is benign
+	_ = mayFail()
+}

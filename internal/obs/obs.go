@@ -57,7 +57,7 @@ func (t metricType) String() string {
 // call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // microlint:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -76,7 +76,7 @@ type family struct {
 	buckets []float64 // histogram upper bounds; nil otherwise
 
 	mu       sync.RWMutex
-	children map[string]*child
+	children map[string]*child // microlint:guarded-by mu
 }
 
 // child is one (label values → metric) instance of a family.

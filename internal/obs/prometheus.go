@@ -74,7 +74,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
-		r.WritePrometheus(w)
+		//nolint:microlint/errdrop -- write error means the scraper hung up mid-scrape; nothing to report it to
+		_ = r.WritePrometheus(w)
 	})
 }
 

@@ -119,6 +119,9 @@ func (dc *DynamicClosure) InsertEdge(u, v graph.NodeID) bool {
 			targets = append(targets, hop{node: t, dist: ent.dist})
 		}
 	}
+	// dc.rows[v] is a map: fix the update order so repeated runs apply
+	// equal-distance F-set merges identically.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].node < targets[j].node })
 
 	for _, src := range sources {
 		row := dc.rows[src.node]

@@ -150,10 +150,17 @@ func BuildPropNet(k *kb.KB, theta2 float64) *PropNet {
 	return net
 }
 
-// findClusters labels connected components.
+// findClusters labels connected components. Seeds are visited in
+// ascending entity order so that cluster IDs — and the order of the
+// clusters slice — are the same on every run, not map-iteration order.
 func (n *PropNet) findClusters() {
-	next := int32(0)
+	seeds := make([]kb.EntityID, 0, len(n.adj))
 	for e := range n.adj {
+		seeds = append(seeds, e)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	next := int32(0)
+	for _, e := range seeds {
 		if _, done := n.cluster[e]; done {
 			continue
 		}
@@ -218,8 +225,8 @@ type Scorer struct {
 	opts Options
 
 	mu    sync.RWMutex
-	memo  map[memoKey][]float64
-	memoN int64 // hits, for introspection in benches
+	memo  map[memoKey][]float64 // microlint:guarded-by mu
+	memoN int64                 // microlint:guarded-by mu — hits, for introspection in benches
 }
 
 type memoKey struct {

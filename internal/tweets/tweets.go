@@ -102,8 +102,12 @@ func (s *Store) Users() []kb.UserID {
 // at least minPosts postings. Passing maxPosts > 0 additionally bounds the
 // activity from above (used to sample the inactive-user test set Dtest).
 func (s *Store) FilterByActivity(minPosts, maxPosts int) *Store {
+	// Iterate users in sorted order, not map order: NewStore re-sorts by
+	// time, but equal-timestamp tweets would otherwise land in a
+	// run-dependent relative order.
 	var kept []Tweet
-	for u, idx := range s.byUser {
+	for _, u := range s.Users() {
+		idx := s.byUser[u]
 		n := len(idx)
 		if n < minPosts {
 			continue
@@ -111,7 +115,6 @@ func (s *Store) FilterByActivity(minPosts, maxPosts int) *Store {
 		if maxPosts > 0 && n > maxPosts {
 			continue
 		}
-		_ = u
 		for _, j := range idx {
 			kept = append(kept, s.all[j])
 		}
