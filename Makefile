@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
+.PHONY: all build test test-race race bench bench-smoke repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
 
 all: build test
 
@@ -25,14 +25,20 @@ fmt:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Mirror of .github/workflows/ci.yml.
-ci: build vet lint fmt-check test test-race bench-smoke fuzz-smoke
+# Mirror of .github/workflows/ci.yml: `ci` is the fast lane, `race` the
+# separate race-detector lane (run both before merging concurrency work).
+ci: build vet lint fmt-check test bench-smoke fuzz-smoke
 
 test:
 	$(GO) test -vet=all ./...
 
 test-race:
 	$(GO) test -vet=all -race ./...
+
+# The CI race lane: every test twice under the race detector. -count=2
+# defeats test caching and gives racy interleavings a second roll.
+race:
+	$(GO) test -race -count=2 ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -44,6 +44,11 @@ func main() {
 	}
 	id := flag.Arg(0)
 
+	if err := validateFlags(*users); err != nil {
+		fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -117,6 +122,17 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// validateFlags rejects world sizes no experiment can run against: a
+// non-positive -users would generate an empty world and benchmark
+// nothing (found while writing the wgcheck corpus — a zero-size pool is
+// the same bug class).
+func validateFlags(users int) error {
+	if users <= 0 {
+		return fmt.Errorf("-users must be positive, got %d", users)
+	}
+	return nil
 }
 
 var cachedWorld *microlink.World

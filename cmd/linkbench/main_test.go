@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	for _, users := range []int{1, 800, 1500} {
+		if err := validateFlags(users); err != nil {
+			t.Errorf("validateFlags(%d) = %v, want nil", users, err)
+		}
+	}
+	for _, users := range []int{0, -1, -1500} {
+		if err := validateFlags(users); err == nil {
+			t.Errorf("validateFlags(%d) accepted a world no experiment can run against", users)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -51,9 +52,15 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request context deadline observed by the scoring pipeline (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	workers := flag.Int("workers", 0, "LinkBatch worker pool size (0 selects GOMAXPROCS)")
 	flag.Parse()
 
+	if err := validateFlags(*users, *workers, *readTimeout, *writeTimeout, *idleTimeout, *reqTimeout, *shutdownGrace); err != nil {
+		log.Fatalf("linkd: %v", err)
+	}
+
 	opts := microlink.Options{}
+	opts.Batch.Workers = *workers
 	switch *reachKind {
 	case "closure":
 		opts.Reach = microlink.ReachClosure
@@ -130,6 +137,38 @@ func main() {
 	}
 	<-drained // don't exit before in-flight requests finish draining
 	log.Print("linkd: bye")
+}
+
+// validateFlags rejects flag values that would misconfigure the server
+// before any world generation happens: a non-positive user count
+// generates an empty world every request 404s against, a negative
+// worker count is always a typo (0 means GOMAXPROCS), and non-positive
+// connection timeouts silently disable protection the defaults exist to
+// provide.
+func validateFlags(users, workers int, readTimeout, writeTimeout, idleTimeout, reqTimeout, shutdownGrace time.Duration) error {
+	if users <= 0 {
+		return fmt.Errorf("-users must be positive, got %d", users)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be positive or 0 for GOMAXPROCS, got %d", workers)
+	}
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"-read-timeout", readTimeout},
+		{"-write-timeout", writeTimeout},
+		{"-idle-timeout", idleTimeout},
+		{"-shutdown-grace", shutdownGrace},
+	} {
+		if f.d <= 0 {
+			return fmt.Errorf("%s must be positive, got %v", f.name, f.d)
+		}
+	}
+	if reqTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be positive or 0 to disable, got %v", reqTimeout)
+	}
+	return nil
 }
 
 // withRequestTimeout bounds every request with a context deadline. The

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func() (int, int, time.Duration, time.Duration, time.Duration, time.Duration, time.Duration) {
+		return 800, 0, 10 * time.Second, 30 * time.Second, 2 * time.Minute, 0, 5 * time.Second
+	}
+
+	users, workers, rt, wt, it, qt, sg := ok()
+	if err := validateFlags(users, workers, rt, wt, it, qt, sg); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(1, 4, time.Second, time.Second, time.Second, time.Second, time.Second); err != nil {
+		t.Fatalf("explicit positive values rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(users, workers *int, rt, wt, it, qt, sg *time.Duration)
+	}{
+		{"zero users", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *u = 0 }},
+		{"negative users", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *u = -5 }},
+		{"negative workers", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *w = -1 }},
+		{"zero read timeout", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *rt = 0 }},
+		{"negative write timeout", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *wt = -time.Second }},
+		{"zero idle timeout", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *it = 0 }},
+		{"negative request timeout", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *qt = -time.Second }},
+		{"zero shutdown grace", func(u, w *int, rt, wt, it, qt, sg *time.Duration) { *sg = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			users, workers, rt, wt, it, qt, sg := ok()
+			tc.mutate(&users, &workers, &rt, &wt, &it, &qt, &sg)
+			if err := validateFlags(users, workers, rt, wt, it, qt, sg); err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+		})
+	}
+}

@@ -24,8 +24,13 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: microlint [-json] [dir]\n")
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: microlint [-json] [dir]\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "  %-14s %s\n", a.Name(), a.Doc())
+		}
 	}
 	flag.Parse()
 

@@ -101,8 +101,22 @@ func (l *Linker) LinkBatch(ctx context.Context, queries []MentionQuery) []BatchR
 		workers = len(order)
 	}
 
+	// cancelFrom marks every query of order[gi:] with ctx.Err(): the
+	// drain path for work that will never be handed to a scorer.
+	cancelFrom := func(gi int) {
+		for _, k := range order[gi:] {
+			for _, i := range groups[k] {
+				res[i] = BatchResult{Entity: kb.NoEntity, Err: ctx.Err()}
+			}
+		}
+	}
+
 	if workers <= 1 {
-		for _, k := range order {
+		for gi, k := range order {
+			if ctx.Err() != nil {
+				cancelFrom(gi)
+				break
+			}
 			l.scoreGroup(ctx, k.now, k.surface, groups[k], queries, res)
 		}
 		return res
@@ -121,8 +135,19 @@ func (l *Linker) LinkBatch(ctx context.Context, queries []MentionQuery) []BatchR
 			}
 		}()
 	}
-	for _, k := range order {
-		ch <- k
+	// Feed groups until done or cancelled. Without the ctx arm a
+	// cancelled batch would still march every remaining group through
+	// the pool (each item individually erroring inside scoreGroup);
+	// with it the pool drains as soon as the in-flight groups finish,
+	// and the unsent remainder is marked cancelled here.
+feed:
+	for gi, k := range order {
+		select {
+		case ch <- k:
+		case <-ctx.Done():
+			cancelFrom(gi)
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()

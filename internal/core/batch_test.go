@@ -100,6 +100,59 @@ func TestLinkBatchExpiredContext(t *testing.T) {
 	}
 }
 
+// Cancelling a batch mid-flight must (a) return promptly, (b) mark every
+// unscored item with the context error while keeping completed ones, and
+// (c) leave no pool goroutine behind — the count returns to the
+// pre-batch baseline. Run under -race in the CI race lane, this is the
+// regression test for the feeder's ctx.Done drain path.
+func TestLinkBatchCancellationDrainsPool(t *testing.T) {
+	f := newFixture(50, 5)
+	l := f.linker(Config{Batch: BatchOptions{Workers: 8}})
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Distinct Now values make every query its own group, so the feeder
+	// is still feeding when the cancel lands.
+	qs := make([]MentionQuery, 600)
+	for i := range qs {
+		qs[i] = MentionQuery{User: kb.UserID(i % 4), Now: int64(i), Surface: "jordan"}
+	}
+	done := make(chan []BatchResult, 1)
+	go func() { done <- l.LinkBatch(ctx, qs) }()
+	cancel()
+
+	var res []BatchResult
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("LinkBatch did not return after cancellation")
+	}
+	if len(res) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(res), len(qs))
+	}
+	for i, r := range res {
+		if r.Err == nil {
+			continue // completed before the cancel landed
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Entity != kb.NoEntity || r.Scored != nil {
+			t.Fatalf("query %d carries results despite cancellation: %+v", i, r)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutine count %d did not return to baseline %d after cancellation", n, baseline)
+	}
+}
+
 func TestScoreCandidatesCtxCancelled(t *testing.T) {
 	f := newFixture(50, 5)
 	l := f.linker(Config{})

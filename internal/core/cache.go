@@ -58,7 +58,7 @@ type interestEntry struct {
 }
 
 type interestShard struct {
-	mu sync.RWMutex
+	mu sync.RWMutex                  // microlint:lock-order interest-shard
 	m  map[interestKey]interestEntry // microlint:guarded-by mu
 }
 

@@ -111,7 +111,16 @@ type Linker struct {
 	// them (complemented KB, influence cache, interest cache); without this
 	// lock a scorer can observe the new posting with a stale
 	// influential-user set.
-	mu  sync.RWMutex
+	//
+	// mu is the root of the module's lock hierarchy: it is held while the
+	// substrate locks below are acquired, never the reverse. Declared
+	// edges (checked by microlint/deadlockcheck, documented in DESIGN.md §6):
+	//
+	// microlint:lock-order linker < interest-shard
+	// microlint:lock-order linker < ckb
+	// microlint:lock-order linker < influence
+	// microlint:lock-order linker < recency-memo
+	mu  sync.RWMutex // microlint:lock-order linker
 	met linkerMetrics
 }
 

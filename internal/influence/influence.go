@@ -54,7 +54,7 @@ type Estimator struct {
 	ckb    *kb.Complemented
 	method Method
 
-	mu    sync.RWMutex
+	mu    sync.RWMutex             // microlint:lock-order influence
 	cache map[cacheKey][]kb.UserID // microlint:guarded-by mu
 }
 

@@ -21,7 +21,7 @@ type Posting struct {
 type Complemented struct {
 	kb *KB
 
-	mu       sync.RWMutex
+	mu       sync.RWMutex       // microlint:lock-order ckb
 	postings [][]Posting        // microlint:guarded-by mu — per entity, sorted by Time
 	perUser  []map[UserID]int32 // microlint:guarded-by mu — per entity: |D_e^u|
 	total    int64              // microlint:guarded-by mu — total postings across all entities

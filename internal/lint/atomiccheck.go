@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomiccheck enforces the all-or-nothing contract of sync/atomic: a
+// variable or field accessed through atomic.Load/Store/Add/Swap/
+// CompareAndSwap anywhere in the module must never be read or written
+// plainly anywhere else. A plain read racing an atomic write is still a
+// data race, and worse, one the race detector only catches if the racy
+// interleaving happens to run. The obs counters and the interest-cache
+// generation stamps sidestep this by using the atomic.Uint64 wrapper
+// types — this check guards the raw-uintptr style should it ever creep
+// in.
+//
+// The analysis is module-wide: the atomic access can be in one package
+// and the plain access in another, which is exactly the case a
+// per-package check cannot see.
+type atomiccheck struct{}
+
+func (atomiccheck) Name() string { return "atomiccheck" }
+func (atomiccheck) Doc() string {
+	return "a field accessed via sync/atomic must never be read or written plainly elsewhere"
+}
+
+// Run is satisfied per the Analyzer interface; the analysis is
+// module-wide and lives in RunModule.
+func (atomiccheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+func (atomiccheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	ci := mod.concurrency()
+
+	// Pass 1: every object whose address is taken as the first argument
+	// of a sync/atomic call, with one witness position, and the set of
+	// identifiers that appear inside those arguments (they are the
+	// atomic accesses — exempt from pass 2).
+	atomicObjs := map[types.Object]token.Pos{}
+	exempt := map[*ast.Ident]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomicCall(pkg, call) {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				if obj := addressedObj(pkg, addr.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					ast.Inspect(addr.X, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							exempt[id] = true
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of those objects is a plain access. Keys of
+	// composite literals are exempt: initializing the field before the
+	// value is shared is not a concurrent access.
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if kv, ok := n.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						exempt[id] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || exempt[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				witness, ok := atomicObjs[obj]
+				if !ok {
+					return true
+				}
+				report(id.Pos(), fmt.Sprintf(
+					"%s is accessed atomically (%s) but plainly here; every access must go through sync/atomic",
+					ci.lockName(obj), mod.Fset.Position(witness)))
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObj resolves the operand of &x to the variable or field
+// object being addressed, or nil when it is not a trackable identity.
+func addressedObj(pkg *Package, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return addressedObj(pkg, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// callgraph.go builds a module-wide static callgraph in the CHA
+// (class-hierarchy analysis) style over go/types: every declared
+// function, method, and function literal of the module is a node; call
+// sites resolve to their static callee when the callee is a named
+// module function, to every module implementation of the method when
+// the receiver is an interface, and to the bound literal when a local
+// variable holding a func literal is called. go and defer call sites
+// are recorded with their kind so the concurrency analyzers can treat
+// spawned work differently from same-goroutine calls.
+//
+// Known imprecision, chosen deliberately: calls through function-typed
+// parameters and fields resolve to nothing (else every callback would
+// acquire the union of all locks), and a *reference* to a named module
+// function outside call position (a method value handed to a worker
+// pool) adds a possible-call edge from the referencing function — a
+// may-call overapproximation that errs toward surfacing lock-order
+// edges rather than hiding them.
+
+// callKind distinguishes how a call site transfers control.
+type callKind int
+
+const (
+	callStatic callKind = iota // ordinary call, same goroutine
+	callGo                     // go statement: runs in a new goroutine
+	callDefer                  // defer: runs at function exit
+	callRef                    // reference to a func outside call position
+)
+
+// callSite is one resolved call from a function to its possible targets.
+type callSite struct {
+	pos     token.Pos
+	kind    callKind
+	targets []*funcNode
+}
+
+// funcNode is one function of the module: a declaration or a literal.
+type funcNode struct {
+	obj  *types.Func   // nil for literals
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	pkg  *Package
+	body *ast.BlockStmt
+
+	calls []callSite
+
+	// Filled by summary.go.
+	acquires    map[lockKey]token.Pos // locks this body acquires directly
+	acquiresAll map[lockKey]token.Pos // transitive over static/defer calls
+	cfgOnce     bool
+	cfgGraph    *funcCFG
+}
+
+// name returns a human-readable identity for diagnostics.
+func (f *funcNode) name() string {
+	if f.obj != nil {
+		return f.obj.Name()
+	}
+	return "func literal"
+}
+
+// cfg returns the lazily built CFG of the node's body.
+func (f *funcNode) cfg() *funcCFG {
+	if !f.cfgOnce {
+		f.cfgGraph = buildCFG(f.body)
+		f.cfgOnce = true
+	}
+	return f.cfgGraph
+}
+
+// callgraph holds the module's function nodes and resolution indexes.
+type callgraph struct {
+	mod   *Module
+	funcs []*funcNode
+	byObj map[*types.Func]*funcNode
+	byLit map[*ast.FuncLit]*funcNode
+	byVar map[types.Object]*funcNode // local var bound to a literal
+	named []types.Type               // all module named types (and pointers)
+}
+
+// buildCallgraph collects every function node of the module and
+// resolves its call sites.
+func buildCallgraph(mod *Module) *callgraph {
+	cg := &callgraph{
+		mod:   mod,
+		byObj: map[*types.Func]*funcNode{},
+		byLit: map[*ast.FuncLit]*funcNode{},
+		byVar: map[types.Object]*funcNode{},
+	}
+	for _, pkg := range mod.Pkgs {
+		cg.collectNamedTypes(pkg)
+	}
+	for _, pkg := range mod.Pkgs {
+		cg.collectFuncs(pkg)
+	}
+	for _, fn := range cg.funcs {
+		cg.resolveCalls(fn)
+	}
+	return cg
+}
+
+func (cg *callgraph) collectNamedTypes(pkg *Package) {
+	scope := pkg.Types.Scope()
+	for _, nm := range scope.Names() {
+		tn, ok := scope.Lookup(nm).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		cg.named = append(cg.named, t, types.NewPointer(t))
+	}
+}
+
+func (cg *callgraph) collectFuncs(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			node := &funcNode{obj: obj, decl: fd, pkg: pkg, body: fd.Body}
+			cg.funcs = append(cg.funcs, node)
+			if obj != nil {
+				cg.byObj[obj] = node
+			}
+			// Literals nested anywhere in the declaration (including
+			// inside other literals) become their own nodes.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					ln := &funcNode{lit: lit, pkg: pkg, body: lit.Body}
+					cg.funcs = append(cg.funcs, ln)
+					cg.byLit[lit] = ln
+				}
+				return true
+			})
+		}
+	}
+	// Bind `name := func(...) {...}` and `var name = func(...) {...}`
+	// so calls through the variable resolve to the literal.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pkg.Info.Uses[id]
+					}
+					if obj != nil && cg.byLit[lit] != nil {
+						cg.byVar[obj] = cg.byLit[lit]
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range n.Values {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Names) {
+						continue
+					}
+					if obj := pkg.Info.Defs[n.Names[i]]; obj != nil && cg.byLit[lit] != nil {
+						cg.byVar[obj] = cg.byLit[lit]
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkOwn visits fn's body in syntactic order without descending into
+// nested function literals, which are their own nodes.
+func (fn *funcNode) walkOwn(visit func(ast.Node) bool) {
+	if fn.body == nil {
+		return
+	}
+	for _, stmt := range fn.body.List {
+		inspectNoFuncLit(stmt, visit)
+	}
+}
+
+// resolveCalls records fn's call sites. Two pre-passes mark the call
+// expressions owned by go/defer statements and the identifiers standing
+// in call-operand position, so the main walk can classify each node in
+// one visit.
+func (cg *callgraph) resolveCalls(fn *funcNode) {
+	pkg := fn.pkg
+	goDefer := map[*ast.CallExpr]callKind{}
+	callFun := map[*ast.Ident]bool{}
+	fn.walkOwn(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goDefer[n.Call] = callGo
+		case *ast.DeferStmt:
+			goDefer[n.Call] = callDefer
+		case *ast.CallExpr:
+			switch f := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				callFun[f] = true
+			case *ast.SelectorExpr:
+				callFun[f.Sel] = true
+			}
+		}
+		return true
+	})
+
+	record := func(pos token.Pos, kind callKind, targets []*funcNode) {
+		if len(targets) > 0 {
+			fn.calls = append(fn.calls, callSite{pos: pos, kind: kind, targets: targets})
+		}
+	}
+	calledLits := map[*ast.FuncLit]bool{}
+	fn.walkOwn(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			kind, ok := goDefer[n]
+			if !ok {
+				kind = callStatic
+			}
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				calledLits[lit] = true
+			}
+			record(n.Pos(), kind, cg.calleesOf(pkg, n))
+		case *ast.Ident:
+			// A module function referenced outside call position: may be
+			// invoked later by whoever receives it.
+			if callFun[n] {
+				return true
+			}
+			if f, ok := pkg.Info.Uses[n].(*types.Func); ok {
+				if tgt := cg.byObj[f]; tgt != nil {
+					record(n.Pos(), callRef, []*funcNode{tgt})
+				}
+			}
+		}
+		return true
+	})
+
+	// A literal not in call position (a comparator handed to sort.Slice,
+	// a callback stored for later) may still run while the enclosing
+	// function's locks are held: add a may-call edge.
+	fn.directLits(func(lit *ast.FuncLit) {
+		if calledLits[lit] {
+			return
+		}
+		if n := cg.byLit[lit]; n != nil {
+			record(lit.Pos(), callRef, []*funcNode{n})
+		}
+	})
+}
+
+// directLits visits the function literals whose immediately enclosing
+// function is fn (not literals nested inside other literals).
+func (fn *funcNode) directLits(visit func(*ast.FuncLit)) {
+	if fn.body == nil {
+		return
+	}
+	for _, stmt := range fn.body.List {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(lit)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// calleesOf resolves the possible module targets of one call expression.
+func (cg *callgraph) calleesOf(pkg *Package, call *ast.CallExpr) []*funcNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[fun]
+		if f, ok := obj.(*types.Func); ok {
+			if n := cg.byObj[f]; n != nil {
+				return []*funcNode{n}
+			}
+			return nil
+		}
+		if obj != nil {
+			if n := cg.byVar[obj]; n != nil {
+				return []*funcNode{n}
+			}
+		}
+		return nil
+	case *ast.FuncLit:
+		if n := cg.byLit[fun]; n != nil {
+			return []*funcNode{n}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			mobj, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return cg.implementersOf(sel.Recv(), mobj)
+			}
+			if n := cg.byObj[mobj]; n != nil {
+				return []*funcNode{n}
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := cg.byObj[f]; n != nil {
+				return []*funcNode{n}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// implementersOf returns the nodes of every module method that can be
+// the dynamic target of calling method m on interface type iface.
+func (cg *callgraph) implementersOf(iface types.Type, m *types.Func) []*funcNode {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*funcNode
+	seen := map[*funcNode]bool{}
+	for _, t := range cg.named {
+		if !types.Implements(t, it) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+		f, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if n := cg.byObj[f]; n != nil && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// qualifiedName renders a types.Object as pkg.Name for messages,
+// trimming the module path prefix for brevity.
+func qualifiedName(mod *Module, obj types.Object) string {
+	if obj == nil {
+		return "?"
+	}
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	p := strings.TrimPrefix(obj.Pkg().Path(), mod.Path+"/")
+	if p == mod.Path {
+		p = obj.Pkg().Name()
+	}
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		p = p[i+1:]
+	}
+	return p + "." + obj.Name()
+}

@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// cfg.go builds an intraprocedural control-flow graph over a function
+// body: basic blocks of statement-level nodes connected by successor
+// edges. The concurrency analyzers (deadlockcheck, wgcheck) use it for
+// path queries — "is every path from this Lock to function exit covered
+// by an Unlock", "does every return path pass wg.Done" — that a flat
+// ast.Inspect cannot answer.
+//
+// The graph is deliberately conservative in the direction of *missing*
+// paths rather than inventing them: constructs the builder does not
+// model (goto) terminate their block with no successors, so an
+// existential path query can only under-report, never hallucinate a
+// path that does not exist. Blocks hold only the atomic parts of
+// compound statements (an if's condition, a for's post statement); the
+// bodies live in their own blocks, so no node is ever visited twice on
+// one path.
+//
+// A call to panic, os.Exit, or the log.Fatal family ends its block
+// without an edge to the synthetic exit: paths that die in a panic are
+// not "returns" and are exempt from must-happen-before-return checks
+// (a deferred Unlock or Done still runs on panic, and a non-deferred
+// one on a panicking path is noise, not signal).
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. exit is a
+// synthetic empty block that every return statement and every fallen-off
+// function end feeds into.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopTargets struct {
+	brk  *cfgBlock // break target
+	cont *cfgBlock // continue target; nil for switch/select
+}
+
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+
+	// loops is the stack of enclosing breakable statements, innermost
+	// last; labels maps label names to their statement's targets for
+	// labeled break/continue.
+	loops    []loopTargets
+	labels   map[string]loopTargets
+	ftTarget *cfgBlock // target of a fallthrough in the current case
+
+	// pendingLabel is the label of a LabeledStmt whose statement is
+	// about to be built; the loop builders register their targets under
+	// it.
+	pendingLabel string
+}
+
+// buildCFG constructs the CFG of body. body may be nil (function
+// declarations without bodies); the result then has an empty entry
+// flowing straight to exit.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: map[string]loopTargets{}}
+	g.entry = b.newBlock()
+	g.exit = &cfgBlock{}
+	b.cur = g.entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.link(b.cur, g.exit)
+	g.blocks = append(g.blocks, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// dead parks the builder on a fresh unreachable block, after a
+// terminating statement (return, break, panic).
+func (b *cfgBuilder) dead() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label, registering targets for it.
+func (b *cfgBuilder) takeLabel(t loopTargets) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.dead()
+		}
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	var t loopTargets
+	ok := false
+	if s.Label != nil {
+		t, ok = b.labels[s.Label.Name]
+	} else if len(b.loops) > 0 {
+		// break/continue bind to the innermost breakable/continuable.
+		if s.Tok.String() == "continue" {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].cont != nil {
+					t, ok = b.loops[i], true
+					break
+				}
+			}
+		} else {
+			t, ok = b.loops[len(b.loops)-1], true
+		}
+	}
+	switch s.Tok.String() {
+	case "break":
+		if ok {
+			b.link(b.cur, t.brk)
+		}
+	case "continue":
+		if ok && t.cont != nil {
+			b.link(b.cur, t.cont)
+		}
+	case "fallthrough":
+		b.link(b.cur, b.ftTarget)
+	case "goto":
+		// Unmodeled: the path simply ends (conservative for
+		// existential queries).
+	}
+	b.dead()
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.link(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.link(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.link(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.link(b.cur, after)
+	} else {
+		b.link(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	post := b.newBlock()
+	after := b.newBlock()
+	b.link(b.cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+		b.link(head, after)
+	}
+	b.link(head, body)
+
+	b.takeLabel(loopTargets{brk: after, cont: post})
+	b.loops = append(b.loops, loopTargets{brk: after, cont: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.link(b.cur, post)
+	b.loops = b.loops[:len(b.loops)-1]
+
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.link(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	b.add(s.X)
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.link(b.cur, head)
+	b.link(head, body)
+	b.link(head, after)
+
+	b.takeLabel(loopTargets{brk: after, cont: head})
+	b.loops = append(b.loops, loopTargets{brk: after, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.link(b.cur, head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+// allowFallthrough wires each case's fallthrough target to the next
+// clause's block.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+
+	b.takeLabel(loopTargets{brk: after})
+	b.loops = append(b.loops, loopTargets{brk: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if allowFallthrough && i+1 < len(blocks) {
+			b.ftTarget = blocks[i+1]
+		} else {
+			b.ftTarget = after
+		}
+		b.stmtList(cc.Body)
+		b.link(b.cur, after)
+	}
+	b.ftTarget = nil
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.takeLabel(loopTargets{brk: after})
+	b.loops = append(b.loops, loopTargets{brk: after})
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.link(b.cur, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// isTerminatingCall reports whether e is a call that never returns:
+// panic, os.Exit, or a *.Fatal/Fatalf/Fatalln method or function.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// pathToExitAvoiding reports whether, starting at node index start of
+// block from, some path reaches the function exit without passing a node
+// for which stop returns true. stop is consulted on every node of every
+// block along the way (function literals nested in a node are not the
+// node's own control flow; callers' stop predicates use
+// inspectNoFuncLit to respect that).
+func (g *funcCFG) pathToExitAvoiding(from *cfgBlock, start int, stop func(ast.Node) bool) bool {
+	type item struct {
+		b   *cfgBlock
+		idx int
+	}
+	seen := map[*cfgBlock]bool{}
+	stack := []item{{from, start}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blocked := false
+		for _, n := range it.b.nodes[it.idx:] {
+			if stop(n) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if it.b == g.exit {
+			return true
+		}
+		for _, s := range it.b.succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, item{s, 0})
+			}
+		}
+	}
+	return false
+}
+
+// inspectNoFuncLit walks n in syntactic order like ast.Inspect but does
+// not descend into function literals: a nested closure's body is its own
+// function, not part of the enclosing control flow.
+func inspectNoFuncLit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

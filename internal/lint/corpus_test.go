@@ -93,7 +93,10 @@ func runCorpus(t *testing.T, name string, analyzers []Analyzer) {
 }
 
 func TestCorpus(t *testing.T) {
-	for _, name := range []string{"lockcheck", "ctxcheck", "detercheck", "errdrop"} {
+	for _, name := range []string{
+		"lockcheck", "ctxcheck", "detercheck", "errdrop",
+		"deadlockcheck", "leakcheck", "wgcheck", "atomiccheck",
+	} {
 		t.Run(name, func(t *testing.T) {
 			a, ok := AnalyzerByName(name)
 			if !ok {

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// deadlockcheck verifies the module's lock ordering. The hierarchy is
+// declared in two kinds of annotation:
+//
+//	mu sync.RWMutex // microlint:lock-order linker
+//
+// on a mutex field or variable binds it to a named level, and
+//
+//	// microlint:lock-order linker < interest-shard < obs-registry
+//
+// anywhere declares that locks at the left level may be held while
+// acquiring locks at the right, never the reverse. Observed nesting —
+// a Lock/RLock performed, directly or through any same-goroutine call
+// chain, while another lock is held — adds edges to the same graph.
+// Any cycle in the merged declared+observed graph is a diagnostic: two
+// functions acquiring the same two locks in opposite orders deadlock
+// under contention even if each function is individually correct.
+//
+// The same traversal also reports acquiring a mutex that may already be
+// held (Go mutexes are not reentrant) and acquires with no release on
+// some path to return. Held-sets come from a may-analysis (summary.go):
+// a report means "some path", and intentional exceptions take a
+// //nolint:microlint/deadlockcheck with a reason.
+type deadlockcheck struct{}
+
+func (deadlockcheck) Name() string { return "deadlockcheck" }
+func (deadlockcheck) Doc() string {
+	return "lock-order cycles across declared + observed acquisition edges; double-Lock; Lock without release on a path"
+}
+
+// Run is satisfied per the Analyzer interface; the analysis is
+// module-wide and lives in RunModule.
+func (deadlockcheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+const lockOrderMarker = "microlint:lock-order"
+
+// lockOrderEdge is one directed constraint between level names.
+type lockOrderEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func (deadlockcheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	ci := mod.concurrency()
+
+	levels, declared := collectLockOrder(mod, report)
+	levelOf := func(obj lockKey) string {
+		if lv, ok := levels[obj]; ok {
+			return lv
+		}
+		return ci.lockName(obj)
+	}
+
+	// Verify declared edges reference bound levels, so a typo in a
+	// declaration cannot silently drop a constraint.
+	bound := map[string]bool{}
+	for _, lv := range levels {
+		bound[lv] = true
+	}
+	edges := map[string]map[string]token.Pos{}
+	addEdge := func(from, to string, pos token.Pos) {
+		m := edges[from]
+		if m == nil {
+			m = map[string]token.Pos{}
+			edges[from] = m
+		}
+		if old, ok := m[to]; !ok || pos < old {
+			m[to] = pos
+		}
+	}
+	for _, e := range declared {
+		for _, name := range []string{e.from, e.to} {
+			if !bound[name] {
+				report(e.pos, fmt.Sprintf(
+					"lock-order declaration references level %q, which no mutex annotation binds", name))
+			}
+		}
+		addEdge(e.from, e.to, e.pos)
+	}
+
+	// Observed edges and same-lock hazards, from the held-set dataflow.
+	for _, fn := range ci.cg.funcs {
+		res := ci.heldEvents(fn)
+		for _, ev := range res.events {
+			switch {
+			case ev.acquire != nil:
+				op := ev.acquire
+				for held, mode := range ev.held {
+					if held == op.obj {
+						if mode == modeRead && op.mode == modeRead {
+							continue // recursive RLock: tolerated, matches existing idiom
+						}
+						report(op.pos, fmt.Sprintf(
+							"%s: %s.%s while %s is already held (mutexes are not reentrant)",
+							fn.name(), ci.lockName(op.obj), op.mode, ci.lockName(held)))
+						continue
+					}
+					addEdge(levelOf(held), levelOf(op.obj), op.pos)
+				}
+			case ev.call != nil:
+				for _, tgt := range ev.call.targets {
+					for acq := range tgt.acquiresAll {
+						for held := range ev.held {
+							if held == acq {
+								report(ev.pos, fmt.Sprintf(
+									"%s: call to %s may acquire %s, which is already held",
+									fn.name(), tgt.name(), ci.lockName(acq)))
+								continue
+							}
+							addEdge(levelOf(held), levelOf(acq), ev.pos)
+						}
+					}
+				}
+			}
+		}
+		for _, op := range res.unreleased {
+			report(op.pos, fmt.Sprintf(
+				"%s: %s acquired with %s but some path returns without releasing it",
+				fn.name(), ci.lockName(op.obj), op.mode))
+		}
+	}
+
+	reportCycles(mod, edges, report)
+}
+
+// reportCycles finds strongly connected components of the merged order
+// graph and reports each cyclic one once, at its smallest witness
+// position, with a deterministic cycle path in the message.
+func reportCycles(mod *Module, edges map[string]map[string]token.Pos, report func(token.Pos, string)) {
+	nodes := make([]string, 0, len(edges))
+	seenNode := map[string]bool{}
+	for from, m := range edges {
+		if !seenNode[from] {
+			seenNode[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range m {
+			if !seenNode[to] {
+				seenNode[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative enough for our sizes via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(edges[v]))
+		for to := range edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+
+	for _, comp := range sccs {
+		selfLoop := len(comp) == 1 && edges[comp[0]] != nil && hasKey(edges[comp[0]], comp[0])
+		if len(comp) < 2 && !selfLoop {
+			continue
+		}
+		sort.Strings(comp)
+		in := map[string]bool{}
+		for _, n := range comp {
+			in[n] = true
+		}
+		pos := token.Pos(0)
+		for _, from := range comp {
+			for to, p := range edges[from] {
+				if in[to] && (pos == 0 || p < pos) {
+					pos = p
+				}
+			}
+		}
+		var path string
+		if selfLoop {
+			path = comp[0] + " -> " + comp[0]
+		} else {
+			path = strings.Join(comp, " -> ") + " -> " + comp[0]
+		}
+		report(pos, fmt.Sprintf("lock-order cycle: %s (declared and observed acquisition edges conflict)", path))
+	}
+}
+
+func hasKey(m map[string]token.Pos, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// collectLockOrder gathers level bindings (annotations on mutex fields
+// and variables) and declared edges (annotations containing '<') from
+// every file of the module.
+func collectLockOrder(mod *Module, report func(token.Pos, string)) (map[lockKey]string, []lockOrderEdge) {
+	levels := map[lockKey]string{}
+	var declared []lockOrderEdge
+
+	bindField := func(pkg *Package, fld *ast.Field, name string) {
+		for _, id := range fld.Names {
+			v := pkg.Info.Defs[id]
+			if v == nil {
+				continue
+			}
+			if !isMutexType(v.Type()) {
+				report(fld.Pos(), fmt.Sprintf(
+					"lock-order annotation on %s, which is not a sync.Mutex or sync.RWMutex", id.Name))
+				continue
+			}
+			levels[v] = name
+		}
+	}
+
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			// Level bindings on struct fields and package variables.
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					if n.Fields == nil {
+						return true
+					}
+					for _, fld := range n.Fields.List {
+						if name, ok := annotationLockOrder(fld.Doc, fld.Comment); ok {
+							bindField(pkg, fld, name)
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						name, ok := annotationLockOrder(n.Doc, vs.Doc, vs.Comment)
+						if !ok {
+							continue
+						}
+						for _, id := range vs.Names {
+							v := pkg.Info.Defs[id]
+							if v == nil {
+								continue
+							}
+							if !isMutexType(v.Type()) {
+								report(vs.Pos(), fmt.Sprintf(
+									"lock-order annotation on %s, which is not a sync.Mutex or sync.RWMutex", id.Name))
+								continue
+							}
+							levels[v] = name
+						}
+					}
+				}
+				return true
+			})
+			// Declared edges: any comment line with the marker and a '<'.
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := markerRest(c.Text)
+					if !ok || !strings.Contains(rest, "<") {
+						continue
+					}
+					parts := strings.Split(rest, "<")
+					names := make([]string, 0, len(parts))
+					bad := false
+					for _, p := range parts {
+						p = strings.TrimSpace(p)
+						if p == "" || strings.ContainsAny(p, " \t") {
+							bad = true
+							break
+						}
+						names = append(names, p)
+					}
+					if bad || len(names) < 2 {
+						report(c.Pos(), "malformed lock-order declaration; want `// microlint:lock-order a < b < c`")
+						continue
+					}
+					for i := 0; i+1 < len(names); i++ {
+						declared = append(declared, lockOrderEdge{from: names[i], to: names[i+1], pos: c.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return levels, declared
+}
+
+// annotationLockOrder extracts a level name from the first lock-order
+// annotation in the given comment groups, provided it is a plain name
+// (declaration chains containing '<' are handled separately).
+func annotationLockOrder(groups ...*ast.CommentGroup) (string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := markerRest(c.Text)
+			if !ok || strings.Contains(rest, "<") {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				return fields[0], true
+			}
+		}
+	}
+	return "", false
+}
+
+// markerRest returns the text after the lock-order marker in a comment,
+// if present. Anything from a nested "//" on is trailing prose, not
+// part of the annotation.
+func markerRest(comment string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*"))
+	rest, ok := strings.CutPrefix(text, lockOrderMarker)
+	if !ok {
+		return "", false
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}

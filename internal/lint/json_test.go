@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestWriteJSONGolden locks the -json wire format byte-for-byte: CI
+// tooling parses this output, so a field rename or ordering change must
+// show up as a test diff, not as a broken pipeline.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/core/linker.go", Line: 42, Column: 7},
+			Analyzer: "deadlockcheck",
+			Message:  "lock-order cycle: a -> b -> a",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/obs/obs.go", Line: 9, Column: 1},
+			Analyzer: "leakcheck",
+			Message:  `goroutine ranges over ch, which is never closed; the goroutine never exits`,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `[
+  {
+    "file": "internal/core/linker.go",
+    "line": 42,
+    "column": 7,
+    "analyzer": "deadlockcheck",
+    "message": "lock-order cycle: a -> b -> a"
+  },
+  {
+    "file": "internal/obs/obs.go",
+    "line": 9,
+    "column": 1,
+    "analyzer": "leakcheck",
+    "message": "goroutine ranges over ch, which is never closed; the goroutine never exits"
+  }
+]
+`
+	if buf.String() != golden {
+		t.Errorf("WriteJSON output drifted from the golden form:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+}
+
+// TestWriteJSONEmpty pins the zero-diagnostic form: an empty array, not
+// null — `jq length` must keep working on a clean run.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestWriteJSONSchema checks every emitted object carries exactly the
+// five documented keys, guarding against accidental additions that
+// would loosen the schema without a conscious decision.
+func TestWriteJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: "x.go", Line: 1, Column: 1},
+		Analyzer: "wgcheck",
+		Message:  "m",
+	}}
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("output is not a JSON array of objects: %v", err)
+	}
+	want := map[string]bool{"file": true, "line": true, "column": true, "analyzer": true, "message": true}
+	for _, obj := range raw {
+		if len(obj) != len(want) {
+			t.Errorf("object has %d keys, want %d: %v", len(obj), len(want), obj)
+		}
+		for k := range obj {
+			if !want[k] {
+				t.Errorf("unexpected key %q in JSON output", k)
+			}
+		}
+	}
+}

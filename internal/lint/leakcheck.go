@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// leakcheck finds goroutines that can never finish and tickers that are
+// never stopped:
+//
+//   - a goroutine sending on an unbuffered function-local channel that
+//     nothing in the function ever receives from — the send blocks
+//     forever and the goroutine leaks;
+//   - a goroutine receiving on a function-local channel that nothing
+//     ever sends on or closes;
+//   - a goroutine ranging over a function-local channel that is never
+//     closed — the range never terminates;
+//   - time.Tick (its ticker can never be stopped) and a local
+//     time.NewTicker with no Stop call in the function.
+//
+// Channel reasoning is restricted to channels that do not escape the
+// function: a channel passed to another function, stored in a struct,
+// or returned has counterparties this analysis cannot see, so it is
+// skipped rather than guessed at. That keeps the check near-zero false
+// positives — exactly the property a worker-pool-heavy codebase needs
+// from a gate that runs in CI.
+type leakcheck struct{}
+
+func (leakcheck) Name() string { return "leakcheck" }
+func (leakcheck) Doc() string {
+	return "goroutines blocked forever on local channels nobody drains/closes; time.Tick and unstopped tickers"
+}
+
+// chanUses aggregates everything one function does with one local channel.
+type chanUses struct {
+	unbuffered bool
+	escapes    bool
+
+	sends, recvs, closes, ranges int
+	goSend, goRecv, goRange      token.Pos // first occurrence inside a spawned goroutine
+}
+
+func (leakcheck) Run(pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChannels(pkg, fd.Body, report)
+			checkTickers(pkg, fd.Body, report)
+		}
+		checkTick(pkg, f, report)
+	}
+}
+
+// checkTick flags time.Tick anywhere: the underlying ticker is
+// unreachable and runs for the life of the process.
+func checkTick(pkg *Package, f *ast.File, report func(token.Pos, string)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pkg, call.Fun, "time", "Tick") {
+			report(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and defer t.Stop()")
+		}
+		return true
+	})
+}
+
+// checkTickers flags local time.NewTicker results with no Stop call in
+// the function (escaping tickers are someone else's to stop).
+func checkTickers(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string)) {
+	tickers := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPkgFunc(pkg, call.Fun, "time", "NewTicker") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			tickers[obj] = call.Pos()
+		}
+		return true
+	})
+	if len(tickers) == 0 {
+		return
+	}
+	stopped := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						stopped[obj] = true
+					}
+				}
+			}
+			// A ticker handed to another function escapes.
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, pos := range tickers {
+		if !stopped[obj] && !escaped[obj] {
+			report(pos, fmt.Sprintf("ticker %s is never stopped; defer %s.Stop() or it runs forever", obj.Name(), obj.Name()))
+		}
+	}
+}
+
+// checkChannels runs the local-channel leak rules over one function body.
+func checkChannels(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string)) {
+	chans := collectLocalChans(pkg, body)
+	if len(chans) == 0 {
+		return
+	}
+
+	goRanges := spawnedLitRanges(body)
+	inGo := func(pos token.Pos) bool {
+		for _, r := range goRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// classified maps identifiers consumed by a recognized channel
+	// operation; every other use of a tracked channel is an escape.
+	classified := map[*ast.Ident]bool{}
+	chanIdent := func(e ast.Expr) (*ast.Ident, *chanUses) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, nil
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if cu := chans[obj]; cu != nil {
+				return id, cu
+			}
+		}
+		return nil, nil
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if id, cu := chanIdent(n.Chan); cu != nil {
+				classified[id] = true
+				cu.sends++
+				if inGo(n.Pos()) && cu.goSend == 0 {
+					cu.goSend = n.Pos()
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if id, cu := chanIdent(n.X); cu != nil {
+					classified[id] = true
+					cu.recvs++
+					if inGo(n.Pos()) && cu.goRecv == 0 {
+						cu.goRecv = n.Pos()
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, cu := chanIdent(n.X); cu != nil {
+				classified[id] = true
+				cu.ranges++
+				if inGo(n.Pos()) && cu.goRange == 0 {
+					cu.goRange = n.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "close":
+					if len(n.Args) == 1 {
+						if aid, cu := chanIdent(n.Args[0]); cu != nil {
+							classified[aid] = true
+							cu.closes++
+						}
+					}
+				case "len", "cap":
+					if len(n.Args) == 1 {
+						if aid, cu := chanIdent(n.Args[0]); cu != nil {
+							classified[aid] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Any remaining use of a tracked channel is an escape.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || classified[id] {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if cu := chans[obj]; cu != nil {
+				cu.escapes = true
+			}
+		}
+		return true
+	})
+
+	for obj, cu := range chans {
+		if cu.escapes {
+			continue
+		}
+		name := obj.Name()
+		if cu.goSend != 0 && cu.unbuffered && cu.recvs == 0 && cu.ranges == 0 {
+			report(cu.goSend, fmt.Sprintf(
+				"goroutine sends on %s but the function never receives from it; the goroutine blocks forever", name))
+		}
+		if cu.goRecv != 0 && cu.sends == 0 && cu.closes == 0 {
+			report(cu.goRecv, fmt.Sprintf(
+				"goroutine receives on %s but nothing ever sends on or closes it; the goroutine blocks forever", name))
+		}
+		if cu.goRange != 0 && cu.closes == 0 {
+			report(cu.goRange, fmt.Sprintf(
+				"goroutine ranges over %s, which is never closed; the goroutine never exits", name))
+		}
+	}
+}
+
+// collectLocalChans finds `ch := make(chan T[, n])` declarations whose
+// variable is local to body.
+func collectLocalChans(pkg *Package, body *ast.BlockStmt) map[types.Object]*chanUses {
+	chans := map[types.Object]*chanUses{}
+	record := func(id *ast.Ident, call *ast.CallExpr) {
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "make" || len(call.Args) == 0 {
+			return
+		}
+		if _, ok := pkg.Info.Types[call.Args[0]].Type.Underlying().(*types.Chan); !ok {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			chans[obj] = &chanUses{unbuffered: len(call.Args) == 1}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						record(id, call)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if call, ok := rhs.(*ast.CallExpr); ok && i < len(n.Names) {
+					record(n.Names[i], call)
+				}
+			}
+		}
+		return true
+	})
+	return chans
+}
+
+// spawnedLitRanges returns the source ranges of function literals
+// launched directly by a go statement in body.
+func spawnedLitRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// isPkgFunc reports whether fun is a selector pkgName.funcName resolving
+// to the named standard-library function.
+func isPkgFunc(pkg *Package, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -39,9 +39,21 @@ type Analyzer interface {
 	Run(pkg *Package, report func(pos token.Pos, msg string))
 }
 
+// ModuleAnalyzer is implemented by analyzers that need the whole module
+// at once — the lock-order graph and atomic-vs-plain checks cannot be
+// decided one package at a time. Run dispatches RunModule exactly once
+// instead of calling Run per package.
+type ModuleAnalyzer interface {
+	Analyzer
+	RunModule(mod *Module, report func(pos token.Pos, msg string))
+}
+
 // Analyzers returns the full microlint suite in its canonical order.
 func Analyzers() []Analyzer {
-	return []Analyzer{lockcheck{}, ctxcheck{}, detercheck{}, errdrop{}}
+	return []Analyzer{
+		lockcheck{}, ctxcheck{}, detercheck{}, errdrop{},
+		deadlockcheck{}, leakcheck{}, wgcheck{}, atomiccheck{},
+	}
 }
 
 // AnalyzerByName resolves a single analyzer, for corpus tests.
@@ -61,16 +73,22 @@ func AnalyzerByName(name string) (Analyzer, bool) {
 // weakens the build.
 func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range mod.Pkgs {
-		for _, a := range analyzers {
-			name := a.Name()
-			a.Run(pkg, func(pos token.Pos, msg string) {
-				diags = append(diags, Diagnostic{
-					Pos:      mod.Fset.Position(pos),
-					Analyzer: name,
-					Message:  msg,
-				})
+	reporter := func(name string) func(token.Pos, string) {
+		return func(pos token.Pos, msg string) {
+			diags = append(diags, Diagnostic{
+				Pos:      mod.Fset.Position(pos),
+				Analyzer: name,
+				Message:  msg,
 			})
+		}
+	}
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			ma.RunModule(mod, reporter(a.Name()))
+			continue
+		}
+		for _, pkg := range mod.Pkgs {
+			a.Run(pkg, reporter(a.Name()))
 		}
 	}
 	dirs, dirDiags := collectDirectives(mod)
@@ -138,6 +156,7 @@ func WriteJSON(w io.Writer, ds []Diagnostic) error {
 		})
 	}
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // diagnostics print "a -> b", not "a -> b"
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }

@@ -22,6 +22,8 @@ type Module struct {
 	Path string // module path from the `module` directive
 	Fset *token.FileSet
 	Pkgs []*Package
+
+	conc *concInfo // lazily built shared concurrency analysis (summary.go)
 }
 
 // Package is one type-checked package of a Module. Files holds only

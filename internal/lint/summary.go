@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// summary.go computes per-function concurrency summaries over the
+// callgraph: which mutexes a function acquires (directly and
+// transitively), and — via a may-held dataflow over the CFG — which
+// locks can be held at each acquire site and call site. Lock identity
+// is the types.Object of the mutex: for struct fields that is the field
+// object itself, shared by every instance of the struct, which is
+// exactly the granularity a lock *hierarchy* is defined at (all
+// interest-cache shards are one level); for package-level and local
+// mutex variables it is the variable object.
+//
+// The dataflow is a may-analysis (union at joins): a lock counts as
+// held on a path if some predecessor path holds it. That errs toward
+// reporting potential inversions; release via Unlock inside one basic
+// block is tracked exactly, so the read-copy-update idiom
+// (RLock/read/RUnlock then Lock/write/Unlock) does not produce false
+// nesting. Deferred Unlocks keep the lock held until function exit, as
+// they do at runtime.
+
+// lockMode distinguishes write (Lock) from read (RLock) acquisition.
+type lockMode int
+
+const (
+	modeWrite lockMode = iota
+	modeRead
+)
+
+func (m lockMode) String() string {
+	if m == modeRead {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// lockOp is one Lock/RLock/Unlock/RUnlock call on a resolved mutex.
+type lockOp struct {
+	obj      types.Object
+	pos      token.Pos
+	acquire  bool
+	mode     lockMode
+	deferred bool
+}
+
+// lockEvent is something the deadlock analyzer cares about, annotated
+// with the set of locks that may be held when it happens.
+type lockEvent struct {
+	pos  token.Pos
+	held map[types.Object]lockMode // snapshot (owned by the event)
+
+	// Exactly one of the following is set.
+	acquire *lockOp   // a direct Lock/RLock
+	call    *callSite // a call that may acquire further locks
+}
+
+// concInfo is the module's shared concurrency-analysis state, built
+// once and reused by every analyzer that needs it.
+type concInfo struct {
+	mod   *Module
+	cg    *callgraph
+	names map[types.Object]string // display names for lock objects
+}
+
+// concurrency returns the module's concurrency info, building it on
+// first use. lint.Run is single-goroutine, so a plain cache suffices.
+func (m *Module) concurrency() *concInfo {
+	if m.conc == nil {
+		ci := &concInfo{mod: m, cg: buildCallgraph(m), names: map[types.Object]string{}}
+		for _, pkg := range m.Pkgs {
+			ci.collectFieldNames(pkg)
+		}
+		for _, fn := range ci.cg.funcs {
+			ci.collectAcquires(fn)
+		}
+		ci.propagateAcquires()
+		m.conc = ci
+	}
+	return m.conc
+}
+
+// collectFieldNames maps every struct field object of the package to a
+// pkg.Type.field display name, so lock diagnostics read like the
+// declared hierarchy.
+func (ci *concInfo) collectFieldNames(pkg *Package) {
+	short := shortPkg(ci.mod, pkg.PkgPath)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, id := range fld.Names {
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						ci.names[v] = short + "." + ts.Name.Name + "." + id.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// shortPkg trims the module prefix from an import path: the root
+// package keeps its base name.
+func shortPkg(mod *Module, pkgPath string) string {
+	if pkgPath == mod.Path {
+		if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+			return pkgPath[i+1:]
+		}
+		return pkgPath
+	}
+	p := strings.TrimPrefix(pkgPath, mod.Path+"/")
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		p = p[i+1:]
+	}
+	return p
+}
+
+// lockName renders a lock object for diagnostics.
+func (ci *concInfo) lockName(obj types.Object) string {
+	if n, ok := ci.names[obj]; ok {
+		return n
+	}
+	if obj.Pkg() != nil {
+		return shortPkg(ci.mod, obj.Pkg().Path()) + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// mutexObjOf resolves the receiver expression of a Lock/Unlock call to
+// its lock identity: the field object for selectors, the variable
+// object for identifiers. Returns nil for anything else (an expression
+// whose lock identity cannot be named is not tracked).
+func mutexObjOf(pkg *Package, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		// Package-qualified variable: pkg.mu.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// lockOpOf decodes call as a mutex operation, or nil.
+func lockOpOf(pkg *Package, call *ast.CallExpr, deferred bool) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire bool
+	var mode lockMode
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, mode = true, modeWrite
+	case "RLock":
+		acquire, mode = true, modeRead
+	case "Unlock":
+		acquire, mode = false, modeWrite
+	case "RUnlock":
+		acquire, mode = false, modeRead
+	default:
+		return nil
+	}
+	if tv, ok := pkg.Info.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+		return nil
+	}
+	obj := mutexObjOf(pkg, sel.X)
+	if obj == nil {
+		return nil
+	}
+	return &lockOp{obj: obj, pos: call.Pos(), acquire: acquire, mode: mode, deferred: deferred}
+}
+
+// lockOpsIn lists the mutex operations syntactically inside one CFG
+// node, in source order, with defer marking.
+func lockOpsIn(pkg *Package, node ast.Node) []*lockOp {
+	var ops []*lockOp
+	deferred := map[*ast.CallExpr]bool{}
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := lockOpOf(pkg, call, deferred[call]); op != nil {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// collectAcquires records the locks fn's own body acquires.
+func (ci *concInfo) collectAcquires(fn *funcNode) {
+	fn.acquires = map[lockKey]token.Pos{}
+	fn.walkOwn(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := lockOpOf(fn.pkg, call, false); op != nil && op.acquire {
+				if _, seen := fn.acquires[op.obj]; !seen {
+					fn.acquires[op.obj] = op.pos
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateAcquires computes the transitive acquire sets over the
+// callgraph: static, defer, and reference edges propagate (the callee's
+// locks may be taken while the caller runs or holds its locks); go
+// edges do not (a spawned goroutine acquires on its own stack, which is
+// concurrency, not nesting).
+func (ci *concInfo) propagateAcquires() {
+	for _, fn := range ci.cg.funcs {
+		fn.acquiresAll = map[lockKey]token.Pos{}
+		for k, p := range fn.acquires {
+			fn.acquiresAll[k] = p
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range ci.cg.funcs {
+			for _, cs := range fn.calls {
+				if cs.kind == callGo {
+					continue
+				}
+				for _, tgt := range cs.targets {
+					for k := range tgt.acquiresAll {
+						if _, ok := fn.acquiresAll[k]; !ok {
+							fn.acquiresAll[k] = cs.pos
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockKey aliases types.Object to document intent at use sites.
+type lockKey = types.Object
+
+// heldEvents runs the may-held dataflow over fn's CFG and returns the
+// acquire and call events with their held-set snapshots, plus, for each
+// acquire, whether some path reaches function exit without releasing it
+// (reported by deadlockcheck as a leaked lock).
+type heldResult struct {
+	events []lockEvent
+	// unreleased maps an acquire op to true when a path reaches exit
+	// with the lock still held and no deferred unlock exists.
+	unreleased []*lockOp
+}
+
+func (ci *concInfo) heldEvents(fn *funcNode) heldResult {
+	g := fn.cfg()
+	pkg := fn.pkg
+
+	// Per-node decoded operations and call sites, cached.
+	nodeOps := map[ast.Node][]*lockOp{}
+	nodeCalls := map[ast.Node][]*callSite{}
+	for i := range fn.calls {
+		cs := &fn.calls[i]
+		for _, b := range g.blocks {
+			for _, n := range b.nodes {
+				if n.Pos() <= cs.pos && cs.pos < n.End() {
+					nodeCalls[n] = append(nodeCalls[n], cs)
+				}
+			}
+		}
+	}
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			nodeOps[n] = lockOpsIn(pkg, n)
+		}
+	}
+
+	// Deferred releases hold until exit; note which locks have one so
+	// the leak check can exempt them.
+	deferredRelease := map[lockKey]bool{}
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			for _, op := range nodeOps[n] {
+				if !op.acquire && op.deferred {
+					deferredRelease[op.obj] = true
+				}
+			}
+		}
+	}
+
+	in := map[*cfgBlock]map[lockKey]lockMode{}
+	copySet := func(s map[lockKey]lockMode) map[lockKey]lockMode {
+		out := make(map[lockKey]lockMode, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+
+	var res heldResult
+	record := func(cur map[lockKey]lockMode, ev lockEvent) {
+		ev.held = copySet(cur)
+		res.events = append(res.events, ev)
+	}
+
+	// Fixpoint over block entry sets; events are (re)collected on a
+	// final pass so each site reports once with its converged set.
+	transfer := func(b *cfgBlock, cur map[lockKey]lockMode, emit bool) map[lockKey]lockMode {
+		for _, n := range b.nodes {
+			for _, op := range nodeOps[n] {
+				if op.acquire {
+					if emit {
+						record(cur, lockEvent{pos: op.pos, acquire: op})
+					}
+					cur[op.obj] = op.mode
+				} else if !op.deferred {
+					delete(cur, op.obj)
+				}
+			}
+			if emit {
+				for _, cs := range nodeCalls[n] {
+					if len(cur) > 0 && cs.kind != callGo {
+						record(cur, lockEvent{pos: cs.pos, call: cs})
+					}
+				}
+			}
+		}
+		return cur
+	}
+
+	in[g.entry] = map[lockKey]lockMode{}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b, copySet(in[b]), false)
+		for _, s := range b.succs {
+			next, ok := in[s]
+			if !ok {
+				in[s] = copySet(out)
+				work = append(work, s)
+				continue
+			}
+			grown := false
+			for k, v := range out {
+				if _, ok := next[k]; !ok {
+					next[k] = v
+					grown = true
+				}
+			}
+			if grown {
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.blocks {
+		if s, ok := in[b]; ok {
+			transfer(b, copySet(s), true)
+		}
+	}
+
+	// Leaked locks: an acquire with no deferred release for its key and
+	// some path to exit that passes no plain release of it.
+	for _, b := range g.blocks {
+		if _, reachable := in[b]; !reachable {
+			continue
+		}
+		for i, n := range b.nodes {
+			for _, op := range nodeOps[n] {
+				if !op.acquire || op.deferred || deferredRelease[op.obj] {
+					continue
+				}
+				releases := func(m ast.Node) bool {
+					for _, o := range nodeOps[m] {
+						if !o.acquire && !o.deferred && o.obj == op.obj {
+							return true
+						}
+					}
+					return false
+				}
+				if g.pathToExitAvoiding(b, i+1, releases) {
+					res.unreleased = append(res.unreleased, op)
+				}
+			}
+		}
+	}
+	return res
+}

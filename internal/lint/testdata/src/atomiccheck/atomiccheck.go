@@ -1,0 +1,68 @@
+// Corpus for the atomiccheck analyzer: fields and package variables
+// touched through sync/atomic must never be accessed plainly, across
+// package boundaries included; composite-literal initialization and
+// never-atomic fields stay clean.
+package atomiccheck
+
+import (
+	"sync/atomic"
+
+	"corpus/atomiccheck/internal/other"
+)
+
+type stats struct {
+	hits  uint64
+	total uint64
+}
+
+func (s *stats) IncHits() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) ReadHitsGood() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+func (s *stats) ReadHitsBad() uint64 {
+	return s.hits // want "accessed atomically .* but plainly here"
+}
+
+// PlainTotal is clean: total is never touched atomically.
+func (s *stats) PlainTotal() uint64 {
+	return s.total
+}
+
+// newStats is clean: composite-literal keys initialize the value before
+// it is shared.
+func newStats() *stats {
+	return &stats{hits: 0, total: 0}
+}
+
+var gen uint64
+
+func bumpGen() {
+	atomic.AddUint64(&gen, 1)
+}
+
+func readGenBad() uint64 {
+	return gen // want "accessed atomically .* but plainly here"
+}
+
+func readGenSuppressed() uint64 {
+	//nolint:microlint/atomiccheck -- test-only snapshot taken while no writer can run
+	return gen
+}
+
+func crossPackageBad() int64 {
+	return other.Counter // want "accessed atomically .* but plainly here"
+}
+
+func use() {
+	s := newStats()
+	s.IncHits()
+	_ = s.ReadHitsGood() + s.ReadHitsBad() + s.PlainTotal()
+	bumpGen()
+	_ = readGenBad() + readGenSuppressed()
+	other.Inc()
+	_ = crossPackageBad()
+}

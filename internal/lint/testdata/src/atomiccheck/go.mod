@@ -1,0 +1,3 @@
+module corpus/atomiccheck
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package other holds the atomic writer whose counter the root package
+// reads plainly: the cross-package case a per-package analysis misses.
+package other
+
+import "sync/atomic"
+
+// Counter is only ever written through sync/atomic.
+var Counter int64
+
+// Inc bumps the counter atomically.
+func Inc() {
+	atomic.AddInt64(&Counter, 1)
+}

@@ -1,0 +1,148 @@
+// Corpus for the deadlockcheck analyzer: a seeded lock-order inversion
+// against a declared hierarchy, an observed-only cycle between
+// unannotated mutexes, double-Lock, Lock without release on a path,
+// call-mediated re-acquisition, the RWMutex upgrade idiom (clean), and
+// nolint suppression.
+package deadlockcheck
+
+import (
+	"errors"
+	"sync"
+)
+
+type S struct {
+	muA sync.Mutex // microlint:lock-order a
+	muB sync.Mutex // microlint:lock-order b
+	muC sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+// Inverted acquires b then a: together with the declared edge a < b
+// (bottom of file) this closes a cycle. This is the seeded inversion.
+// The cycle reports at its earliest witness edge, which is this
+// acquisition because Inverted precedes Good in the file.
+func (s *S) Inverted() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.muA.Lock() // want "lock-order cycle: a -> b -> a"
+	defer s.muA.Unlock()
+}
+
+// Good respects the declared a < b order.
+func (s *S) Good() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.muB.Lock()
+	defer s.muB.Unlock()
+}
+
+// DoubleLock re-acquires a non-reentrant mutex on the same goroutine.
+func (s *S) DoubleLock() {
+	s.muC.Lock()
+	s.muC.Lock() // want "already held"
+	s.muC.Unlock()
+	s.muC.Unlock()
+}
+
+// LeakOnError returns with muC still held on the error path.
+func (s *S) LeakOnError(fail bool) error {
+	s.muC.Lock() // want "some path returns without releasing it"
+	if fail {
+		return errors.New("fail")
+	}
+	s.muC.Unlock()
+	return nil
+}
+
+// Outer holds muC across a call whose callee locks muC again.
+func (s *S) Outer() {
+	s.muC.Lock()
+	defer s.muC.Unlock()
+	s.helper() // want "may acquire .* which is already held"
+}
+
+func (s *S) helper() {
+	s.muC.Lock()
+	defer s.muC.Unlock()
+}
+
+// Upgrade is the read-copy-update idiom: RLock, read, RUnlock, then
+// Lock on a miss. The flow-sensitive held-set must see the RUnlock and
+// not call this a double lock or a leak.
+func (s *S) Upgrade() {
+	s.rw.RLock()
+	v := s.val
+	s.rw.RUnlock()
+	if v == 0 {
+		s.rw.Lock()
+		s.val = 1
+		s.rw.Unlock()
+	}
+}
+
+// SuppressedHandoff intentionally transfers lock ownership to the
+// caller; the leak diagnostic is suppressed with a reason.
+func (s *S) SuppressedHandoff() {
+	//nolint:microlint/deadlockcheck -- lock handed off; caller must invoke ReleaseC
+	s.muC.Lock()
+}
+
+// ReleaseC completes the handoff begun by SuppressedHandoff.
+func (s *S) ReleaseC() {
+	s.muC.Unlock()
+}
+
+type T struct {
+	muX sync.Mutex
+	muY sync.Mutex
+}
+
+// YthenX nests the unannotated mutexes one way...
+func (t *T) YthenX() {
+	t.muY.Lock()
+	defer t.muY.Unlock()
+	t.muX.Lock() // want "lock-order cycle: deadlockcheck.T.muX -> deadlockcheck.T.muY -> deadlockcheck.T.muX"
+	defer t.muX.Unlock()
+}
+
+// ...and XthenY nests them the other way through a call, closing an
+// observed-only cycle with no annotations involved.
+func (t *T) XthenY() {
+	t.muX.Lock()
+	defer t.muX.Unlock()
+	t.lockY()
+}
+
+func (t *T) lockY() {
+	t.muY.Lock()
+	defer t.muY.Unlock()
+}
+
+// Declaration of the annotated hierarchy, kept below the functions so
+// the cycle's earliest witness is the inversion site itself.
+// microlint:lock-order a < b
+
+// A declaration may only reference bound level names.
+// microlint:lock-order a < ghost // want "no mutex annotation binds"
+
+// microlint:lock-order a < < b // want "malformed lock-order declaration"
+
+type W struct {
+	// Annotations must sit on mutexes.
+	n int // microlint:lock-order bogus // want "not a sync.Mutex or sync.RWMutex"
+}
+
+func use(s *S, t *T, w *W) {
+	s.Good()
+	s.Inverted()
+	s.DoubleLock()
+	_ = s.LeakOnError(false)
+	s.Outer()
+	s.Upgrade()
+	s.SuppressedHandoff()
+	s.ReleaseC()
+	t.YthenX()
+	t.XthenY()
+	_ = w.n
+}

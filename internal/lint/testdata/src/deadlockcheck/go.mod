@@ -1,0 +1,3 @@
+module corpus/deadlockcheck
+
+go 1.22

@@ -1,0 +1,3 @@
+module corpus/leakcheck
+
+go 1.22

@@ -1,0 +1,100 @@
+// Corpus for the leakcheck analyzer: goroutines stuck on local
+// channels, time.Tick, unstopped tickers, and the clean worker-pool /
+// escaping-channel shapes that must not be flagged.
+package leakcheck
+
+import "time"
+
+func tick() {
+	for range time.Tick(time.Second) { // want "time.Tick leaks its ticker"
+		work(0)
+	}
+}
+
+func unstopped() {
+	t := time.NewTicker(time.Second) // want "never stopped"
+	<-t.C
+}
+
+func stopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func sendNoReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want "blocks forever"
+	}()
+}
+
+// sendBuffered is clean: a buffered send completes without a receiver.
+func sendBuffered() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+}
+
+func recvNoSender() {
+	ch := make(chan int)
+	go func() {
+		<-ch // want "nothing ever sends on or closes it"
+	}()
+}
+
+func rangeNoClose(items []int) {
+	ch := make(chan int, len(items))
+	go func() {
+		for v := range ch { // want "never closed"
+			work(v)
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+}
+
+// workerPoolClean is the full idiom: feeder closes the work channel,
+// the worker signals completion by closing done.
+func workerPoolClean(items []int) {
+	ch := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+		close(done)
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+	<-done
+}
+
+// escapes returns the channel: its receivers are out of scope for a
+// local analysis, so nothing is flagged.
+func escapes() chan int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+// passed hands the channel to another function, which may drain it.
+func passed() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	drain(ch)
+}
+
+func suppressed() {
+	ch := make(chan int)
+	go func() {
+		//nolint:microlint/leakcheck -- process-lifetime signal goroutine, leak is intentional here
+		ch <- 1
+	}()
+}
+
+func drain(ch chan int) { <-ch }
+
+func work(int) {}

@@ -1,0 +1,3 @@
+module corpus/wgcheck
+
+go 1.22

@@ -1,0 +1,90 @@
+// Corpus for the wgcheck analyzer: Add inside the spawned goroutine,
+// Done missing on a path, value copies of WaitGroup/Mutex, and the
+// clean Add-before-go / defer-Done idiom.
+package wgcheck
+
+import "sync"
+
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "Add inside the spawned goroutine"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func missedDone(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			if j < 0 {
+				return
+			}
+			wg.Done() // want "some paths but not all"
+		}(j)
+	}
+	wg.Wait()
+}
+
+// deferDone is the idiom the analyzer exists to push everyone toward.
+func deferDone(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			if j < 0 {
+				return
+			}
+			work(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// lateDoneAllPaths signals Done on every path without defer: legal,
+// and must not be flagged.
+func lateDoneAllPaths(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			if j < 0 {
+				wg.Done()
+				return
+			}
+			work(j)
+			wg.Done()
+		}(j)
+	}
+	wg.Wait()
+}
+
+func byValueParam(wg sync.WaitGroup) { // want "by value"
+	wg.Wait()
+}
+
+func byPointerParam(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func copyAssign() {
+	var mu sync.Mutex
+	mu2 := mu // want "copies a sync.Mutex by value"
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func freshValuesClean() {
+	mu := sync.Mutex{} // a fresh zero value, not a copy
+	mu.Lock()
+	mu.Unlock()
+}
+
+func suppressed(wg sync.WaitGroup) { //nolint:microlint/wgcheck -- corpus-only: demonstrating suppression syntax
+	wg.Wait()
+}
+
+func work(int) {}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wgcheck enforces the WaitGroup discipline the worker pools in
+// internal/core and internal/synth rely on:
+//
+//   - Add must happen before the goroutine is spawned, never inside it
+//     (Wait can otherwise return before the goroutine has counted
+//     itself in — the classic lost-Add race);
+//   - a spawned goroutine that calls Done must reach Done on every
+//     path to its end (defer wg.Done() is the idiomatic proof);
+//   - WaitGroups and Mutexes are passed and copied by pointer only —
+//     a value copy forks the counter/lock state silently.
+//
+// Path reachability uses the CFG from cfg.go, so an early return
+// between Add-ed work items is caught while a panic path is not (a
+// deferred Done still runs on panic).
+type wgcheck struct{}
+
+func (wgcheck) Name() string { return "wgcheck" }
+func (wgcheck) Doc() string {
+	return "WaitGroup.Add inside spawned goroutine; Done unreachable on a path; WaitGroup/Mutex copied by value"
+}
+
+func (wgcheck) Run(pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkSpawnedLit(pkg, lit, report)
+				}
+			case *ast.FuncDecl:
+				checkCopies(pkg, n.Type, report)
+			case *ast.FuncLit:
+				checkCopies(pkg, n.Type, report)
+			case *ast.AssignStmt:
+				checkValueCopy(pkg, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpawnedLit applies the goroutine-side rules to one `go func(){…}()`.
+func checkSpawnedLit(pkg *Package, lit *ast.FuncLit, report func(token.Pos, string)) {
+	// Rule 1: Add inside the spawned goroutine. Nested closures are not
+	// this goroutine's own control flow, but an Add anywhere inside the
+	// spawned body is still counted after the spawn, so scan fully.
+	var doneCalls []*ast.CallExpr
+	deferredDone := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupCall(pkg, n, "Add") {
+				report(n.Pos(), "WaitGroup.Add inside the spawned goroutine; call Add before the go statement")
+			}
+		case *ast.DeferStmt:
+			if isWaitGroupCall(pkg, n.Call, "Done") {
+				deferredDone = true
+			}
+		}
+		return true
+	})
+	inspectNoFuncLit(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(pkg, call, "Done") {
+			doneCalls = append(doneCalls, call)
+		}
+		return true
+	})
+
+	// Rule 2: if the goroutine signals Done non-deferred, every path to
+	// its end must pass a Done call.
+	if deferredDone || len(doneCalls) == 0 {
+		return
+	}
+	g := buildCFG(lit.Body)
+	isDone := func(n ast.Node) bool {
+		found := false
+		inspectNoFuncLit(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isWaitGroupCall(pkg, call, "Done") {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if g.pathToExitAvoiding(g.entry, 0, isDone) {
+		report(doneCalls[0].Pos(),
+			"goroutine calls WaitGroup.Done on some paths but not all; use defer wg.Done() at the top")
+	}
+}
+
+// isWaitGroupCall reports whether call is (*sync.WaitGroup).<method>.
+func isWaitGroupCall(pkg *Package, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	switch tv.Type.String() {
+	case "sync.WaitGroup", "*sync.WaitGroup":
+		return true
+	}
+	return false
+}
+
+// checkCopies flags by-value sync.WaitGroup/Mutex/RWMutex parameters and
+// results in a function signature.
+func checkCopies(pkg *Package, ft *ast.FuncType, report func(token.Pos, string)) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			tv, ok := pkg.Info.Types[fld.Type]
+			if !ok {
+				continue
+			}
+			if name := syncValueType(tv.Type); name != "" {
+				report(fld.Pos(), fmt.Sprintf(
+					"%s passes %s by value, forking its internal state; use a pointer", kind, name))
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkValueCopy flags `a := b` / `a = b` where b is a bare
+// WaitGroup/Mutex value (a composite literal or new declaration of the
+// zero value is fine; copying an existing one is not).
+func checkValueCopy(pkg *Package, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for _, rhs := range as.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			continue
+		}
+		tv, ok := pkg.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if name := syncValueType(tv.Type); name != "" {
+			report(rhs.Pos(), fmt.Sprintf("assignment copies a %s by value; use a pointer", name))
+		}
+	}
+}
+
+// syncValueType returns the sync type name if t is a non-pointer
+// WaitGroup, Mutex, or RWMutex, else "".
+func syncValueType(t types.Type) string {
+	switch t.String() {
+	case "sync.WaitGroup", "sync.Mutex", "sync.RWMutex":
+		return t.String()
+	}
+	return ""
+}

@@ -55,8 +55,13 @@ func (t metricType) String() string {
 
 // Registry holds metric families by name. The zero value is not usable;
 // call NewRegistry.
+// Registry metrics lookups nest registry → family when a family must be
+// created on first use; exposition deliberately copies the family list
+// out under the registry lock before touching family locks.
+//
+// microlint:lock-order obs-registry < obs-family
 type Registry struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex       // microlint:lock-order obs-registry
 	families map[string]*family // microlint:guarded-by mu
 }
 
@@ -75,7 +80,7 @@ type family struct {
 	labels  []string
 	buckets []float64 // histogram upper bounds; nil otherwise
 
-	mu       sync.RWMutex
+	mu       sync.RWMutex      // microlint:lock-order obs-family
 	children map[string]*child // microlint:guarded-by mu
 }
 

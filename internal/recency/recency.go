@@ -224,7 +224,7 @@ type Scorer struct {
 	net  *PropNet
 	opts Options
 
-	mu    sync.RWMutex
+	mu    sync.RWMutex          // microlint:lock-order recency-memo
 	memo  map[memoKey][]float64 // microlint:guarded-by mu
 	memoN int64                 // microlint:guarded-by mu — hits, for introspection in benches
 }
