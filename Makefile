@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-smoke repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
+.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
 
 all: build test
 
@@ -50,6 +50,14 @@ bench:
 # without paying for steady-state measurements.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Reach-index construction/size/query benchmark: Go benchmarks for the
+# 2-hop build and query hot path, then the JSON artefact BENCH_reach.json
+# that EXPERIMENTS.md cites (serial vs parallel build, size delta,
+# steady-state query allocations).
+bench-index:
+	$(GO) test -run=NONE -bench='BuildTwoHop|TwoHopQuery' -benchmem ./internal/reach
+	$(GO) run ./cmd/linkbench -out BENCH_reach.json index
 
 # A few seconds of coverage-guided fuzzing per target. Targets are named
 # individually: -fuzz accepts only one match per package.

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ var (
 	seed       = flag.Int64("seed", 42, "world generator seed")
 	users      = flag.Int("users", 1500, "number of users in the accuracy world")
 	quick      = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
+	out        = flag.String("out", "", "also write the experiment's JSON result to this file (index only)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 )
@@ -39,7 +41,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>")
-		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch index")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
@@ -103,6 +105,7 @@ func main() {
 		"taxonomy":   taxonomy,
 		"stages":     stages,
 		"batch":      batch,
+		"index":      index,
 	}
 	if id == "all" {
 		ids := make([]string, 0, len(runners))
@@ -382,6 +385,43 @@ func batch() {
 	fmt.Printf("  %-10s %8d queries %12v %12.0f mentions/sec\n", "serial", len(queries), serialDur.Round(time.Millisecond), rate(serialDur))
 	fmt.Printf("  %-10s %8d queries %12v %12.0f mentions/sec\n", "batch", len(queries), batchDur.Round(time.Millisecond), rate(batchDur))
 	fmt.Printf("  speedup %.2fx   interest cache %d hits / %d misses\n", serialDur.Seconds()/batchDur.Seconds(), hits, misses)
+}
+
+// index measures the PR 5 reach optimisations: serial vs parallel 2-hop
+// construction, the parallel index-size delta, and steady-state query
+// allocations. With -out the JSON result is also written to a file
+// (`make bench-index` checks it in as BENCH_reach.json).
+func index() {
+	banner("2-hop index build: serial vs parallel construction")
+	opts := experiments.IndexBenchOptions{Users: 4000}
+	if *quick {
+		opts.Users = 1000
+	}
+	r := experiments.IndexBench(opts)
+	fmt.Printf("  graph: %d users, %d edges, H=%d (GOMAXPROCS=%d)\n", r.Users, r.Edges, r.MaxHops, r.GOMAXPROCS)
+	fmt.Printf("  %-28s %12s %12s\n", "", "serial", "parallel")
+	fmt.Printf("  %-28s %12s %12s\n", "build time",
+		(time.Duration(r.SerialMS) * time.Millisecond).String(),
+		(time.Duration(r.ParallelMS) * time.Millisecond).String())
+	fmt.Printf("  %-28s %12s %12s\n", "index size", mb(r.SerialBytes), mb(r.ParallelBytes))
+	fmt.Printf("  %-28s %12d %12d\n", "labels", r.SerialLabels, r.ParallelLabels)
+	fmt.Printf("  speedup %.2fx (workers=%d batch=%d, merge wait %v); size ratio %.3f\n",
+		r.Speedup, r.Workers, r.BatchSize, time.Duration(r.MergeWaitMS)*time.Millisecond, r.SizeRatio)
+	fmt.Printf("  fol pool: %d ids for %d refs (%.1f%% interned away)\n",
+		r.FolPoolEntries, r.FolRefs, 100*(1-float64(r.FolPoolEntries)/float64(r.FolRefs)))
+	fmt.Printf("  query: %dns/op, %.2f allocs/op\n", r.QueryNS, r.QueryAllocsOp)
+	if *out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "linkbench: result written to %s\n", *out)
+	}
 }
 
 func categories() {

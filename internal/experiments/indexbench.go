@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"microlink/internal/graph"
+	"microlink/internal/reach"
+	"microlink/internal/synth"
+)
+
+// IndexBench quantifies PR 5's three reach optimisations on one synthetic
+// graph: serial vs parallel 2-hop construction time, the parallel build's
+// index-size delta (batch-frozen pruning admits slightly more labels), and
+// the query hot path's steady-state allocation count. `linkbench index`
+// serialises the result to BENCH_reach.json so the numbers are checked in
+// next to the claims that cite them.
+
+// IndexBenchResult is the JSON payload of `linkbench index`.
+type IndexBenchResult struct {
+	Users       int   `json:"users"`
+	Edges       int   `json:"edges"`
+	MaxHops     int   `json:"max_hops"`
+	GOMAXPROCS  int   `json:"gomaxprocs"` // honest context for the speedup figure
+	Workers     int   `json:"workers"`
+	BatchSize   int   `json:"batch_size"`
+	SerialMS    int64 `json:"serial_build_ms"`
+	ParallelMS  int64 `json:"parallel_build_ms"`
+	MergeWaitMS int64 `json:"parallel_merge_wait_ms"`
+
+	SerialBytes    int64   `json:"serial_index_bytes"`
+	ParallelBytes  int64   `json:"parallel_index_bytes"`
+	SizeRatio      float64 `json:"parallel_size_ratio"` // parallel / serial
+	Speedup        float64 `json:"build_speedup"`       // serial / parallel
+	SerialLabels   int64   `json:"serial_labels"`
+	ParallelLabels int64   `json:"parallel_labels"`
+	FolPoolEntries int64   `json:"fol_pool_entries"`
+	FolRefs        int64   `json:"fol_refs"` // pre-intern followee ids
+
+	QueryNS       int64   `json:"query_ns_per_op"`
+	QueryAllocsOp float64 `json:"query_allocs_per_op"`
+}
+
+// IndexBenchOptions sizes the run. Zero values select the defaults.
+type IndexBenchOptions struct {
+	Users   int // default 4000 (Table 5's D50 scale)
+	MaxHops int
+	Workers int // default 4
+}
+
+// IndexBench builds the 2-hop cover serially and in parallel over the same
+// graph and measures the construction/size/query deltas.
+func IndexBench(opts IndexBenchOptions) IndexBenchResult {
+	if opts.Users <= 0 {
+		opts.Users = 4000
+	}
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = reach.DefaultMaxHops
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	g := synth.GenerateGraph(synth.GraphParams{Seed: 99, Users: opts.Users, MeanFollows: 10})
+
+	serial := reach.BuildTwoHop(g, reach.TwoHopOptions{MaxHops: opts.MaxHops, Workers: 1})
+	par := reach.BuildTwoHop(g, reach.TwoHopOptions{
+		MaxHops: opts.MaxHops, Workers: opts.Workers, BatchSize: reach.DefaultTwoHopBatch,
+	})
+
+	sOut, sIn := serial.LabelCounts()
+	pOut, pIn := par.LabelCounts()
+	info := par.BuildInfo()
+	res := IndexBenchResult{
+		Users:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		MaxHops:        opts.MaxHops,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Workers:        info.Workers,
+		BatchSize:      info.BatchSize,
+		SerialMS:       serial.BuildStats().BuildTime.Milliseconds(),
+		ParallelMS:     par.BuildStats().BuildTime.Milliseconds(),
+		MergeWaitMS:    info.MergeWait.Milliseconds(),
+		SerialBytes:    serial.SizeBytes(),
+		ParallelBytes:  par.SizeBytes(),
+		SerialLabels:   sOut + sIn,
+		ParallelLabels: pOut + pIn,
+		FolPoolEntries: info.FolPool,
+		FolRefs:        info.FolRefs,
+	}
+	if res.SerialBytes > 0 {
+		res.SizeRatio = float64(res.ParallelBytes) / float64(res.SerialBytes)
+	}
+	if par.BuildStats().BuildTime > 0 {
+		res.Speedup = float64(serial.BuildStats().BuildTime) / float64(par.BuildStats().BuildTime)
+	}
+	res.QueryNS, res.QueryAllocsOp = measureQueryAllocs(par, g.NumNodes())
+	return res
+}
+
+// measureQueryAllocs times R on the frozen cover and reports steady-state
+// allocations per query via the runtime's malloc counter (the testing
+// package's AllocsPerRun is unavailable outside tests).
+func measureQueryAllocs(th *reach.TwoHop, nodes int) (nsPerOp int64, allocsPerOp float64) {
+	r := rand.New(rand.NewSource(7))
+	pairs := make([][2]graph.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(r.Intn(nodes)), graph.NodeID(r.Intn(nodes))}
+	}
+	for _, p := range pairs { // warm the scratch pool
+		th.R(p[0], p[1])
+	}
+	const n = 50_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p := pairs[i&1023]
+		th.R(p[0], p[1])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return int64(elapsed) / n, float64(after.Mallocs-before.Mallocs) / n
+}

@@ -4,32 +4,24 @@ package graph
 // The traversal object owns its scratch buffers so that repeated searches
 // (millions, during index construction) do not allocate.
 
-// unreachableDist marks an unvisited node inside a Traversal.
+// unreachableDist marks an unvisited node inside a Traversal or DistMap.
 const unreachableDist = int32(-1)
 
 // Traversal is a reusable BFS scratch space over one graph. It is not safe
 // for concurrent use; create one Traversal per worker goroutine.
 type Traversal struct {
 	g     *Graph
-	dist  []int32
+	marks *DistMap
 	queue []NodeID
-	seen  []NodeID // nodes whose dist must be reset before the next run
 }
 
 // NewTraversal returns a Traversal bound to g.
 func NewTraversal(g *Graph) *Traversal {
-	d := make([]int32, g.NumNodes())
-	for i := range d {
-		d[i] = unreachableDist
-	}
-	return &Traversal{g: g, dist: d}
+	return &Traversal{g: g, marks: NewDistMap(g.NumNodes())}
 }
 
 func (t *Traversal) reset() {
-	for _, u := range t.seen {
-		t.dist[u] = unreachableDist
-	}
-	t.seen = t.seen[:0]
+	t.marks.Reset()
 	t.queue = t.queue[:0]
 }
 
@@ -49,23 +41,21 @@ func (t *Traversal) Backward(src NodeID, maxHops int, visit func(v NodeID, hops 
 
 func (t *Traversal) run(src NodeID, maxHops int, visit func(NodeID, int) bool, adj func(NodeID) []NodeID) {
 	t.reset()
-	t.dist[src] = 0
-	t.seen = append(t.seen, src)
+	t.marks.Set(src, 0)
 	t.queue = append(t.queue, src)
 	head := 0
 	for head < len(t.queue) {
 		u := t.queue[head]
 		head++
-		d := t.dist[u]
+		d := t.marks.Dist(u)
 		if int(d) >= maxHops {
 			continue
 		}
 		for _, v := range adj(u) {
-			if t.dist[v] != unreachableDist {
+			if t.marks.Visited(v) {
 				continue
 			}
-			t.dist[v] = d + 1
-			t.seen = append(t.seen, v)
+			t.marks.Set(v, d+1)
 			if visit(v, int(d+1)) {
 				t.queue = append(t.queue, v)
 			}
@@ -75,7 +65,7 @@ func (t *Traversal) run(src NodeID, maxHops int, visit func(NodeID, int) bool, a
 
 // Dist returns the hop distance of v recorded by the most recent traversal,
 // or -1 if v was not reached.
-func (t *Traversal) Dist(v NodeID) int { return int(t.dist[v]) }
+func (t *Traversal) Dist(v NodeID) int { return int(t.marks.Dist(v)) }
 
 // ShortestDist returns the length of the shortest path from u to v bounded
 // by maxHops, or -1 if v is unreachable within the bound.

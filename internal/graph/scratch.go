@@ -1,0 +1,47 @@
+package graph
+
+// DistMap is a reusable node → hop-distance scratch map with O(touched)
+// reset, shared by the BFS Traversal and the reachability index builders.
+// A fresh map costs O(n) once; afterwards every search pays only for the
+// nodes it actually visits, which is what makes millions of pruned BFS
+// runs during 2-hop construction affordable. Not safe for concurrent use;
+// create one per worker goroutine.
+type DistMap struct {
+	dist    []int32
+	touched []NodeID
+}
+
+// NewDistMap returns a DistMap for a graph with n nodes, all unvisited.
+func NewDistMap(n int) *DistMap {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = unreachableDist
+	}
+	return &DistMap{dist: d}
+}
+
+// Dist returns v's recorded distance, or -1 when unvisited.
+func (m *DistMap) Dist(v NodeID) int32 { return m.dist[v] }
+
+// Visited reports whether v has been set since the last Reset.
+func (m *DistMap) Visited(v NodeID) bool { return m.dist[v] != unreachableDist }
+
+// Set records v's distance, tracking first touches for Reset.
+func (m *DistMap) Set(v NodeID, d int32) {
+	if m.dist[v] == unreachableDist {
+		m.touched = append(m.touched, v)
+	}
+	m.dist[v] = d
+}
+
+// Touched returns the nodes set since the last Reset, in first-touch
+// order. The slice aliases internal storage and is invalidated by Reset.
+func (m *DistMap) Touched() []NodeID { return m.touched }
+
+// Reset marks every touched node unvisited again in O(touched).
+func (m *DistMap) Reset() {
+	for _, v := range m.touched {
+		m.dist[v] = unreachableDist
+	}
+	m.touched = m.touched[:0]
+}

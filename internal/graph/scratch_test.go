@@ -1,0 +1,47 @@
+package graph
+
+import "testing"
+
+func TestDistMapSetResetCycle(t *testing.T) {
+	m := NewDistMap(8)
+	for v := NodeID(0); v < 8; v++ {
+		if m.Visited(v) {
+			t.Fatalf("fresh map claims %d visited", v)
+		}
+	}
+	m.Set(3, 0)
+	m.Set(5, 1)
+	m.Set(3, 2) // re-set must not duplicate the touched entry
+	if got := m.Dist(3); got != 2 {
+		t.Fatalf("Dist(3) = %d, want 2", got)
+	}
+	if got := len(m.Touched()); got != 2 {
+		t.Fatalf("touched %d nodes, want 2", got)
+	}
+	m.Reset()
+	if m.Visited(3) || m.Visited(5) {
+		t.Fatal("Reset left nodes visited")
+	}
+	if len(m.Touched()) != 0 {
+		t.Fatal("Reset left touched entries")
+	}
+	// The map must be fully reusable after Reset.
+	m.Set(5, 4)
+	if m.Dist(5) != 4 || len(m.Touched()) != 1 {
+		t.Fatal("map not reusable after Reset")
+	}
+}
+
+func TestDistMapTouchedOrder(t *testing.T) {
+	m := NewDistMap(10)
+	order := []NodeID{7, 2, 9, 0}
+	for i, v := range order {
+		m.Set(v, int32(i))
+	}
+	got := m.Touched()
+	for i, v := range order {
+		if got[i] != v {
+			t.Fatalf("touched[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+}

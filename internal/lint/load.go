@@ -133,6 +133,12 @@ func LoadTree(root, modPath string) (*Module, error) {
 		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
 			return nil
 		}
+		// Respect build constraints the way the go tool does: a file tagged
+		// out of the default build (e.g. //go:build race) must not be
+		// type-checked into the package alongside its !race counterpart.
+		if ok, err := build.Default.MatchFile(filepath.Dir(p), d.Name()); err != nil || !ok {
+			return err
+		}
 		file, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("lint: parse %s: %w", p, err)

@@ -56,6 +56,33 @@ func KindName(idx Index) string {
 // Unwrap returns the underlying index.
 func (x *Instrumented) Unwrap() Index { return x.inner }
 
+// PublishTwoHopBuild exposes a 2-hop cover's construction profile as
+// gauges, so operators can see how the index on a running linker was built
+// (parallelism, batch merge overhead, label volume, memory):
+//
+//	microlink_reach_twohop_build_workers
+//	microlink_reach_twohop_build_batch_size
+//	microlink_reach_twohop_build_merge_wait_seconds
+//	microlink_reach_twohop_labels
+//	microlink_reach_twohop_fol_pool_entries
+//	microlink_reach_twohop_bytes
+func PublishTwoHopBuild(th *TwoHop, reg *obs.Registry) {
+	info := th.BuildInfo()
+	reg.Gauge("microlink_reach_twohop_build_workers",
+		"Worker goroutines used by the last 2-hop cover build (0 = loaded from disk).").Set(float64(info.Workers))
+	reg.Gauge("microlink_reach_twohop_build_batch_size",
+		"Hub batch size of the last 2-hop cover build.").Set(float64(info.BatchSize))
+	reg.Gauge("microlink_reach_twohop_build_merge_wait_seconds",
+		"Barrier wait plus rank-ordered delta merge time of the last 2-hop build.").Set(info.MergeWait.Seconds())
+	out, in := th.LabelCounts()
+	reg.Gauge("microlink_reach_twohop_labels",
+		"Total 2-hop labels (out + in) in the frozen cover.").Set(float64(out + in))
+	reg.Gauge("microlink_reach_twohop_fol_pool_entries",
+		"Node ids in the interned followee pool of the frozen cover.").Set(float64(info.FolPool))
+	reg.Gauge("microlink_reach_twohop_bytes",
+		"Measured bytes of the frozen 2-hop cover arenas.").Set(float64(th.SizeBytes()))
+}
+
 // Query implements Index.
 func (x *Instrumented) Query(u, v graph.NodeID) (Result, bool) {
 	sp := obs.StartSpan(x.seconds)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package reach
+
+// raceEnabled reports whether the race detector is compiled in. The
+// heap-measurement and zero-allocation tests skip under -race: the
+// detector's shadow memory and allocation instrumentation invalidate both
+// kinds of measurement without indicating a real regression.
+const raceEnabled = false

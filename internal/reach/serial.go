@@ -233,7 +233,7 @@ func (th *TwoHop) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(cw, binary.LittleEndian, th.order); err != nil {
 		return 0, err
 	}
-	writeLabels := func(ls []thLabel) error {
+	writeLabels := func(ls []thLabelFlat) error {
 		if err := binary.Write(cw, binary.LittleEndian, uint32(len(ls))); err != nil {
 			return err
 		}
@@ -244,20 +244,20 @@ func (th *TwoHop) WriteTo(w io.Writer) (int64, error) {
 			if err := binary.Write(cw, binary.LittleEndian, l.dist); err != nil {
 				return err
 			}
-			if err := binary.Write(cw, binary.LittleEndian, uint16(len(l.fol))); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, l.folLen); err != nil {
 				return err
 			}
-			if err := binary.Write(cw, binary.LittleEndian, l.fol); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, th.folSet(l)); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	for u := range th.out {
-		if err := writeLabels(th.out[u]); err != nil {
+	for u := 0; u < th.g.NumNodes(); u++ {
+		if err := writeLabels(th.outLabels(graph.NodeID(u))); err != nil {
 			return 0, err
 		}
-		if err := writeLabels(th.in[u]); err != nil {
+		if err := writeLabels(th.inLabels(graph.NodeID(u))); err != nil {
 			return 0, err
 		}
 	}
@@ -283,7 +283,7 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 	if int(n) != g.NumNodes() {
 		return nil, ErrGraphMismatch
 	}
-	th := &TwoHop{
+	w := &thWork{
 		g:     g,
 		h:     hops,
 		rank:  make([]int32, n),
@@ -291,14 +291,14 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 		out:   make([][]thLabel, n),
 		in:    make([][]thLabel, n),
 	}
-	if err := binary.Read(cr, binary.LittleEndian, th.order); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, w.order); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	for rk, v := range th.order {
+	for rk, v := range w.order {
 		if v < 0 || int(v) >= int(n) {
 			return nil, fmt.Errorf("%w: node %d out of range", ErrFormat, v)
 		}
-		th.rank[v] = int32(rk)
+		w.rank[v] = int32(rk)
 	}
 	readLabels := func() ([]thLabel, error) {
 		var m uint32
@@ -326,13 +326,13 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 	}
 	var entries int64
 	for u := 0; u < int(n); u++ {
-		if th.out[u], err = readLabels(); err != nil {
+		if w.out[u], err = readLabels(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
-		if th.in[u], err = readLabels(); err != nil {
+		if w.in[u], err = readLabels(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
-		entries += int64(len(th.out[u])) + int64(len(th.in[u]))
+		entries += int64(len(w.out[u])) + int64(len(w.in[u]))
 	}
 	payloadCRC := cr.crc
 	var want uint64
@@ -342,6 +342,7 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 	if payloadCRC != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
 	}
+	th := w.freeze()
 	th.stats = BuildStats{Entries: entries}
 	return th, nil
 }

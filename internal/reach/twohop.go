@@ -1,8 +1,9 @@
 package reach
 
 import (
-	"sort"
+	"sync"
 	"time"
+	"unsafe"
 
 	"microlink/internal/graph"
 )
@@ -13,6 +14,14 @@ import (
 // so that weighted reachability (Eq. 4) can be recovered by label
 // intersection (Eq. 5, Theorem 2). It trades slower queries for a far
 // smaller index than the transitive closure (paper Table 5).
+//
+// Storage layout. After construction the labels are frozen into CSR-style
+// arenas: one flat []thLabelFlat per direction indexed by per-node offset
+// arrays, plus a single shared followee pool holding every label's
+// followee set sorted ascending, with identical small sets interned once.
+// Queries therefore walk two cache-contiguous label runs and dedup followee
+// sets by sorted merge instead of quadratic scans; SizeBytes reports the
+// measured arena sizes, not an estimate.
 //
 // Exactness note. Distances returned by Query are exact within the hop
 // bound (the standard PLL cover property). Followee sets are exact for the
@@ -33,276 +42,144 @@ type TwoHop struct {
 	h     int
 	rank  []int32 // node → rank (0 = highest degree)
 	order []graph.NodeID
-	out   [][]thLabel // Lout, per node, sorted by hub rank
-	in    [][]thLabel // Lin, per node, sorted by hub rank
+
+	// Frozen label arenas. outOff/inOff have n+1 entries; node u's labels
+	// are outLab[outOff[u]:outOff[u+1]], sorted by hub rank. Followee sets
+	// live in folPool, each run sorted ascending by node id.
+	outOff  []int32
+	inOff   []int32
+	outLab  []thLabelFlat
+	inLab   []thLabelFlat
+	folPool []graph.NodeID
+
 	stats BuildStats
+	info  TwoHopBuildInfo
 }
 
-// thLabel is one 2-hop label entry. For out-labels fol is F_{v→hub} (v's
-// followees on shortest v→hub paths); for in-labels fol is F_{hub→v} (the
-// hub's followees on shortest hub→v paths).
-type thLabel struct {
-	hub  int32 // rank of the landmark
-	dist uint8
-	fol  []graph.NodeID
+// thLabelFlat is one frozen 2-hop label entry: hub rank, distance and the
+// label's followee set as a run inside the shared pool. For out-labels the
+// set is F_{v→hub}; for in-labels it is F_{hub→v}.
+type thLabelFlat struct {
+	hub    int32
+	folOff int32
+	folLen uint16
+	dist   uint8
 }
 
 const infHops = 1 << 30
+
+// rankInf sentinels an exhausted label list in the merge walks.
+const rankInf = int32(1<<31 - 1)
 
 // TwoHopOptions tunes Algorithm 2.
 type TwoHopOptions struct {
 	// MaxHops is the hop bound H; ≤ 0 selects DefaultMaxHops.
 	MaxHops int
+	// Workers bounds construction parallelism; ≤ 0 selects GOMAXPROCS.
+	// Workers == 1 runs the exact serial Algorithm 2 (hub batches of one),
+	// which the oracle tests pin; Workers > 1 processes hubs in rank-
+	// ordered batches (see BatchSize) with identical distances and a
+	// slightly larger label set.
+	Workers int
+	// BatchSize is the number of hubs whose pruned BFS runs against the
+	// same frozen label snapshot per round; ≤ 0 selects 1 when the
+	// effective worker count is 1 (exact serial semantics) and
+	// DefaultTwoHopBatch otherwise. Output is bit-for-bit deterministic
+	// for a fixed batch size regardless of worker count or scheduling.
+	BatchSize int
 	// RandomOrder replaces the degree-descending landmark order of
 	// Algorithm 2 line 1 with node-id order. Exists only for the ablation
 	// bench showing why degree ordering matters.
 	RandomOrder bool
 }
 
-// BuildTwoHop runs Algorithm 2 over g.
-func BuildTwoHop(g *graph.Graph, opts TwoHopOptions) *TwoHop {
-	h := opts.MaxHops
-	if h <= 0 {
-		h = DefaultMaxHops
-	}
-	start := time.Now()
-	n := g.NumNodes()
-	th := &TwoHop{
-		g:     g,
-		h:     h,
-		rank:  make([]int32, n),
-		order: make([]graph.NodeID, n),
-		out:   make([][]thLabel, n),
-		in:    make([][]thLabel, n),
-	}
-	for i := 0; i < n; i++ {
-		th.order[i] = graph.NodeID(i)
-	}
-	if !opts.RandomOrder {
-		sort.Slice(th.order, func(i, j int) bool {
-			di, dj := g.Degree(th.order[i]), g.Degree(th.order[j])
-			if di != dj {
-				return di > dj
-			}
-			return th.order[i] < th.order[j]
-		})
-	}
-	for r, v := range th.order {
-		th.rank[v] = int32(r)
-	}
-
-	b := &thBuilder{th: th, dist: make([]int32, n), fpath: make([][]graph.NodeID, n)}
-	for i := range b.dist {
-		b.dist[i] = -1
-	}
-	for k := 0; k < n; k++ {
-		vk := th.order[k]
-		b.backward(vk, int32(k))
-		b.forward(vk, int32(k))
-	}
-
-	var entries int64
-	for i := 0; i < n; i++ {
-		entries += int64(len(th.out[i])) + int64(len(th.in[i]))
-	}
-	th.stats = BuildStats{BuildTime: time.Since(start), Entries: entries}
-	return th
+// TwoHopBuildInfo reports how a cover was constructed, feeding the
+// microlink_reach_twohop_* gauges and the `linkbench index` runner.
+type TwoHopBuildInfo struct {
+	Workers   int           // effective worker count (0 for a loaded index)
+	BatchSize int           // effective hub batch size
+	MergeWait time.Duration // barrier wait + rank-ordered delta merge time
+	FolRefs   int64         // followee ids referenced by labels (pre-intern)
+	FolPool   int64         // followee ids stored after interning
 }
 
-type thBuilder struct {
-	th      *TwoHop
-	dist    []int32
-	touched []graph.NodeID
-	fpath   [][]graph.NodeID // forward BFS first-hop followee sets
+// BuildInfo returns construction metadata for the last build. A cover
+// loaded with ReadTwoHop reports zero Workers/BatchSize.
+func (th *TwoHop) BuildInfo() TwoHopBuildInfo { return th.info }
+
+func (th *TwoHop) outLabels(u graph.NodeID) []thLabelFlat {
+	return th.outLab[th.outOff[u]:th.outOff[u+1]]
 }
 
-func (b *thBuilder) reset() {
-	for _, v := range b.touched {
-		b.dist[v] = -1
-		b.fpath[v] = nil
-	}
-	b.touched = b.touched[:0]
+func (th *TwoHop) inLabels(u graph.NodeID) []thLabelFlat {
+	return th.inLab[th.inOff[u]:th.inOff[u+1]]
 }
 
-func (b *thBuilder) mark(v graph.NodeID, d int32) {
-	if b.dist[v] == -1 {
-		b.touched = append(b.touched, v)
-	}
-	b.dist[v] = d
+func (th *TwoHop) folSet(l thLabelFlat) []graph.NodeID {
+	return th.folPool[l.folOff : l.folOff+int32(l.folLen)]
 }
 
-// lastIfHub returns a pointer to the final label of ls when its hub is k.
-// Labels for hub k are only ever appended during round k, so if present it
-// is the last element.
-func lastIfHub(ls []thLabel, k int32) *thLabel {
-	if len(ls) == 0 {
-		return nil
-	}
-	if l := &ls[len(ls)-1]; l.hub == k {
-		return l
-	}
-	return nil
+// thScratch is the reusable per-query scratch threaded through
+// queryRank/Query so steady-state queries allocate nothing: fol
+// accumulates the followee union, tmp is the merge double-buffer.
+type thScratch struct {
+	fol []graph.NodeID
+	tmp []graph.NodeID
 }
 
-func containsNode(s []graph.NodeID, v graph.NodeID) bool {
-	for _, x := range s {
-		if x == v {
-			return true
+var thScratchPool = sync.Pool{New: func() any { return new(thScratch) }}
+
+// union folds a sorted set into the sorted accumulator sc.fol.
+func (sc *thScratch) union(set []graph.NodeID) {
+	if len(set) == 0 {
+		return
+	}
+	if len(sc.fol) == 0 {
+		sc.fol = append(sc.fol[:0], set...)
+		return
+	}
+	a, b := sc.fol, set
+	dst := sc.tmp[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
 		}
 	}
-	return false
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	sc.fol, sc.tmp = dst, a
 }
 
-// backward performs the pruned backward BFS of Algorithm 2 lines 5–29,
-// labeling every node s that reaches vk with (vk, d_s,vk, F_s,vk).
-func (b *thBuilder) backward(vk graph.NodeID, k int32) {
-	defer b.reset()
-	th := b.th
-	b.mark(vk, 0)
-	frontier := []graph.NodeID{vk}
-	for length := int32(1); length <= int32(th.h) && len(frontier) > 0; length++ {
-		var next []graph.NodeID
-		for _, u := range frontier {
-			for _, s := range th.g.In(u) {
-				if s == vk {
-					continue
-				}
-				switch d := b.dist[s]; {
-				case d != -1 && d < length:
-					// Reached on an earlier level: shorter path known.
-				case d == length:
-					// Same-level revisit via a different followee u: a new
-					// shortest path (lines 20–27).
-					if ent := lastIfHub(th.out[s], k); ent != nil && ent.dist == uint8(length) {
-						if !containsNode(ent.fol, u) {
-							ent.fol = append(ent.fol, u)
-						}
-					} else if ent == nil {
-						// Covered by earlier hubs at this distance; record u
-						// only if those hubs do not already encode it.
-						if _, f := th.queryRank(s, vk); !containsNode(f, u) {
-							th.out[s] = append(th.out[s], thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
-						}
-					}
-				default: // first visit this round
-					dPrev, fPrev := th.queryRank(s, vk)
-					switch {
-					case int(length) < dPrev: // lines 11–19: shorter path found
-						th.out[s] = append(th.out[s], thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
-						b.mark(s, length)
-						next = append(next, s)
-					case int(length) == dPrev: // lines 20–27: equal path via u
-						if !containsNode(fPrev, u) {
-							th.out[s] = append(th.out[s], thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
-						}
-						b.mark(s, length) // visited, not expanded
-					default: // pruned: earlier hubs already cover it strictly better
-						b.mark(s, length)
-					}
-				}
-			}
-		}
-		frontier = next
-	}
-}
-
-// forward performs the pruned forward BFS of Algorithm 2 line 30, labeling
-// every node t reachable from vk with (vk, d_vk,t) plus — our extension —
-// the hub's first-hop followee set F_vk,t, which Eq. 5 needs when the hub
-// itself is the query source.
-func (b *thBuilder) forward(vk graph.NodeID, k int32) {
-	defer b.reset()
-	th := b.th
-	b.mark(vk, 0)
-	frontier := []graph.NodeID{vk}
-	for length := int32(1); length <= int32(th.h) && len(frontier) > 0; length++ {
-		var next []graph.NodeID
-		for _, u := range frontier {
-			var pf []graph.NodeID
-			if length > 1 {
-				pf = b.fpath[u]
-			}
-			for _, t := range th.g.Out(u) {
-				if t == vk {
-					continue
-				}
-				firstHop := pf
-				if length == 1 {
-					firstHop = []graph.NodeID{t}
-				}
-				switch d := b.dist[t]; {
-				case d != -1 && d < length:
-					// Earlier level: shorter path known.
-				case d == length:
-					// Same-level revisit: merge first-hop sets.
-					merged := false
-					for _, f := range firstHop {
-						if !containsNode(b.fpath[t], f) {
-							b.fpath[t] = append(b.fpath[t], f)
-							merged = true
-						}
-					}
-					if merged {
-						if ent := lastIfHub(th.in[t], k); ent != nil && ent.dist == uint8(length) {
-							for _, f := range firstHop {
-								if !containsNode(ent.fol, f) {
-									ent.fol = append(ent.fol, f)
-								}
-							}
-						}
-					}
-				default: // first visit
-					dPrev, _ := th.queryRank(vk, t)
-					if int(length) < dPrev {
-						fol := append([]graph.NodeID(nil), firstHop...)
-						th.in[t] = append(th.in[t], thLabel{hub: k, dist: uint8(length), fol: fol})
-						b.mark(t, length)
-						b.fpath[t] = append([]graph.NodeID(nil), firstHop...)
-						next = append(next, t)
-					} else {
-						// Covered (line 30 updates only on improvement).
-						b.mark(t, length)
-						b.fpath[t] = append([]graph.NodeID(nil), firstHop...)
-					}
-				}
-			}
-		}
-		frontier = next
-	}
-}
-
-// queryRank evaluates Eq. 5 on the current labels: the exact shortest-path
+// queryRank evaluates Eq. 5 on the frozen labels: the exact shortest-path
 // distance from s to t (infHops when unreachable within H) and the union of
-// the followee sets over all hubs achieving the minimum (Theorem 2).
-func (th *TwoHop) queryRank(s, t graph.NodeID) (int, []graph.NodeID) {
+// the followee sets over all hubs achieving the minimum (Theorem 2), sorted
+// ascending inside sc.fol. Two merge walks over the rank-sorted label runs:
+// the first finds the minimum distance, the second unions only the followee
+// sets of hubs achieving it, so non-minimal labels cost no set work.
+func (th *TwoHop) queryRank(s, t graph.NodeID, sc *thScratch) (int, []graph.NodeID) {
+	sc.fol = sc.fol[:0]
 	if s == t {
 		return 0, nil
 	}
-	ls, lt := th.out[s], th.in[t]
+	ls, lt := th.outLabels(s), th.inLabels(t)
 	rs, rt := th.rank[s], th.rank[t]
 	best := infHops
-	var fol []graph.NodeID
 
-	consider := func(d int, f []graph.NodeID) {
-		if d > th.h || d > best {
-			return
-		}
-		if d < best {
-			best = d
-			fol = fol[:0]
-		}
-		for _, x := range f {
-			if !containsNode(fol, x) {
-				fol = append(fol, x)
-			}
-		}
-	}
-
-	// Virtual self entries: hub = t (t ∈ Lout(s) directly) and hub = s
-	// (s ∈ Lin(t); followee info comes from the in-label).
+	// Pass 1: minimum distance. Virtual self entries: hub = t (t ∈ Lout(s)
+	// directly) and hub = s (s ∈ Lin(t)).
 	i, j := 0, 0
 	for i < len(ls) || j < len(lt) {
-		var hi, hj int32 = 1 << 30, 1 << 30
+		hi, hj := rankInf, rankInf
 		if i < len(ls) {
 			hi = ls[i].hub
 		}
@@ -311,17 +188,23 @@ func (th *TwoHop) queryRank(s, t graph.NodeID) (int, []graph.NodeID) {
 		}
 		switch {
 		case hi < hj:
-			if hi == rt { // hub is t itself: d = d_s,t + 0
-				consider(int(ls[i].dist), ls[i].fol)
+			if hi == rt {
+				if d := int(ls[i].dist); d <= th.h && d < best {
+					best = d
+				}
 			}
 			i++
 		case hj < hi:
-			if hj == rs { // hub is s itself: d = 0 + d_s,t, F from in-label
-				consider(int(lt[j].dist), lt[j].fol)
+			if hj == rs {
+				if d := int(lt[j].dist); d <= th.h && d < best {
+					best = d
+				}
 			}
 			j++
 		default:
-			consider(int(ls[i].dist)+int(lt[j].dist), ls[i].fol)
+			if d := int(ls[i].dist) + int(lt[j].dist); d <= th.h && d < best {
+				best = d
+			}
 			i++
 			j++
 		}
@@ -329,39 +212,96 @@ func (th *TwoHop) queryRank(s, t graph.NodeID) (int, []graph.NodeID) {
 	if best == infHops {
 		return infHops, nil
 	}
-	return best, fol
+
+	// Pass 2: union the followee sets of every hub achieving best.
+	i, j = 0, 0
+	for i < len(ls) || j < len(lt) {
+		hi, hj := rankInf, rankInf
+		if i < len(ls) {
+			hi = ls[i].hub
+		}
+		if j < len(lt) {
+			hj = lt[j].hub
+		}
+		switch {
+		case hi < hj:
+			if hi == rt && int(ls[i].dist) == best {
+				sc.union(th.folSet(ls[i]))
+			}
+			i++
+		case hj < hi:
+			// Hub is s itself: d = 0 + d_s,t, F from the in-label.
+			if hj == rs && int(lt[j].dist) == best {
+				sc.union(th.folSet(lt[j]))
+			}
+			j++
+		default:
+			if int(ls[i].dist)+int(lt[j].dist) == best {
+				sc.union(th.folSet(ls[i]))
+			}
+			i++
+			j++
+		}
+	}
+	return best, sc.fol
 }
 
-// Query implements Index.
+// Query implements Index. The returned followee slice is freshly allocated;
+// the allocation-free variants are QueryAppend and R.
 func (th *TwoHop) Query(u, v graph.NodeID) (Result, bool) {
-	d, fol := th.queryRank(u, v)
+	return th.QueryAppend(u, v, nil)
+}
+
+// QueryAppend is Query with caller-owned followee storage: the result's
+// followee set is appended to buf (which may be nil) and returned inside
+// Result.Followees. With a reused buffer of sufficient capacity the call
+// performs no allocation.
+func (th *TwoHop) QueryAppend(u, v graph.NodeID, buf []graph.NodeID) (Result, bool) {
+	sc := thScratchPool.Get().(*thScratch)
+	d, fol := th.queryRank(u, v, sc)
 	if d >= infHops {
+		thScratchPool.Put(sc)
 		return Result{}, false
 	}
 	if d == 1 && len(fol) == 0 {
-		fol = []graph.NodeID{v}
+		buf = append(buf, v)
+	} else {
+		buf = append(buf, fol...)
 	}
-	return Result{Dist: d, Followees: fol}, true
+	thScratchPool.Put(sc)
+	return Result{Dist: d, Followees: buf}, true
 }
 
-// R implements Index.
+// R implements Index. The whole evaluation runs on pooled scratch, so the
+// linker's per-candidate hot path stays allocation-free.
 func (th *TwoHop) R(u, v graph.NodeID) float64 {
-	res, ok := th.Query(u, v)
-	return score(res, ok, th.g.OutDegree(u))
-}
-
-// SizeBytes implements Index.
-func (th *TwoHop) SizeBytes() int64 {
-	var b int64
-	for i := range th.out {
-		for _, l := range th.out[i] {
-			b += 8 + int64(len(l.fol))*4 + 24
-		}
-		for _, l := range th.in[i] {
-			b += 8 + int64(len(l.fol))*4 + 24
+	sc := thScratchPool.Get().(*thScratch)
+	d, fol := th.queryRank(u, v, sc)
+	var r float64
+	switch {
+	case d >= infHops:
+		r = 0
+	case d <= 1:
+		r = 1
+	default:
+		if od := th.g.OutDegree(u); od > 0 {
+			r = 1 / float64(d) * float64(len(fol)) / float64(od)
 		}
 	}
-	b += int64(len(th.rank)) * 8
+	thScratchPool.Put(sc)
+	return r
+}
+
+// SizeBytes implements Index. With arena storage this is measured, not
+// estimated: the sum of the actual backing-array and header sizes of the
+// frozen index (the arenas are shrunk to exact capacity at freeze time).
+func (th *TwoHop) SizeBytes() int64 {
+	b := int64(unsafe.Sizeof(*th))
+	b += int64(len(th.rank)) * int64(unsafe.Sizeof(int32(0)))
+	b += int64(len(th.order)) * int64(unsafe.Sizeof(graph.NodeID(0)))
+	b += int64(len(th.outOff)+len(th.inOff)) * int64(unsafe.Sizeof(int32(0)))
+	b += int64(len(th.outLab)+len(th.inLab)) * int64(unsafe.Sizeof(thLabelFlat{}))
+	b += int64(len(th.folPool)) * int64(unsafe.Sizeof(graph.NodeID(0)))
 	return b
 }
 
@@ -371,9 +311,5 @@ func (th *TwoHop) BuildStats() BuildStats { return th.stats }
 // LabelCounts returns the total number of out- and in-labels, for the
 // index-size ablation.
 func (th *TwoHop) LabelCounts() (out, in int64) {
-	for i := range th.out {
-		out += int64(len(th.out[i]))
-		in += int64(len(th.in[i]))
-	}
-	return out, in
+	return int64(len(th.outLab)), int64(len(th.inLab))
 }

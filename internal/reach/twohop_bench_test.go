@@ -1,0 +1,67 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"microlink/internal/graph"
+)
+
+// benchGraph is the shared benchmark fixture: large enough that label
+// construction dominates setup, small enough for -bench runs in CI.
+func benchGraph() *graph.Graph {
+	r := rand.New(rand.NewSource(4242))
+	return randomGraph(r, 2000, 16000)
+}
+
+func BenchmarkBuildTwoHop(b *testing.B) {
+	g := benchGraph()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4, Workers: 1})
+			b.ReportMetric(float64(th.SizeBytes()), "index-bytes")
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4, Workers: 4, BatchSize: DefaultTwoHopBatch})
+			b.ReportMetric(float64(th.SizeBytes()), "index-bytes")
+		}
+	})
+}
+
+// BenchmarkTwoHopQuery measures the frozen query hot path. Steady state
+// must report 0 allocs/op: R runs entirely on pooled scratch and
+// QueryAppend reuses the caller's buffer.
+func BenchmarkTwoHopQuery(b *testing.B) {
+	g := benchGraph()
+	th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4})
+	r := rand.New(rand.NewSource(99))
+	pairs := make([][2]graph.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{
+			graph.NodeID(r.Intn(g.NumNodes())),
+			graph.NodeID(r.Intn(g.NumNodes())),
+		}
+	}
+	b.Run("R", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			p := pairs[i&1023]
+			sink += th.R(p[0], p[1])
+		}
+		_ = sink
+	})
+	b.Run("QueryAppend", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]graph.NodeID, 0, 512)
+		for i := 0; i < b.N; i++ {
+			p := pairs[i&1023]
+			res, _ := th.QueryAppend(p[0], p[1], buf[:0])
+			_ = res
+		}
+	})
+}

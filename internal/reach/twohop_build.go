@@ -1,0 +1,566 @@
+package reach
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microlink/internal/graph"
+)
+
+// Construction of the extended 2-hop cover (Algorithm 2) in rank-ordered
+// hub batches. Every hub's pruned backward/forward BFS prunes against the
+// label set frozen at the start of its batch and buffers its own label
+// additions in a private delta; at the batch barrier the deltas merge into
+// the global label lists in rank order. With batch size 1 this is exactly
+// the serial Algorithm 2 (each hub sees every earlier hub's labels). With
+// larger batches hubs inside one batch do not see each other, which only
+// weakens pruning: distances stay exact — a label records the true BFS
+// level from its hub, and the query minimum is achieved by whichever hub
+// covers the pair — while the index may grow slightly (measured by
+// `linkbench index`; within a few percent at the default batch size).
+// Because each hub's BFS depends only on the frozen snapshot and deltas
+// merge in rank order, the output is bit-for-bit deterministic for a fixed
+// batch size, independent of worker count and scheduling.
+
+// DefaultTwoHopBatch is the hub batch size used when TwoHopOptions.BatchSize
+// is unset and more than one worker is in play.
+const DefaultTwoHopBatch = 32
+
+// thLabel is one 2-hop label entry in build form (per-node Go slices, fol
+// in discovery order). freeze() converts these into the flat arenas the
+// query path reads.
+type thLabel struct {
+	hub  int32 // rank of the landmark
+	dist uint8
+	fol  []graph.NodeID
+}
+
+// thWork is the mutable label state during construction.
+type thWork struct {
+	g     *graph.Graph
+	h     int
+	rank  []int32
+	order []graph.NodeID
+	out   [][]thLabel // Lout, per node, sorted by hub rank
+	in    [][]thLabel // Lin, per node, sorted by hub rank
+}
+
+func newThWork(g *graph.Graph, h int, randomOrder bool) *thWork {
+	n := g.NumNodes()
+	w := &thWork{
+		g:     g,
+		h:     h,
+		rank:  make([]int32, n),
+		order: make([]graph.NodeID, n),
+		out:   make([][]thLabel, n),
+		in:    make([][]thLabel, n),
+	}
+	for i := 0; i < n; i++ {
+		w.order[i] = graph.NodeID(i)
+	}
+	if !randomOrder {
+		sort.Slice(w.order, func(i, j int) bool {
+			di, dj := g.Degree(w.order[i]), g.Degree(w.order[j])
+			if di != dj {
+				return di > dj
+			}
+			return w.order[i] < w.order[j]
+		})
+	}
+	for r, v := range w.order {
+		w.rank[v] = int32(r)
+	}
+	return w
+}
+
+// BuildTwoHop runs Algorithm 2 over g.
+func BuildTwoHop(g *graph.Graph, opts TwoHopOptions) *TwoHop {
+	h := opts.MaxHops
+	if h <= 0 {
+		h = DefaultMaxHops
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		if workers > 1 {
+			batch = DefaultTwoHopBatch
+		} else {
+			batch = 1 // exact serial Algorithm 2
+		}
+	}
+	start := time.Now()
+	w := newThWork(g, h, opts.RandomOrder)
+	mergeWait := w.buildLabels(workers, batch)
+	th := w.freeze()
+	th.stats = BuildStats{
+		BuildTime: time.Since(start),
+		Entries:   int64(len(th.outLab)) + int64(len(th.inLab)),
+	}
+	th.info.Workers = workers
+	th.info.BatchSize = batch
+	th.info.MergeWait = mergeWait
+	return th
+}
+
+// thDelta buffers one hub's label additions until the batch barrier.
+// Nodes appear in BFS discovery order; merging batches hub-by-hub in rank
+// order therefore keeps every node's label list sorted by hub rank.
+type thDelta struct {
+	outNodes []graph.NodeID
+	outLabs  []thLabel
+	inNodes  []graph.NodeID
+	inLabs   []thLabel
+}
+
+func (d *thDelta) reset() {
+	d.outNodes = d.outNodes[:0]
+	d.outLabs = d.outLabs[:0]
+	d.inNodes = d.inNodes[:0]
+	d.inLabs = d.inLabs[:0]
+}
+
+// thBuilder is one worker's BFS scratch: O(n) distance marks (shared
+// graph.DistMap), the per-node position of this hub's buffered label, and
+// forward-BFS first-hop sets. Builders are reused across batches through
+// thBuildPool.
+type thBuilder struct {
+	w     *thWork
+	marks *graph.DistMap
+	pos   []int32          // node → index into the current delta's labels
+	fpath [][]graph.NodeID // forward BFS first-hop followee sets
+	qbuf  []graph.NodeID   // scratch for build-time cover queries
+	cur   []graph.NodeID   // frontier double buffer
+	nxt   []graph.NodeID
+}
+
+func newThBuilder(w *thWork) *thBuilder {
+	n := w.g.NumNodes()
+	b := &thBuilder{
+		w:     w,
+		marks: graph.NewDistMap(n),
+		pos:   make([]int32, n),
+		fpath: make([][]graph.NodeID, n),
+	}
+	for i := range b.pos {
+		b.pos[i] = -1
+	}
+	return b
+}
+
+func (b *thBuilder) reset() {
+	for _, v := range b.marks.Touched() {
+		b.pos[v] = -1
+		b.fpath[v] = b.fpath[v][:0]
+	}
+	b.marks.Reset()
+}
+
+func (b *thBuilder) runHub(vk graph.NodeID, k int32, d *thDelta) {
+	b.backward(vk, k, d)
+	b.forward(vk, k, d)
+}
+
+func (b *thBuilder) emitOut(d *thDelta, s graph.NodeID, lab thLabel) {
+	b.pos[s] = int32(len(d.outLabs))
+	d.outNodes = append(d.outNodes, s)
+	d.outLabs = append(d.outLabs, lab)
+}
+
+func (b *thBuilder) emitIn(d *thDelta, t graph.NodeID, lab thLabel) {
+	b.pos[t] = int32(len(d.inLabs))
+	d.inNodes = append(d.inNodes, t)
+	d.inLabs = append(d.inLabs, lab)
+}
+
+func containsNode(s []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// backward performs the pruned backward BFS of Algorithm 2 lines 5–29,
+// labeling every node s that reaches vk with (vk, d_s,vk, F_s,vk). Labels
+// are buffered in d; pruning consults only the frozen batch-start state
+// (during a round the label lists of s and vk it reads are never touched
+// by the round itself, so with batch size 1 this is the serial algorithm).
+func (b *thBuilder) backward(vk graph.NodeID, k int32, d *thDelta) {
+	defer b.reset()
+	w := b.w
+	b.marks.Set(vk, 0)
+	frontier := append(b.cur[:0], vk)
+	next := b.nxt[:0]
+	for length := int32(1); length <= int32(w.h) && len(frontier) > 0; length++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, s := range w.g.In(u) {
+				if s == vk {
+					continue
+				}
+				switch dd := b.marks.Dist(s); {
+				case dd != -1 && dd < length:
+					// Reached on an earlier level: shorter path known.
+				case dd == length:
+					// Same-level revisit via a different followee u: a new
+					// shortest path (lines 20–27).
+					if p := b.pos[s]; p >= 0 {
+						if ent := &d.outLabs[p]; ent.dist == uint8(length) && !containsNode(ent.fol, u) {
+							ent.fol = append(ent.fol, u)
+						}
+					} else {
+						// Covered by earlier hubs at this distance; record u
+						// only if those hubs do not already encode it.
+						var f []graph.NodeID
+						_, f, b.qbuf = w.queryRank(s, vk, b.qbuf)
+						if !containsNode(f, u) {
+							b.emitOut(d, s, thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
+						}
+					}
+				default: // first visit this round
+					var dPrev int
+					var fPrev []graph.NodeID
+					dPrev, fPrev, b.qbuf = w.queryRank(s, vk, b.qbuf)
+					switch {
+					case int(length) < dPrev: // lines 11–19: shorter path found
+						b.emitOut(d, s, thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
+						b.marks.Set(s, length)
+						next = append(next, s)
+					case int(length) == dPrev: // lines 20–27: equal path via u
+						if !containsNode(fPrev, u) {
+							b.emitOut(d, s, thLabel{hub: k, dist: uint8(length), fol: []graph.NodeID{u}})
+						}
+						b.marks.Set(s, length) // visited, not expanded
+					default: // pruned: earlier hubs already cover it strictly better
+						b.marks.Set(s, length)
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	b.cur, b.nxt = frontier[:0], next[:0]
+}
+
+// forward performs the pruned forward BFS of Algorithm 2 line 30, labeling
+// every node t reachable from vk with (vk, d_vk,t) plus — our extension —
+// the hub's first-hop followee set F_vk,t, which Eq. 5 needs when the hub
+// itself is the query source.
+func (b *thBuilder) forward(vk graph.NodeID, k int32, d *thDelta) {
+	defer b.reset()
+	w := b.w
+	b.marks.Set(vk, 0)
+	frontier := append(b.cur[:0], vk)
+	next := b.nxt[:0]
+	for length := int32(1); length <= int32(w.h) && len(frontier) > 0; length++ {
+		next = next[:0]
+		for _, u := range frontier {
+			var pf []graph.NodeID
+			if length > 1 {
+				pf = b.fpath[u]
+			}
+			for _, t := range w.g.Out(u) {
+				if t == vk {
+					continue
+				}
+				firstHop := pf
+				var one [1]graph.NodeID
+				if length == 1 {
+					one[0] = t
+					firstHop = one[:]
+				}
+				switch dd := b.marks.Dist(t); {
+				case dd != -1 && dd < length:
+					// Earlier level: shorter path known.
+				case dd == length:
+					// Same-level revisit: merge first-hop sets.
+					merged := false
+					for _, f := range firstHop {
+						if !containsNode(b.fpath[t], f) {
+							b.fpath[t] = append(b.fpath[t], f)
+							merged = true
+						}
+					}
+					if merged {
+						if p := b.pos[t]; p >= 0 {
+							if ent := &d.inLabs[p]; ent.dist == uint8(length) {
+								for _, f := range firstHop {
+									if !containsNode(ent.fol, f) {
+										ent.fol = append(ent.fol, f)
+									}
+								}
+							}
+						}
+					}
+				default: // first visit
+					var dPrev int
+					dPrev, _, b.qbuf = w.queryRank(vk, t, b.qbuf)
+					if int(length) < dPrev {
+						fol := append([]graph.NodeID(nil), firstHop...)
+						b.emitIn(d, t, thLabel{hub: k, dist: uint8(length), fol: fol})
+						b.marks.Set(t, length)
+						b.fpath[t] = append(b.fpath[t][:0], firstHop...)
+						next = append(next, t)
+					} else {
+						// Covered (line 30 updates only on improvement).
+						b.marks.Set(t, length)
+						b.fpath[t] = append(b.fpath[t][:0], firstHop...)
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	b.cur, b.nxt = frontier[:0], next[:0]
+}
+
+// queryRank is the build-time Eq. 5 evaluation over the mutable per-node
+// label slices, appending the followee union into buf and returning it for
+// reuse (the query-path equivalent over the frozen arenas lives in
+// twohop.go). Returned fol aliases buf and is valid until the next call.
+func (w *thWork) queryRank(s, t graph.NodeID, buf []graph.NodeID) (int, []graph.NodeID, []graph.NodeID) {
+	buf = buf[:0]
+	if s == t {
+		return 0, nil, buf
+	}
+	ls, lt := w.out[s], w.in[t]
+	rs, rt := w.rank[s], w.rank[t]
+	best := infHops
+	fol := buf
+
+	consider := func(d int, f []graph.NodeID) {
+		if d > w.h || d > best {
+			return
+		}
+		if d < best {
+			best = d
+			fol = fol[:0]
+		}
+		for _, x := range f {
+			if !containsNode(fol, x) {
+				fol = append(fol, x)
+			}
+		}
+	}
+
+	// Virtual self entries: hub = t (t ∈ Lout(s) directly) and hub = s
+	// (s ∈ Lin(t); followee info comes from the in-label).
+	i, j := 0, 0
+	for i < len(ls) || j < len(lt) {
+		hi, hj := rankInf, rankInf
+		if i < len(ls) {
+			hi = ls[i].hub
+		}
+		if j < len(lt) {
+			hj = lt[j].hub
+		}
+		switch {
+		case hi < hj:
+			if hi == rt { // hub is t itself: d = d_s,t + 0
+				consider(int(ls[i].dist), ls[i].fol)
+			}
+			i++
+		case hj < hi:
+			if hj == rs { // hub is s itself: d = 0 + d_s,t, F from in-label
+				consider(int(lt[j].dist), lt[j].fol)
+			}
+			j++
+		default:
+			consider(int(ls[i].dist)+int(lt[j].dist), ls[i].fol)
+			i++
+			j++
+		}
+	}
+	if best == infHops {
+		return infHops, nil, fol
+	}
+	return best, fol, fol
+}
+
+// thBuildPool hands out per-worker BFS scratch across batches so the O(n)
+// builder state is allocated once per worker, not once per batch.
+type thBuildPool struct {
+	w    *thWork
+	mu   sync.Mutex   // microlint:lock-order reach-build
+	free []*thBuilder // microlint:guarded-by mu
+}
+
+func (p *thBuildPool) acquire() *thBuilder {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return newThBuilder(p.w)
+}
+
+func (p *thBuildPool) release(b *thBuilder) {
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}
+
+// buildLabels processes the ranked hubs in batches of batchSize, fanning
+// each batch across up to workers goroutines. Returns the accumulated
+// barrier-wait plus merge time (the parallel overhead the
+// microlink_reach_twohop_build_merge_wait_seconds gauge reports).
+func (w *thWork) buildLabels(workers, batchSize int) time.Duration {
+	n := len(w.order)
+	pool := &thBuildPool{w: w}
+	deltas := make([]thDelta, batchSize)
+	var mergeWait time.Duration
+	for lo := 0; lo < n; lo += batchSize {
+		m := min(batchSize, n-lo)
+		ds := deltas[:m]
+		for i := range ds {
+			ds[i].reset()
+		}
+		if nw := min(workers, m); nw <= 1 {
+			b := pool.acquire()
+			for i := 0; i < m; i++ {
+				b.runHub(w.order[lo+i], int32(lo+i), &ds[i])
+			}
+			pool.release(b)
+		} else {
+			// Hubs are claimed dynamically: ranks inside a batch differ
+			// wildly in BFS cost (rank 0 is the highest-degree node), so
+			// static striping would leave workers idle behind stragglers.
+			var nextHub atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < nw; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					b := pool.acquire()
+					defer pool.release(b)
+					for {
+						i := int(nextHub.Add(1)) - 1
+						if i >= m {
+							return
+						}
+						b.runHub(w.order[lo+i], int32(lo+i), &ds[i])
+					}
+				}()
+			}
+			barrier := time.Now()
+			wg.Wait()
+			mergeWait += time.Since(barrier)
+		}
+		mergeStart := time.Now()
+		for i := range ds {
+			d := &ds[i]
+			for j, s := range d.outNodes {
+				w.out[s] = append(w.out[s], d.outLabs[j])
+			}
+			for j, t := range d.inNodes {
+				w.in[t] = append(w.in[t], d.inLabs[j])
+			}
+		}
+		mergeWait += time.Since(mergeStart)
+	}
+	return mergeWait
+}
+
+// maxInternedFol bounds the followee-set length the freeze-time interning
+// table keys on; longer sets (rare — a hub's whole first-hop neighborhood)
+// are appended to the pool directly without a lookup.
+const maxInternedFol = 16
+
+// maxFolLen caps a single label's followee set at the serialization
+// format's uint16 length. Unreachable on realistic social graphs (the set
+// is bounded by one node's degree); truncation keeps the subset property.
+const maxFolLen = 1<<16 - 1
+
+// freeze converts the built per-node label slices into the flat CSR arenas
+// of TwoHop: labels become cache-contiguous runs, every followee set is
+// sorted ascending (enabling the query path's merge-based dedup), and
+// identical small sets are interned once in the shared pool.
+func (w *thWork) freeze() *TwoHop {
+	n := w.g.NumNodes()
+	th := &TwoHop{
+		g:      w.g,
+		h:      w.h,
+		rank:   w.rank,
+		order:  w.order,
+		outOff: make([]int32, n+1),
+		inOff:  make([]int32, n+1),
+	}
+	var nOut, nIn int
+	for u := 0; u < n; u++ {
+		nOut += len(w.out[u])
+		nIn += len(w.in[u])
+	}
+	th.outLab = make([]thLabelFlat, 0, nOut)
+	th.inLab = make([]thLabelFlat, 0, nIn)
+
+	intern := make(map[string]int32)
+	var key []byte
+	addSet := func(fol []graph.NodeID) (int32, uint16) {
+		if len(fol) == 0 {
+			return 0, 0
+		}
+		if len(fol) > maxFolLen {
+			fol = fol[:maxFolLen]
+		}
+		sortNodeIDs(fol)
+		th.info.FolRefs += int64(len(fol))
+		if len(fol) <= maxInternedFol {
+			key = key[:0]
+			for _, v := range fol {
+				key = binary.LittleEndian.AppendUint32(key, uint32(v))
+			}
+			if off, ok := intern[string(key)]; ok {
+				return off, uint16(len(fol))
+			}
+			off := int32(len(th.folPool))
+			th.folPool = append(th.folPool, fol...)
+			intern[string(key)] = off
+			return off, uint16(len(fol))
+		}
+		off := int32(len(th.folPool))
+		th.folPool = append(th.folPool, fol...)
+		return off, uint16(len(fol))
+	}
+
+	freezeDir := func(src [][]thLabel, off []int32, dst []thLabelFlat) []thLabelFlat {
+		for u := 0; u < n; u++ {
+			off[u] = int32(len(dst))
+			labs := src[u]
+			for i := range labs {
+				l := &labs[i]
+				folOff, folLen := addSet(l.fol)
+				dst = append(dst, thLabelFlat{hub: l.hub, folOff: folOff, folLen: folLen, dist: l.dist})
+			}
+			src[u] = nil // release build storage as we go
+		}
+		off[n] = int32(len(dst))
+		return dst
+	}
+	th.outLab = freezeDir(w.out, th.outOff, th.outLab)
+	th.inLab = freezeDir(w.in, th.inOff, th.inLab)
+
+	// Shrink the pool to exact capacity so SizeBytes reports reality.
+	th.folPool = append(make([]graph.NodeID, 0, len(th.folPool)), th.folPool...)
+	th.info.FolPool = int64(len(th.folPool))
+	return th
+}
+
+// sortNodeIDs sorts a (small) followee set ascending in place.
+func sortNodeIDs(s []graph.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

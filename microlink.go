@@ -224,6 +224,9 @@ func Build(w *World, opts Options) *System {
 
 	reg := obs.NewRegistry()
 	if !opts.DisableMetrics {
+		if th, ok := unwrapReach(rx).(*reach.TwoHop); ok {
+			reach.PublishTwoHopBuild(th, reg)
+		}
 		rx = reach.Instrument(rx, reg)
 	}
 
