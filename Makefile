@@ -36,9 +36,12 @@ test-race:
 	$(GO) test -vet=all -race ./...
 
 # The CI race lane: every test twice under the race detector. -count=2
-# defeats test caching and gives racy interleavings a second roll.
+# defeats test caching and gives racy interleavings a second roll. The
+# firehose smoke drives the streaming ingest pipeline end to end (query
+# workers + mid-stream copy-on-swap) under the race detector.
 race:
 	$(GO) test -race -count=2 ./...
+	$(GO) run -race ./cmd/linkbench -quick firehose
 
 cover:
 	$(GO) test -cover ./...

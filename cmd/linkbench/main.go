@@ -5,6 +5,8 @@
 // `stages` experiment prints the live per-stage latency breakdown of the
 // Eq. 1 pipeline from the system's metrics registry; `batch` compares the
 // serial single-mention path against the concurrent LinkBatch pipeline;
+// `firehose` drives a synthetic event stream through the ingest pipeline
+// while query workers run against the copy-on-swap reach arena;
 // -cpuprofile and -memprofile capture pprof profiles of any run (see
 // `make profile`).
 //
@@ -32,7 +34,7 @@ var (
 	seed       = flag.Int64("seed", 42, "world generator seed")
 	users      = flag.Int("users", 1500, "number of users in the accuracy world")
 	quick      = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
-	out        = flag.String("out", "", "also write the experiment's JSON result to this file (index only)")
+	out        = flag.String("out", "", "also write the experiment's JSON result to this file (index, firehose)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 )
@@ -41,7 +43,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>")
-		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch index")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch index firehose")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
@@ -106,6 +108,7 @@ func main() {
 		"stages":     stages,
 		"batch":      batch,
 		"index":      index,
+		"firehose":   firehose,
 	}
 	if id == "all" {
 		ids := make([]string, 0, len(runners))
@@ -407,21 +410,56 @@ func index() {
 	fmt.Printf("  %-28s %12d %12d\n", "labels", r.SerialLabels, r.ParallelLabels)
 	fmt.Printf("  speedup %.2fx (workers=%d batch=%d, merge wait %v); size ratio %.3f\n",
 		r.Speedup, r.Workers, r.BatchSize, time.Duration(r.MergeWaitMS)*time.Millisecond, r.SizeRatio)
+	fmt.Printf("  parallel stages: bfs %v, merge %v, freeze %v\n",
+		time.Duration(r.ParallelBFSMS)*time.Millisecond,
+		time.Duration(r.ParallelMergeMS)*time.Millisecond,
+		time.Duration(r.ParallelFreezeMS)*time.Millisecond)
 	fmt.Printf("  fol pool: %d ids for %d refs (%.1f%% interned away)\n",
 		r.FolPoolEntries, r.FolRefs, 100*(1-float64(r.FolPoolEntries)/float64(r.FolRefs)))
 	fmt.Printf("  query: %dns/op, %.2f allocs/op\n", r.QueryNS, r.QueryAllocsOp)
-	if *out != "" {
-		data, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "linkbench: result written to %s\n", *out)
+	writeJSON(r)
+}
+
+// firehose drives the streaming ingest pipeline (DESIGN.md §7): a
+// synthetic tweet+follow stream through System.StartIngest with query
+// workers hammering the frozen reach arena and copy-on-swap rebuilds
+// landing mid-stream. With -out the JSON result is also written to a
+// file.
+func firehose() {
+	banner("streaming ingest firehose: sustained throughput + copy-on-swap rebuilds")
+	opts := experiments.FirehoseOptions{}
+	if *quick {
+		opts.World = microlink.WorldParams{Seed: *seed, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20}
+		opts.Events = 1500
 	}
+	r := experiments.Firehose(opts)
+	fmt.Printf("  world: %d users; stream: %d events (%d tweets, %d follows)\n",
+		r.Users, r.Events, r.TweetEvents, r.FollowEvents)
+	fmt.Printf("  ingested in %v (%.0f events/sec), %d dropped\n",
+		(time.Duration(r.DurationMS) * time.Millisecond).String(), r.EventsPerSec, r.Dropped)
+	fmt.Printf("  %d edges inserted; %d rebuilds, %d swaps; staleness peak %d, final %d; queue peak %d\n",
+		r.InsertedEdges, r.Rebuilds, r.Swaps, r.PeakStaleness, r.FinalStaleness, r.PeakQueueDepth)
+	fmt.Printf("  queries during ingest: %d (%d errors), p50 %dµs, p99 %dµs\n",
+		r.Queries, r.QueryErrors, r.QueryP50US, r.QueryP99US)
+	writeJSON(r)
+}
+
+// writeJSON honours -out for the experiments with machine-readable
+// results (index, firehose).
+func writeJSON(r any) {
+	if *out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "linkbench: result written to %s\n", *out)
 }
 
 func categories() {

@@ -11,6 +11,8 @@
 //	GET  /v1/search?user=U&q=QUERY&k=K          personalized microblog search
 //	POST /v1/tweet                              NER + link (+feedback) a raw tweet
 //	POST /v1/confirm                            interactive feedback: confirm a link
+//	POST /v1/ingest/tweet                       enqueue a tweet on the firehose pipeline (-ingest)
+//	POST /v1/ingest/follow                      enqueue a follow edge on the firehose pipeline (-ingest)
 //	GET  /v1/stats
 //	GET  /metrics                               Prometheus text exposition
 //	GET  /debug/pprof/*                         live profiling (opt-in via -pprof)
@@ -44,7 +46,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "world seed")
 	users := flag.Int("users", 800, "world size")
-	reachKind := flag.String("reach", "closure", "reachability substrate: closure|twohop|naive")
+	reachKind := flag.String("reach", "closure", "reachability substrate: closure|twohop|naive|streaming")
+	ingestOn := flag.Bool("ingest", false, "attach the streaming firehose pipeline (requires -reach streaming)")
+	ingestQueue := flag.Int("ingest-queue", 0, "ingest queue capacity (0 selects the default)")
+	rebuildAfter := flag.Int("rebuild-after", 0, "rebuild the frozen reach arena after this many new follow edges (0 selects the default)")
+	rebuildEvery := flag.Duration("rebuild-interval", 0, "additionally rebuild on this interval when stale (0 disables)")
 	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "max time to read a request")
@@ -58,6 +64,9 @@ func main() {
 	if err := validateFlags(*users, *workers, *readTimeout, *writeTimeout, *idleTimeout, *reqTimeout, *shutdownGrace); err != nil {
 		log.Fatalf("linkd: %v", err)
 	}
+	if err := validateIngestFlags(*ingestQueue, *rebuildEvery); err != nil {
+		log.Fatalf("linkd: %v", err)
+	}
 
 	opts := microlink.Options{}
 	opts.Batch.Workers = *workers
@@ -68,8 +77,13 @@ func main() {
 		opts.Reach = microlink.ReachTwoHop
 	case "naive":
 		opts.Reach = microlink.ReachNaive
+	case "streaming":
+		opts.Reach = microlink.ReachStreaming
 	default:
 		log.Fatalf("linkd: unknown -reach %q", *reachKind)
+	}
+	if *ingestOn && opts.Reach != microlink.ReachStreaming {
+		log.Fatalf("linkd: -ingest requires -reach streaming, got %q", *reachKind)
 	}
 
 	log.Printf("linkd: generating world (seed=%d users=%d)…", *seed, *users)
@@ -92,6 +106,20 @@ func main() {
 		}
 	}
 	log.Print("linkd: ", sys.Describe())
+
+	var pipe *microlink.IngestPipeline
+	if *ingestOn {
+		p, err := sys.StartIngest(microlink.IngestConfig{
+			Queue:             *ingestQueue,
+			RebuildAfterEdges: *rebuildAfter,
+			RebuildInterval:   *rebuildEvery,
+		})
+		if err != nil {
+			log.Fatalf("linkd: start ingest: %v", err)
+		}
+		pipe = p
+		log.Print("linkd: firehose ingest pipeline attached (/v1/ingest/*)")
+	}
 
 	// Runtime health gauges (goroutines, heap, GC) sampled into /metrics.
 	collector := obs.CollectRuntime(sys.Metrics, "microlink", 10*time.Second)
@@ -128,6 +156,17 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("linkd: shutdown: %v", err)
+		}
+		// Intake is fed by handlers, so stop the pipeline only after the
+		// listener has drained; Close then applies everything buffered.
+		if pipe != nil {
+			if err := pipe.Close(ctx); err != nil {
+				log.Printf("linkd: ingest drain: %v", err)
+			} else {
+				st := pipe.Stats()
+				log.Printf("linkd: ingest drained (%d tweets, %d follows, %d rebuilds)",
+					st.AppliedTweets, st.AppliedFollows, st.Rebuilds)
+			}
 		}
 	}()
 
@@ -167,6 +206,19 @@ func validateFlags(users, workers int, readTimeout, writeTimeout, idleTimeout, r
 	}
 	if reqTimeout < 0 {
 		return fmt.Errorf("-request-timeout must be positive or 0 to disable, got %v", reqTimeout)
+	}
+	return nil
+}
+
+// validateIngestFlags rejects nonsense pipeline tuning. A negative
+// -rebuild-after is allowed: it disables the edge-count trigger, leaving
+// only the interval (or manual) rebuilds.
+func validateIngestFlags(queue int, interval time.Duration) error {
+	if queue < 0 {
+		return fmt.Errorf("-ingest-queue must be positive or 0 for the default, got %d", queue)
+	}
+	if interval < 0 {
+		return fmt.Errorf("-rebuild-interval must be positive or 0 to disable, got %v", interval)
 	}
 	return nil
 }

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"microlink"
+	"microlink/internal/obs"
+	"microlink/internal/synth"
+)
+
+// Firehose is the sustained-throughput experiment for the streaming
+// ingest pipeline (DESIGN.md §7): a synthetic firehose — bursty tweets
+// plus follow churn from synth.GenerateStream — is driven through
+// System.StartIngest under the blocking backpressure policy while query
+// workers hammer the linker, and the frozen reach arena is copy-on-swap
+// rebuilt mid-stream. The run demonstrates the staleness contract
+// end-to-end: queries are served (error-free) throughout, swaps land
+// while the stream is live, and staleness returns to zero after the
+// final drain + rebuild.
+
+// FirehoseOptions sizes the run. Zero values select the defaults.
+type FirehoseOptions struct {
+	World          microlink.WorldParams // zero ⇒ 800-user world, seed 42
+	Events         int                   // stream length (default 4000)
+	FollowFraction float64               // follow share of the stream (default 0.25)
+	QueryWorkers   int                   // concurrent query goroutines (default 2)
+	Rebuilds       int                   // forced mid-stream swaps (default 2)
+}
+
+// FirehoseResult is the JSON payload of `linkbench firehose`.
+type FirehoseResult struct {
+	Users        int     `json:"users"`
+	Events       int     `json:"events"`
+	TweetEvents  int64   `json:"tweet_events"`
+	FollowEvents int64   `json:"follow_events"`
+	DurationMS   int64   `json:"duration_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	Dropped       int64 `json:"dropped"`
+	InsertedEdges int64 `json:"inserted_edges"`
+	Rebuilds      int64 `json:"rebuilds"`
+	Swaps         int64 `json:"swaps"`
+
+	Queries     int64 `json:"queries"`
+	QueryErrors int64 `json:"query_errors"`
+	QueryP50US  int64 `json:"query_p50_us"`
+	QueryP99US  int64 `json:"query_p99_us"`
+
+	PeakStaleness  int64 `json:"peak_staleness_events"`
+	FinalStaleness int64 `json:"final_staleness_events"`
+	PeakQueueDepth int   `json:"peak_queue_depth"`
+}
+
+// sliceSource replays a pre-generated stream as an ingest.Source.
+type sliceSource struct {
+	events []synth.StreamEvent
+	next   int
+}
+
+func (s *sliceSource) Next(ctx context.Context) (microlink.IngestEvent, error) {
+	if err := ctx.Err(); err != nil {
+		return microlink.IngestEvent{}, err
+	}
+	if s.next >= len(s.events) {
+		return microlink.IngestEvent{}, io.EOF
+	}
+	ev := s.events[s.next]
+	s.next++
+	if ev.Tweet != nil {
+		return microlink.TweetEvent(ev.Tweet, nil), nil
+	}
+	return microlink.FollowEvent(ev.U, ev.V), nil
+}
+
+// Firehose runs the experiment.
+func Firehose(opts FirehoseOptions) FirehoseResult {
+	if opts.World == (microlink.WorldParams{}) {
+		opts.World = microlink.WorldParams{Seed: 42, Users: 800, Topics: 8, EntitiesPerTopic: 12, Days: 30}
+	}
+	if opts.Events <= 0 {
+		opts.Events = 4000
+	}
+	if opts.FollowFraction <= 0 {
+		opts.FollowFraction = 0.25
+	}
+	if opts.QueryWorkers <= 0 {
+		opts.QueryWorkers = 2
+	}
+	if opts.Rebuilds <= 0 {
+		opts.Rebuilds = 2
+	}
+
+	w := microlink.Generate(opts.World)
+	sys := microlink.Build(w, microlink.Options{
+		Reach:           microlink.ReachStreaming,
+		TruthComplement: true,
+	})
+	stream := synth.GenerateStream(w, synth.StreamParams{
+		Seed: opts.World.Seed + 1, Events: opts.Events, FollowFraction: opts.FollowFraction,
+	})
+	res := FirehoseResult{Users: w.Graph.NumNodes(), Events: len(stream)}
+	for _, ev := range stream {
+		if ev.Tweet != nil {
+			res.TweetEvents++
+		} else {
+			res.FollowEvents++
+		}
+	}
+
+	// Manual swap placement: the edge-count trigger is disabled so the
+	// forced rebuilds land at known stream fractions.
+	pipe, err := sys.StartIngest(microlink.IngestConfig{
+		BlockOnFull:       true,
+		RebuildAfterEdges: -1,
+	})
+	if err != nil {
+		panic(err) // unreachable: the system above is streaming-reach
+	}
+
+	// Ambiguous query surfaces, one scoring histogram for p50/p99.
+	var surfaces []string
+	w.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+		if len(cs) >= 2 {
+			surfaces = append(surfaces, form)
+		}
+	})
+	if len(surfaces) == 0 {
+		w.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+			surfaces = append(surfaces, form)
+		})
+	}
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("firehose_query_seconds", "Query latency during ingest.",
+		obs.ExpBuckets(1e-6, 2, 24))
+
+	ctx := context.Background()
+	now := w.Horizon() + 3600
+	producerDone := make(chan error, 1)
+	queryStop := make(chan struct{})
+	queryDone := make(chan struct{})
+	var queries, queryErrors atomic.Int64
+
+	for i := 0; i < opts.QueryWorkers; i++ {
+		go func(seed int64) {
+			defer func() { queryDone <- struct{}{} }()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-queryStop:
+					return
+				default:
+				}
+				u := microlink.UserID(r.Intn(res.Users))
+				s := surfaces[r.Intn(len(surfaces))]
+				t0 := time.Now()
+				_, err := sys.Linker.ScoreCandidatesCtx(ctx, u, now, s)
+				lat.ObserveSince(t0)
+				queries.Add(1)
+				if err != nil {
+					queryErrors.Add(1)
+				}
+			}
+		}(int64(1000 + i))
+	}
+
+	start := time.Now()
+	go func() {
+		producerDone <- pipe.Run(ctx, &sliceSource{events: stream})
+	}()
+
+	// Poll progress: force swaps at even fractions of the stream, track
+	// peak staleness and queue depth.
+	swapAt := make([]int64, 0, opts.Rebuilds)
+	for i := 1; i <= opts.Rebuilds; i++ {
+		swapAt = append(swapAt, int64(len(stream))*int64(i)/int64(opts.Rebuilds+1))
+	}
+	nextSwap := 0
+	for running := true; running; {
+		select {
+		case err := <-producerDone:
+			if err != nil {
+				panic(err) // ctx is Background and the source is finite
+			}
+			running = false
+		case <-time.After(2 * time.Millisecond):
+		}
+		st := pipe.Stats()
+		res.PeakStaleness = max(res.PeakStaleness, st.Staleness)
+		res.PeakQueueDepth = max(res.PeakQueueDepth, st.QueueDepth)
+		applied := st.AppliedTweets + st.AppliedFollows + st.AppliedFeedback
+		if nextSwap < len(swapAt) && applied >= swapAt[nextSwap] {
+			pipe.ForceRebuild()
+			nextSwap++
+		}
+	}
+
+	// Drain, then one final swap so the arena reflects the full stream.
+	if err := pipe.Close(ctx); err != nil {
+		panic(err)
+	}
+	pipe.ForceRebuild()
+	res.DurationMS = time.Since(start).Milliseconds()
+	close(queryStop)
+	for i := 0; i < opts.QueryWorkers; i++ {
+		<-queryDone
+	}
+
+	st := pipe.Stats()
+	res.Dropped = st.Dropped
+	res.InsertedEdges = st.InsertedEdges
+	res.Rebuilds = st.Rebuilds
+	res.Swaps = st.Swaps
+	res.FinalStaleness = st.Staleness
+	res.Queries = queries.Load()
+	res.QueryErrors = queryErrors.Load()
+	if res.DurationMS > 0 {
+		res.EventsPerSec = float64(res.Events) / (float64(res.DurationMS) / 1000)
+	}
+	snap := lat.Snapshot()
+	res.QueryP50US = int64(snap.Quantile(0.50) * 1e6)
+	res.QueryP99US = int64(snap.Quantile(0.99) * 1e6)
+	return res
+}

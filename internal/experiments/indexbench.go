@@ -29,6 +29,13 @@ type IndexBenchResult struct {
 	ParallelMS  int64 `json:"parallel_build_ms"`
 	MergeWaitMS int64 `json:"parallel_merge_wait_ms"`
 
+	// Per-stage split of the parallel build (BFS ≥ merge-wait; BFS +
+	// merge + freeze ≈ parallel_build_ms), so regressions point at the
+	// guilty stage instead of the aggregate.
+	ParallelBFSMS    int64 `json:"parallel_bfs_ms"`
+	ParallelMergeMS  int64 `json:"parallel_merge_ms"`
+	ParallelFreezeMS int64 `json:"parallel_freeze_ms"`
+
 	SerialBytes    int64   `json:"serial_index_bytes"`
 	ParallelBytes  int64   `json:"parallel_index_bytes"`
 	SizeRatio      float64 `json:"parallel_size_ratio"` // parallel / serial
@@ -72,21 +79,24 @@ func IndexBench(opts IndexBenchOptions) IndexBenchResult {
 	pOut, pIn := par.LabelCounts()
 	info := par.BuildInfo()
 	res := IndexBenchResult{
-		Users:          g.NumNodes(),
-		Edges:          g.NumEdges(),
-		MaxHops:        opts.MaxHops,
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		Workers:        info.Workers,
-		BatchSize:      info.BatchSize,
-		SerialMS:       serial.BuildStats().BuildTime.Milliseconds(),
-		ParallelMS:     par.BuildStats().BuildTime.Milliseconds(),
-		MergeWaitMS:    info.MergeWait.Milliseconds(),
-		SerialBytes:    serial.SizeBytes(),
-		ParallelBytes:  par.SizeBytes(),
-		SerialLabels:   sOut + sIn,
-		ParallelLabels: pOut + pIn,
-		FolPoolEntries: info.FolPool,
-		FolRefs:        info.FolRefs,
+		Users:            g.NumNodes(),
+		Edges:            g.NumEdges(),
+		MaxHops:          opts.MaxHops,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Workers:          info.Workers,
+		BatchSize:        info.BatchSize,
+		SerialMS:         serial.BuildStats().BuildTime.Milliseconds(),
+		ParallelMS:       par.BuildStats().BuildTime.Milliseconds(),
+		MergeWaitMS:      info.MergeWait.Milliseconds(),
+		ParallelBFSMS:    info.BFSTime.Milliseconds(),
+		ParallelMergeMS:  info.MergeTime.Milliseconds(),
+		ParallelFreezeMS: info.FreezeTime.Milliseconds(),
+		SerialBytes:      serial.SizeBytes(),
+		ParallelBytes:    par.SizeBytes(),
+		SerialLabels:     sOut + sIn,
+		ParallelLabels:   pOut + pIn,
+		FolPoolEntries:   info.FolPool,
+		FolRefs:          info.FolRefs,
 	}
 	if res.SerialBytes > 0 {
 		res.SizeRatio = float64(res.ParallelBytes) / float64(res.SerialBytes)

@@ -23,6 +23,8 @@
 //	batch_too_large    400  batch request exceeds MaxBatchQueries
 //	unknown_user       404  user ID outside the world
 //	unknown_entity     404  entity ID outside the knowledgebase
+//	ingest_disabled    503  no ingest pipeline attached (start linkd with -ingest)
+//	queue_full         503  ingest queue full; shed by backpressure, retry later
 //	deadline_exceeded  504  request (or batch item) deadline expired
 //	canceled           499  request context canceled mid-flight
 //	internal           500  unexpected failure
@@ -64,6 +66,8 @@ const (
 	CodeBatchTooLarge    = "batch_too_large"
 	CodeUnknownUser      = "unknown_user"
 	CodeUnknownEntity    = "unknown_entity"
+	CodeIngestDisabled   = "ingest_disabled"
+	CodeQueueFull        = "queue_full"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeCanceled         = "canceled"
 	CodeInternal         = "internal"
@@ -121,6 +125,8 @@ func New(sys *microlink.System, opts ...Option) *Server {
 	handle("GET /v1/search", "/v1/search", s.handleSearch)
 	handle("POST /v1/tweet", "/v1/tweet", s.handleTweet)
 	handle("POST /v1/confirm", "/v1/confirm", s.handleConfirm)
+	handle("POST /v1/ingest/tweet", "/v1/ingest/tweet", s.handleIngestTweet)
+	handle("POST /v1/ingest/follow", "/v1/ingest/follow", s.handleIngestFollow)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
 	s.mux.Handle("GET /metrics", sys.Metrics.Handler())
 	return s

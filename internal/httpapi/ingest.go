@@ -1,0 +1,105 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"microlink"
+)
+
+// The firehose endpoints differ from their synchronous cousins
+// (/v1/tweet, the System.Follow path) in their contract: the request is
+// validated, converted into a pipeline event and enqueued, and the
+// response is 202 Accepted before any linking or index maintenance has
+// happened. A full queue is surfaced as 503 queue_full — the client-side
+// half of the pipeline's backpressure policy — and a server running
+// without a pipeline rejects both endpoints with 503 ingest_disabled.
+
+// pipeline fetches the attached ingest pipeline, writing the
+// ingest_disabled envelope when there is none.
+func (s *Server) pipeline(w http.ResponseWriter) *microlink.IngestPipeline {
+	p := s.sys.Ingest()
+	if p == nil {
+		s.writeError(w, http.StatusServiceUnavailable, CodeIngestDisabled,
+			"no ingest pipeline attached to this server")
+	}
+	return p
+}
+
+// IngestAccepted is the 202 body of both firehose endpoints.
+type IngestAccepted struct {
+	Status     string `json:"status"` // always "queued"
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// offer enqueues ev without blocking, writing the 202 or 503 response.
+func (s *Server) offer(w http.ResponseWriter, p *microlink.IngestPipeline, ev microlink.IngestEvent) {
+	if !p.Offer(ev) {
+		s.writeError(w, http.StatusServiceUnavailable, CodeQueueFull,
+			"ingest queue full; retry later")
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, IngestAccepted{
+		Status:     "queued",
+		QueueDepth: p.Stats().QueueDepth,
+	})
+}
+
+// IngestTweetRequest is the body of POST /v1/ingest/tweet: a raw tweet
+// for the firehose. Unlike /v1/tweet, mentions are extracted here but
+// linked asynchronously by the pipeline's applier.
+type IngestTweetRequest struct {
+	ID   int64  `json:"id"`
+	User int32  `json:"user"`
+	Time *int64 `json:"time,omitempty"`
+	Text string `json:"text"`
+}
+
+func (s *Server) handleIngestTweet(w http.ResponseWriter, r *http.Request) {
+	p := s.pipeline(w)
+	if p == nil {
+		return
+	}
+	var req IngestTweetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: "+err.Error())
+		return
+	}
+	if aerr := s.validateUser(int64(req.User)); aerr != nil {
+		aerr.send(s, w)
+		return
+	}
+	tw := microlink.Tweet{ID: req.ID, User: req.User, Time: s.timeOrHorizon(req.Time), Text: req.Text}
+	for _, sp := range s.sys.NER.Extract(req.Text) {
+		tw.Mentions = append(tw.Mentions, microlink.Mention{Surface: sp.Surface, Truth: microlink.NoEntity})
+	}
+	s.offer(w, p, microlink.TweetEvent(&tw, nil))
+}
+
+// IngestFollowRequest is the body of POST /v1/ingest/follow: a new
+// follower → followee edge for the live social graph.
+type IngestFollowRequest struct {
+	Follower int32 `json:"follower"`
+	Followee int32 `json:"followee"`
+}
+
+func (s *Server) handleIngestFollow(w http.ResponseWriter, r *http.Request) {
+	p := s.pipeline(w)
+	if p == nil {
+		return
+	}
+	var req IngestFollowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: "+err.Error())
+		return
+	}
+	if aerr := s.validateUser(int64(req.Follower)); aerr != nil {
+		aerr.send(s, w)
+		return
+	}
+	if aerr := s.validateUser(int64(req.Followee)); aerr != nil {
+		aerr.send(s, w)
+		return
+	}
+	s.offer(w, p, microlink.FollowEvent(req.Follower, req.Followee))
+}

@@ -1,0 +1,195 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"microlink"
+)
+
+var (
+	ingestOnce sync.Once
+	ingestSys  *microlink.System
+)
+
+// ingestServer returns a server over a streaming-reach system with an
+// attached pipeline. The system (and its pipeline goroutines) is shared
+// across tests; per-test servers are cheap views over it.
+func ingestServer(t *testing.T) *Server {
+	t.Helper()
+	ingestOnce.Do(func() {
+		w := microlink.Generate(microlink.WorldParams{
+			Seed: 6, Users: 300, Topics: 6, EntitiesPerTopic: 10, Days: 20,
+		})
+		ingestSys = microlink.Build(w, microlink.Options{
+			TruthComplement: true,
+			Reach:           microlink.ReachStreaming,
+		})
+		if _, err := ingestSys.StartIngest(microlink.IngestConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	return New(ingestSys, WithLogger(func(string, ...any) {}))
+}
+
+func postJSON(t *testing.T, s *Server, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// waitApplied polls until the pipeline has applied at least the wanted
+// number of tweet + follow events.
+func waitApplied(t *testing.T, p *microlink.IngestPipeline, tweets, follows int64) microlink.IngestStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := p.Stats()
+		if st.AppliedTweets >= tweets && st.AppliedFollows >= follows {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not apply %d tweets / %d follows in time: %+v", tweets, follows, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestIngestTweetAccepted(t *testing.T) {
+	s := ingestServer(t)
+	before := ingestSys.Ingest().Stats()
+
+	rec := postJSON(t, s, "/v1/ingest/tweet", IngestTweetRequest{
+		ID: 1 << 50, User: 3, Text: "streaming hello " + ambiguousIngestSurface(t),
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%s)", rec.Code, rec.Body.String())
+	}
+	var acc IngestAccepted
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		t.Fatalf("decode: %v (%s)", err, rec.Body.String())
+	}
+	if acc.Status != "queued" {
+		t.Errorf("status field = %q, want queued", acc.Status)
+	}
+
+	st := waitApplied(t, ingestSys.Ingest(), before.AppliedTweets+1, 0)
+	if st.AppliedTweets <= before.AppliedTweets {
+		t.Errorf("applied tweets did not advance: %+v", st)
+	}
+	if ingestSys.Live.Len() == 0 {
+		t.Error("live store empty after applied tweet")
+	}
+}
+
+func TestIngestFollowAccepted(t *testing.T) {
+	s := ingestServer(t)
+	before := ingestSys.Ingest().Stats()
+
+	rec := postJSON(t, s, "/v1/ingest/follow", IngestFollowRequest{Follower: 1, Followee: 2})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%s)", rec.Code, rec.Body.String())
+	}
+	waitApplied(t, ingestSys.Ingest(), 0, before.AppliedFollows+1)
+}
+
+func TestIngestValidation(t *testing.T) {
+	s := ingestServer(t)
+
+	rec := postJSON(t, s, "/v1/ingest/tweet", IngestTweetRequest{User: 1 << 20, Text: "x"})
+	decodeError(t, rec, http.StatusNotFound, CodeUnknownUser)
+
+	rec = postJSON(t, s, "/v1/ingest/follow", IngestFollowRequest{Follower: 0, Followee: -5})
+	decodeError(t, rec, http.StatusNotFound, CodeUnknownUser)
+
+	req := httptest.NewRequest("POST", "/v1/ingest/tweet", bytes.NewReader([]byte("{nope")))
+	raw := httptest.NewRecorder()
+	s.ServeHTTP(raw, req)
+	decodeError(t, raw, http.StatusBadRequest, CodeInvalidJSON)
+}
+
+func TestIngestDisabled(t *testing.T) {
+	s := testServer(t) // closure-reach fixture: no pipeline attached
+	rec := postJSON(t, s, "/v1/ingest/tweet", IngestTweetRequest{User: 1, Text: "x"})
+	decodeError(t, rec, http.StatusServiceUnavailable, CodeIngestDisabled)
+	rec = postJSON(t, s, "/v1/ingest/follow", IngestFollowRequest{Follower: 1, Followee: 2})
+	decodeError(t, rec, http.StatusServiceUnavailable, CodeIngestDisabled)
+}
+
+// TestIngestQueueFull drives a throwaway pipeline whose applier is
+// blocked by queue saturation being faster than the drain; with a
+// one-slot queue and a storm of offers, at least one must shed with 503.
+func TestIngestQueueFull(t *testing.T) {
+	w := microlink.Generate(microlink.WorldParams{
+		Seed: 7, Users: 120, Topics: 4, EntitiesPerTopic: 8, Days: 10,
+	})
+	sys := microlink.Build(w, microlink.Options{
+		TruthComplement: true,
+		Reach:           microlink.ReachStreaming,
+	})
+	p, err := sys.StartIngest(microlink.IngestConfig{Queue: 1, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := p.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	s := New(sys, WithLogger(func(string, ...any) {}))
+
+	sawFull := false
+	for i := 0; i < 200 && !sawFull; i++ {
+		rec := postJSON(t, s, "/v1/ingest/follow", IngestFollowRequest{
+			Follower: int32(i % 100), Followee: int32((i + 7) % 100),
+		})
+		switch rec.Code {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			var e ErrorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("decode 503: %v", err)
+			}
+			if e.Error.Code != CodeQueueFull {
+				t.Fatalf("503 code = %q, want %q", e.Error.Code, CodeQueueFull)
+			}
+			sawFull = true
+		default:
+			t.Fatalf("unexpected status %d (%s)", rec.Code, rec.Body.String())
+		}
+	}
+	if !sawFull {
+		t.Skip("queue never saturated on this machine; drop path covered by unit tests")
+	}
+	if p.Stats().Dropped == 0 {
+		t.Error("queue_full seen but dropped counter still zero")
+	}
+}
+
+func ambiguousIngestSurface(t *testing.T) string {
+	t.Helper()
+	var surface string
+	ingestSys.World.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+		if surface == "" && len(cs) >= 1 {
+			surface = form
+		}
+	})
+	if surface == "" {
+		t.Fatal("no surface in KB")
+	}
+	return surface
+}

@@ -1,0 +1,172 @@
+// Package ingest implements the streaming firehose pipeline that keeps a
+// running linker incrementally fresh: a staged, bounded-queue conduit
+// accepting tweet, follow-edge and feedback events and routing them into
+// the serving stack's existing mutation paths, plus a background rebuild
+// manager that periodically re-freezes the 2-hop reachability arena and
+// copy-on-swaps it in without ever blocking queries.
+//
+// # Stages
+//
+// Events enter through Offer (non-blocking; drops with a counter when the
+// queue is full) or Submit (blocks with context cancellation) into one
+// bounded channel. A single applier goroutine drains it, coalescing up to
+// Config.MaxBatch pending events per round so follow edges amortise one
+// lock acquisition across the batch, and applies each kind to its
+// mutation path:
+//
+//   - tweets append to the live corpus (tweets.LiveStore) and, unless
+//     pre-linked, run through Linker.LinkTweet; the resulting links feed
+//     Linker.Feedback so the comprehensive KB and influence caches track
+//     the stream (disable with Config.NoFeedback),
+//   - follow edges batch into reach.Streaming.InsertEdges, updating the
+//     live dynamic closure while the frozen query arena stays untouched,
+//   - feedback events call Linker.Feedback directly.
+//
+// # Staleness and rebuilds
+//
+// Queries are served lock-free from the frozen 2-hop arena, so every
+// applied follow edge widens the gap between the live graph and the
+// serving index. That gap is the pipeline's staleness
+// (microlink_ingest_staleness_events). When it reaches
+// Config.RebuildAfterEdges — or every Config.RebuildInterval, whichever
+// fires first — the rebuild manager snapshots the live adjacency, runs
+// the parallel 2-hop builder off the hot path, and installs the new
+// arena inside Linker.UpdateReachability, whose write lock makes the
+// swap plus interest-cache flush atomic with respect to scorers.
+// Staleness then returns to zero (minus any edges that arrived during
+// the build). Queries observe bounded staleness, never a torn index.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"microlink/internal/core"
+	"microlink/internal/kb"
+	"microlink/internal/obs"
+	"microlink/internal/reach"
+	"microlink/internal/tweets"
+)
+
+// Kind discriminates firehose events.
+type Kind uint8
+
+const (
+	// KindTweet is a newly posted tweet (Event.Tweet, optionally
+	// pre-linked via Event.Links).
+	KindTweet Kind = iota
+	// KindFollow is a new follow edge Event.U → Event.V.
+	KindFollow
+	// KindFeedback is an explicit (tweet, links) correction applied to
+	// the comprehensive KB.
+	KindFeedback
+)
+
+// String names the kind as used by the events_total metric label.
+func (k Kind) String() string {
+	switch k {
+	case KindTweet:
+		return "tweet"
+	case KindFollow:
+		return "follow"
+	case KindFeedback:
+		return "feedback"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one firehose item. Use the constructors; zero fields that a
+// kind does not consume are ignored.
+type Event struct {
+	Kind  Kind
+	Tweet *tweets.Tweet // KindTweet, KindFeedback
+	Links []kb.EntityID // KindFeedback; for KindTweet nil means "link on apply"
+	U, V  kb.UserID     // KindFollow: U starts following V
+}
+
+// TweetEvent wraps a posted tweet. links may be nil, in which case the
+// applier resolves them with Linker.LinkTweet before feeding back.
+func TweetEvent(tw *tweets.Tweet, links []kb.EntityID) Event {
+	return Event{Kind: KindTweet, Tweet: tw, Links: links}
+}
+
+// FollowEvent wraps a new follow edge u → v.
+func FollowEvent(u, v kb.UserID) Event {
+	return Event{Kind: KindFollow, U: u, V: v}
+}
+
+// FeedbackEvent wraps an explicit linking correction.
+func FeedbackEvent(tw *tweets.Tweet, links []kb.EntityID) Event {
+	return Event{Kind: KindFeedback, Tweet: tw, Links: links}
+}
+
+// Source yields firehose events. Next blocks until an event is ready,
+// the stream ends (io.EOF), or ctx is cancelled. Pipeline.Run drains a
+// Source into the pipeline under the configured backpressure policy.
+type Source interface {
+	Next(ctx context.Context) (Event, error)
+}
+
+// Config tunes a Pipeline. The zero value selects all defaults.
+type Config struct {
+	// Queue is the bounded intake capacity. ≤ 0 selects DefaultQueue.
+	Queue int
+	// MaxBatch bounds how many pending events one applier round
+	// coalesces. ≤ 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// BlockOnFull selects the backpressure policy used by Run: true
+	// blocks the source (Submit), false sheds load at intake (Offer,
+	// counted in microlink_ingest_dropped_total). Direct Offer/Submit
+	// callers choose per call.
+	BlockOnFull bool
+	// RebuildAfterEdges triggers a background arena rebuild once that
+	// many follow edges have been applied beyond the frozen snapshot.
+	// 0 selects DefaultRebuildAfterEdges; < 0 disables the threshold.
+	RebuildAfterEdges int
+	// RebuildInterval additionally rebuilds on a timer when staleness
+	// is non-zero. 0 disables the timer.
+	RebuildInterval time.Duration
+	// NoFeedback stops applied tweets from feeding their links back
+	// into the comprehensive KB (explicit KindFeedback events still
+	// apply).
+	NoFeedback bool
+}
+
+// Pipeline defaults.
+const (
+	DefaultQueue             = 1024
+	DefaultMaxBatch          = 64
+	DefaultRebuildAfterEdges = 512
+)
+
+// Deps wires a Pipeline into a serving stack. Linker and Stream are
+// required; Live defaults to a fresh store and Metrics may be nil (all
+// instruments become no-ops).
+type Deps struct {
+	Linker  *core.Linker
+	Stream  *reach.Streaming
+	Live    *tweets.LiveStore
+	Metrics *obs.Registry
+}
+
+// ErrClosed is returned by Submit and Close after the pipeline has been
+// closed.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// errDeps reports a New call missing a required dependency.
+var errDeps = errors.New("ingest: Deps.Linker and Deps.Stream are required")
+
+// Stats is a point-in-time snapshot of pipeline progress.
+type Stats struct {
+	AppliedTweets   int64 // tweets appended to the live corpus
+	AppliedFollows  int64 // follow events applied (including duplicates)
+	AppliedFeedback int64 // explicit feedback events applied
+	InsertedEdges   int64 // follow edges that were new to the live graph
+	Dropped         int64 // events shed at intake (Offer on a full queue)
+	Rebuilds        int64 // background arena rebuilds completed
+	Swaps           int64 // arenas installed by copy-on-swap (normally equal to Rebuilds)
+	QueueDepth      int   // events currently buffered
+	Staleness       int64 // edges applied but not yet in the frozen arena
+}

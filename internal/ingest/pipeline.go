@@ -1,0 +1,305 @@
+package ingest
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"microlink/internal/graph"
+	"microlink/internal/obs"
+	"microlink/internal/tweets"
+)
+
+// Pipeline is the staged firehose conduit described in the package
+// comment. Construct with New; events enter via Offer/Submit/Run and are
+// applied by a single background goroutine, so all mutation paths see a
+// serialised event order. Close drains and stops both background
+// goroutines.
+//
+// Locking. sendMu protects the intake channel against send-on-closed
+// races: every sender holds the read side for the duration of its send,
+// and Close flips closed and closes the channel under the write side, so
+// no send can be in flight when the channel closes. rebuildMu serialises
+// rebuilds (threshold kick, timer and ForceRebuild can race) and sits
+// above every lock a rebuild takes: the streaming substrate's snapshot
+// lock, the builder pool, and the linker's write lock for the install.
+//
+// microlint:lock-order ingest-rebuild < linker
+// microlint:lock-order ingest-rebuild < reach-stream
+// microlint:lock-order ingest-rebuild < reach-build
+type Pipeline struct {
+	deps Deps
+	cfg  Config
+
+	in chan Event
+
+	sendMu sync.RWMutex // microlint:lock-order ingest-send
+	closed bool         // microlint:guarded-by sendMu
+
+	rebuildMu   sync.Mutex // microlint:lock-order ingest-rebuild
+	kick        chan struct{}
+	stop        chan struct{}
+	done        chan struct{}
+	rebuildDone chan struct{}
+
+	appliedTweets   atomic.Int64
+	appliedFollows  atomic.Int64
+	appliedFeedback atomic.Int64
+	insertedEdges   atomic.Int64
+	dropped         atomic.Int64
+	rebuilds        atomic.Int64
+
+	met metrics
+}
+
+// New validates deps, fills cfg defaults, and starts the applier and
+// rebuild-manager goroutines. The pipeline runs until Close.
+func New(deps Deps, cfg Config) (*Pipeline, error) {
+	if deps.Linker == nil || deps.Stream == nil {
+		return nil, errDeps
+	}
+	if deps.Live == nil {
+		deps.Live = tweets.NewLiveStore()
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.RebuildAfterEdges == 0 {
+		cfg.RebuildAfterEdges = DefaultRebuildAfterEdges
+	}
+	p := &Pipeline{
+		deps:        deps,
+		cfg:         cfg,
+		in:          make(chan Event, cfg.Queue),
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		rebuildDone: make(chan struct{}),
+		met:         newMetrics(deps.Metrics),
+	}
+	go p.applier()
+	go p.rebuildLoop()
+	return p, nil
+}
+
+// Offer enqueues ev without blocking, reporting whether it was accepted.
+// A full queue sheds the event and bumps microlink_ingest_dropped_total;
+// a closed pipeline reports false without counting a drop.
+func (p *Pipeline) Offer(ev Event) bool {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.in <- ev:
+		return true
+	default:
+		p.dropped.Add(1)
+		p.met.dropped.Inc()
+		return false
+	}
+}
+
+// Submit enqueues ev, blocking until the queue has room, the pipeline
+// closes, or ctx is cancelled.
+func (p *Pipeline) Submit(ctx context.Context, ev Event) error {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.in <- ev:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run drains src into the pipeline under the configured backpressure
+// policy until the source ends (io.EOF, returned as nil), errors, or ctx
+// is cancelled. With BlockOnFull unset, events that find the queue full
+// are shed (counted) and Run keeps going.
+func (p *Pipeline) Run(ctx context.Context, src Source) error {
+	for {
+		ev, err := src.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if p.cfg.BlockOnFull {
+			if err := p.Submit(ctx, ev); err != nil {
+				return err
+			}
+		} else {
+			p.Offer(ev)
+		}
+	}
+}
+
+// Close stops intake, waits for the applier to drain every buffered
+// event, then stops the rebuild manager. ctx bounds the wait; on
+// cancellation the background goroutines are left to finish on their
+// own. Close is not idempotent: a second call returns ErrClosed.
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.sendMu.Lock()
+	if p.closed {
+		p.sendMu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	close(p.in)
+	p.sendMu.Unlock()
+
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	close(p.stop)
+	select {
+	case <-p.rebuildDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Stats snapshots pipeline progress.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		AppliedTweets:   p.appliedTweets.Load(),
+		AppliedFollows:  p.appliedFollows.Load(),
+		AppliedFeedback: p.appliedFeedback.Load(),
+		InsertedEdges:   p.insertedEdges.Load(),
+		Dropped:         p.dropped.Load(),
+		Rebuilds:        p.rebuilds.Load(),
+		Swaps:           p.deps.Stream.Swaps(),
+		QueueDepth:      len(p.in),
+		Staleness:       p.deps.Stream.Staleness(),
+	}
+}
+
+// applier is the single consumer goroutine: it drains the intake
+// channel, coalescing up to MaxBatch already-pending events per round so
+// a burst of follow edges costs one closure lock instead of one each,
+// and applies the batch. It exits when Close closes the channel, after
+// applying everything buffered before the close.
+func (p *Pipeline) applier() {
+	defer close(p.done)
+	batch := make([]Event, 0, p.cfg.MaxBatch)
+	for {
+		ev, ok := <-p.in
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], ev)
+	coalesce:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case ev, ok := <-p.in:
+				if !ok {
+					p.apply(batch)
+					p.met.queueDepth.Set(0)
+					return
+				}
+				batch = append(batch, ev)
+			default:
+				break coalesce
+			}
+		}
+		p.apply(batch)
+		p.met.queueDepth.Set(float64(len(p.in)))
+	}
+}
+
+// apply routes one coalesced batch into the mutation paths. Tweets and
+// feedback apply in arrival order; follow edges accumulate across the
+// batch and land in one InsertEdges call at the end — reordering them
+// past tweets is unobservable because scoring reads only the frozen
+// arena, which no per-edge insert touches.
+func (p *Pipeline) apply(batch []Event) {
+	var pairs [][2]graph.NodeID
+	for i := range batch {
+		ev := &batch[i]
+		switch ev.Kind {
+		case KindTweet:
+			p.deps.Live.Append(*ev.Tweet)
+			links := ev.Links
+			if links == nil {
+				links = p.deps.Linker.LinkTweet(ev.Tweet)
+			}
+			if !p.cfg.NoFeedback {
+				p.deps.Linker.Feedback(ev.Tweet, links)
+			}
+			p.appliedTweets.Add(1)
+			p.met.evTweet.Inc()
+		case KindFollow:
+			pairs = append(pairs, [2]graph.NodeID{ev.U, ev.V})
+		case KindFeedback:
+			p.deps.Linker.Feedback(ev.Tweet, ev.Links)
+			p.appliedFeedback.Add(1)
+			p.met.evFeedback.Inc()
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	n := p.deps.Stream.InsertEdges(pairs)
+	p.insertedEdges.Add(int64(n))
+	p.appliedFollows.Add(int64(len(pairs)))
+	p.met.evFollow.Add(uint64(len(pairs)))
+	st := p.deps.Stream.Staleness()
+	p.met.staleness.Set(float64(st))
+	if p.cfg.RebuildAfterEdges > 0 && st >= int64(p.cfg.RebuildAfterEdges) {
+		select {
+		case p.kick <- struct{}{}:
+		default: // a rebuild is already pending
+		}
+	}
+}
+
+// metrics are the pipeline's instruments (satellite of DESIGN.md §7).
+// All fields stay nil — and every update a no-op — when Deps.Metrics is
+// nil. The per-kind counters are resolved once here so the applier's hot
+// path never touches the registry.
+type metrics struct {
+	queueDepth     *obs.Gauge
+	evTweet        *obs.Counter
+	evFollow       *obs.Counter
+	evFeedback     *obs.Counter
+	dropped        *obs.Counter
+	rebuilds       *obs.Counter
+	rebuildSeconds *obs.Histogram
+	staleness      *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	if reg == nil {
+		return metrics{}
+	}
+	ev := reg.CounterVec("microlink_ingest_events_total",
+		"Firehose events applied, by kind.", "kind")
+	return metrics{
+		queueDepth: reg.Gauge("microlink_ingest_queue_depth",
+			"Events buffered in the ingest intake queue."),
+		evTweet:    ev.With(KindTweet.String()),
+		evFollow:   ev.With(KindFollow.String()),
+		evFeedback: ev.With(KindFeedback.String()),
+		dropped: reg.Counter("microlink_ingest_dropped_total",
+			"Events shed at intake because the queue was full."),
+		rebuilds: reg.Counter("microlink_ingest_rebuilds_total",
+			"Background arena rebuilds completed."),
+		rebuildSeconds: reg.Histogram("microlink_ingest_rebuild_seconds",
+			"Duration of copy-on-swap 2-hop arena rebuilds.", nil),
+		staleness: reg.Gauge("microlink_ingest_staleness_events",
+			"Follow edges applied to the live closure but not yet reflected in the frozen arena."),
+	}
+}

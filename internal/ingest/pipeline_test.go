@@ -1,0 +1,284 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"microlink/internal/candidate"
+	"microlink/internal/core"
+	"microlink/internal/graph"
+	"microlink/internal/influence"
+	"microlink/internal/kb"
+	"microlink/internal/obs"
+	"microlink/internal/reach"
+	"microlink/internal/recency"
+	"microlink/internal/tweets"
+)
+
+// fixture is a miniature serving stack: 32 users on a ring-with-chords
+// graph behind a streaming reach substrate, 8 entities behind 4
+// ambiguous surfaces.
+type fixture struct {
+	stream *reach.Streaming
+	linker *core.Linker
+	live   *tweets.LiveStore
+	reg    *obs.Registry
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	const users, entities = 32, 8
+	b := kb.NewBuilder()
+	for e := 0; e < entities; e++ {
+		b.AddEntity(kb.Entity{Name: fmt.Sprintf("entity-%d", e)})
+		b.AddSurface(fmt.Sprintf("s%d", e/2), kb.EntityID(e))
+	}
+	k := b.Build()
+	ckb := kb.Complement(k)
+	id := int64(0)
+	for e := 0; e < entities; e++ {
+		for i := 0; i < 6; i++ {
+			id++
+			ckb.Link(kb.EntityID(e), kb.Posting{
+				Tweet: id, User: kb.UserID((e*5 + i*3) % users), Time: int64(40 + i),
+			})
+		}
+	}
+	gb := graph.NewBuilder(users)
+	for u := 0; u < users; u++ {
+		gb.AddEdge(kb.UserID(u), kb.UserID((u+1)%users))
+		gb.AddEdge(kb.UserID(u), kb.UserID((u+7)%users))
+	}
+	st := reach.NewStreaming(gb.Build(), reach.TwoHopOptions{MaxHops: 3})
+	inf := influence.New(ckb, influence.Entropy)
+	rec := recency.NewScorer(ckb, nil, recency.Options{Tau: 100, Theta1: 3, NoPropagation: true})
+	return &fixture{
+		stream: st,
+		linker: core.New(ckb, candidate.NewIndex(k, candidate.Options{}), st, inf, rec, core.Config{}),
+		live:   tweets.NewLiveStore(),
+		reg:    obs.NewRegistry(),
+	}
+}
+
+func (f *fixture) pipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	p, err := New(Deps{Linker: f.linker, Stream: f.stream, Live: f.live, Metrics: f.reg}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func closePipeline(t *testing.T, p *Pipeline) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func streamTweet(id int64, user kb.UserID) *tweets.Tweet {
+	return &tweets.Tweet{
+		ID: id, User: user, Time: 1000 + id, Text: "s0 chatter",
+		Mentions: []tweets.Mention{{Surface: "s0", Truth: kb.NoEntity}},
+	}
+}
+
+func TestNewRejectsMissingDeps(t *testing.T) {
+	if _, err := New(Deps{}, Config{}); err == nil {
+		t.Fatal("New accepted empty deps")
+	}
+}
+
+// TestPipelineAppliesEvents pushes one event of each kind through the
+// pipeline and checks each mutation path fired: the live corpus grew,
+// the live closure absorbed the edge, the feedback landed in the KB, and
+// staleness reflects the unrebuilt edge until a forced swap clears it.
+func TestPipelineAppliesEvents(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{})
+	ctx := context.Background()
+
+	if err := p.Submit(ctx, TweetEvent(streamTweet(1, 3), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(ctx, FollowEvent(2, 19)); err != nil {
+		t.Fatal(err)
+	}
+	fbTweet := streamTweet(2, 4)
+	if err := p.Submit(ctx, FeedbackEvent(fbTweet, []kb.EntityID{1})); err != nil {
+		t.Fatal(err)
+	}
+	closePipeline(t, p)
+
+	st := p.Stats()
+	if st.AppliedTweets != 1 || st.AppliedFollows != 1 || st.AppliedFeedback != 1 {
+		t.Fatalf("applied = %+v, want 1/1/1", st)
+	}
+	if f.live.Len() != 1 {
+		t.Errorf("live store len = %d, want 1", f.live.Len())
+	}
+	// (2, 19) is not a ring/chord edge, so it must have been new.
+	if st.InsertedEdges != 1 {
+		t.Errorf("inserted edges = %d, want 1", st.InsertedEdges)
+	}
+	if st.Staleness != 1 {
+		t.Errorf("staleness = %d, want 1 before rebuild", st.Staleness)
+	}
+
+	p.ForceRebuild()
+	st = p.Stats()
+	if st.Staleness != 0 {
+		t.Errorf("staleness = %d after forced rebuild, want 0", st.Staleness)
+	}
+	if st.Rebuilds != 1 || st.Swaps != 1 {
+		t.Errorf("rebuilds/swaps = %d/%d, want 1/1", st.Rebuilds, st.Swaps)
+	}
+	// The swapped-in arena serves the new edge: 2 → 19 at distance 1.
+	if r := f.stream.R(2, 19); r != 1 {
+		t.Errorf("R(2,19) = %v after swap, want 1", r)
+	}
+}
+
+// TestRebuildThreshold checks the applier kicks the rebuild manager once
+// enough edges accumulate, without any manual ForceRebuild.
+func TestRebuildThreshold(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{RebuildAfterEdges: 4})
+	ctx := context.Background()
+
+	for i := 0; i < 8; i++ {
+		// Long chords, none in the seed graph.
+		if err := p.Submit(ctx, FollowEvent(kb.UserID(i), kb.UserID((i+13)%32))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Swaps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold rebuild never fired: %+v", p.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	closePipeline(t, p)
+}
+
+// TestRebuildInterval checks the timer path: staleness left behind by a
+// too-high edge threshold is cleared by the periodic rebuild.
+func TestRebuildInterval(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{RebuildAfterEdges: -1, RebuildInterval: 10 * time.Millisecond})
+	ctx := context.Background()
+	if err := p.Submit(ctx, FollowEvent(5, 20)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Swaps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval rebuild never fired: %+v", p.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	closePipeline(t, p)
+}
+
+// TestCloseDrainsAndRejects: everything buffered before Close applies;
+// intake afterwards is refused on both paths; double Close errors.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{Queue: 256, MaxBatch: 8})
+	ctx := context.Background()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := p.Submit(ctx, TweetEvent(streamTweet(int64(i+1), kb.UserID(i%32)), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closePipeline(t, p)
+
+	if got := p.Stats().AppliedTweets; got != n {
+		t.Fatalf("applied %d of %d buffered tweets after Close", got, n)
+	}
+	if p.Offer(FollowEvent(1, 2)) {
+		t.Error("Offer accepted after Close")
+	}
+	if err := p.Submit(ctx, FollowEvent(1, 2)); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := p.Close(cctx); err != ErrClosed {
+		t.Errorf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestOfferShedsWhenSaturated hammers a one-slot queue; the producer far
+// outruns the applier (which repairs the dynamic closure per batch), so
+// some offers must shed — and every shed must be counted.
+func TestOfferShedsWhenSaturated(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{Queue: 1, MaxBatch: 1})
+
+	accepted, shed := 0, 0
+	for i := 0; i < 5000; i++ {
+		if p.Offer(FollowEvent(kb.UserID(i%32), kb.UserID((i+11)%32))) {
+			accepted++
+		} else {
+			shed++
+		}
+	}
+	closePipeline(t, p)
+	st := p.Stats()
+	if shed == 0 {
+		t.Skip("applier kept up with 5000 offers on a 1-slot queue; shed path covered elsewhere")
+	}
+	if st.Dropped != int64(shed) {
+		t.Errorf("dropped counter = %d, want %d", st.Dropped, shed)
+	}
+	if st.AppliedFollows != int64(accepted) {
+		t.Errorf("applied follows = %d, want %d accepted", st.AppliedFollows, accepted)
+	}
+}
+
+// TestMetricsRegistered checks the satellite metric names all exist in
+// the registry after a burst of traffic.
+func TestMetricsRegistered(t *testing.T) {
+	f := newFixture(t)
+	p := f.pipeline(t, Config{})
+	ctx := context.Background()
+	if err := p.Submit(ctx, FollowEvent(1, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(ctx, TweetEvent(streamTweet(1, 2), nil)); err != nil {
+		t.Fatal(err)
+	}
+	closePipeline(t, p)
+	p.ForceRebuild()
+
+	for _, name := range []string{
+		"microlink_ingest_queue_depth",
+		"microlink_ingest_events_total",
+		"microlink_ingest_dropped_total",
+		"microlink_ingest_rebuild_seconds",
+		"microlink_ingest_staleness_events",
+		"microlink_ingest_rebuilds_total",
+	} {
+		if !registryHas(f.reg, name) {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+}
+
+func registryHas(reg *obs.Registry, name string) bool {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return false
+	}
+	return strings.Contains(buf.String(), name)
+}

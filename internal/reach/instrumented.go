@@ -46,6 +46,8 @@ func KindName(idx Index) string {
 		return "naive"
 	case *DynamicClosure:
 		return "dynamic"
+	case *Streaming:
+		return "streaming"
 	case *Instrumented:
 		return KindName(idx.(*Instrumented).inner)
 	default:

@@ -1,0 +1,167 @@
+package reach
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"microlink/internal/graph"
+)
+
+// Streaming is the reachability substrate of the ingest pipeline: a frozen
+// 2-hop cover (Algorithm 2) serving queries lock-free behind an atomic
+// pointer, paired with a DynamicClosure absorbing follow-edge insertions
+// online as the authoritative live state. The two are reconciled by
+// copy-on-swap: a rebuild snapshots the closure's adjacency, runs the
+// parallel 2-hop builder off the hot path, and Install publishes the new
+// arena with two atomic stores — queries never block on maintenance, and
+// the gap between the live graph and the frozen arena is the bounded,
+// observable staleness the ingest pipeline reports.
+//
+// Concurrency contract. Query/R/BuildStats read only the frozen arena
+// (atomic load, no lock). The mutable half — the dynamic closure and the
+// applied-edge counter — sits behind mu; InsertEdge/InsertEdges take the
+// write side, SnapshotGraph/Staleness the read side. Install performs no
+// locking at all: callers run it under the linker's write lock (via
+// Linker.UpdateReachability) so the arena swap and the interest-cache
+// flush are atomic with respect to scorers, which read the frozen arena
+// inside the linker's read-locked sections and therefore never observe a
+// torn index.
+type Streaming struct {
+	opts TwoHopOptions
+
+	// frozen is the immutable 2-hop arena serving queries; frozenAt is the
+	// applied-edge count it was built from; swaps counts installs.
+	frozen   atomic.Pointer[TwoHop]
+	frozenAt atomic.Int64
+	swaps    atomic.Int64
+
+	// mu guards the live (mutable) state. It nests inside nothing: edge
+	// application and snapshotting acquire it alone, and the rebuild
+	// manager holds its own mutex (ingest-rebuild) strictly above it.
+	mu      sync.RWMutex    // microlint:lock-order reach-stream
+	dc      *DynamicClosure // microlint:guarded-by mu
+	applied int64           // microlint:guarded-by mu
+}
+
+// NewStreaming builds the initial frozen cover and the live closure over
+// g. opts selects the hop bound and the rebuild parallelism; the same
+// options are reused by every subsequent Rebuild so successive arenas are
+// built identically (and therefore bit-for-bit deterministically for a
+// fixed batch size).
+func NewStreaming(g *graph.Graph, opts TwoHopOptions) *Streaming {
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = DefaultMaxHops
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultTwoHopBatch
+	}
+	st := &Streaming{
+		opts: opts,
+		dc:   NewDynamicClosure(g, opts.MaxHops),
+	}
+	st.frozen.Store(BuildTwoHop(g, opts))
+	return st
+}
+
+// Frozen returns the currently serving 2-hop arena.
+func (st *Streaming) Frozen() *TwoHop { return st.frozen.Load() }
+
+// InsertEdge applies one follow edge u → v to the live closure, reporting
+// whether it was new. The frozen arena is untouched: staleness grows by
+// one per inserted edge until the next Install.
+func (st *Streaming) InsertEdge(u, v graph.NodeID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.dc.InsertEdge(u, v) {
+		return false
+	}
+	st.applied++
+	return true
+}
+
+// InsertEdges applies a batch of follow edges under one lock acquisition —
+// the payoff of the ingest pipeline's batch coalescing — and returns the
+// number of edges that were new.
+func (st *Streaming) InsertEdges(pairs [][2]graph.NodeID) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, p := range pairs {
+		if st.dc.InsertEdge(p[0], p[1]) {
+			n++
+		}
+	}
+	st.applied += int64(n)
+	return n
+}
+
+// SnapshotGraph freezes the live adjacency into an immutable Graph and
+// returns it with the applied-edge count it reflects. The pair is what a
+// rebuild needs: build the arena from the graph, install it stamped with
+// the count.
+func (st *Streaming) SnapshotGraph() (*graph.Graph, int64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.dc.Snapshot(), st.applied
+}
+
+// Rebuild constructs a fresh 2-hop arena from the current live graph,
+// off any lock: the snapshot holds the read side only for the adjacency
+// copy, and the (expensive) parallel build runs on a private graph.
+// The result is not installed — callers publish it via Install under the
+// linker's write lock so the swap excludes concurrent scorers.
+func (st *Streaming) Rebuild() (*TwoHop, int64) {
+	g, at := st.SnapshotGraph()
+	return BuildTwoHop(g, st.opts), at
+}
+
+// Install publishes a rebuilt arena as the serving index. It performs
+// atomic stores only — no locks — because callers are expected to run it
+// inside Linker.UpdateReachability, whose write lock already excludes
+// every scorer and whose cache flush makes the swap observable
+// atomically.
+func (st *Streaming) Install(th *TwoHop, atEdges int64) {
+	st.frozen.Store(th)
+	st.frozenAt.Store(atEdges)
+	st.swaps.Add(1)
+}
+
+// Staleness returns the number of follow edges applied to the live
+// closure but not yet reflected in the frozen arena — the pipeline's
+// microlink_ingest_staleness_events gauge. Zero means the serving index
+// is exactly the live graph.
+func (st *Streaming) Staleness() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.applied - st.frozenAt.Load()
+}
+
+// Applied returns the total number of edges inserted since construction.
+func (st *Streaming) Applied() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.applied
+}
+
+// Swaps returns how many arenas have been installed since construction.
+func (st *Streaming) Swaps() int64 { return st.swaps.Load() }
+
+// Query implements Index against the frozen arena (lock-free).
+func (st *Streaming) Query(u, v graph.NodeID) (Result, bool) {
+	return st.frozen.Load().Query(u, v)
+}
+
+// R implements Index against the frozen arena (lock-free).
+func (st *Streaming) R(u, v graph.NodeID) float64 {
+	return st.frozen.Load().R(u, v)
+}
+
+// SizeBytes implements Index: the frozen arena plus the live closure.
+func (st *Streaming) SizeBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.frozen.Load().SizeBytes() + st.dc.SizeBytes()
+}
+
+// BuildStats implements Index, reporting the frozen arena's stats.
+func (st *Streaming) BuildStats() BuildStats { return st.frozen.Load().BuildStats() }

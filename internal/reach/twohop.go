@@ -101,6 +101,16 @@ type TwoHopBuildInfo struct {
 	MergeWait time.Duration // barrier wait + rank-ordered delta merge time
 	FolRefs   int64         // followee ids referenced by labels (pre-intern)
 	FolPool   int64         // followee ids stored after interning
+
+	// Per-stage wall-clock split of the build (BFS + Merge + Freeze ≈
+	// BuildStats().BuildTime): BFSTime covers the pruned hub BFS rounds
+	// including the batch barrier, MergeTime the rank-ordered delta
+	// merges, FreezeTime the conversion into the flat CSR arenas. The
+	// split keeps the merge-barrier bottleneck visible in
+	// `linkbench index` / BENCH_reach.json.
+	BFSTime    time.Duration
+	MergeTime  time.Duration
+	FreezeTime time.Duration
 }
 
 // BuildInfo returns construction metadata for the last build. A cover

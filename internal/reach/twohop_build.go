@@ -97,16 +97,29 @@ func BuildTwoHop(g *graph.Graph, opts TwoHopOptions) *TwoHop {
 	}
 	start := time.Now()
 	w := newThWork(g, h, opts.RandomOrder)
-	mergeWait := w.buildLabels(workers, batch)
+	tm := w.buildLabels(workers, batch)
+	freezeStart := time.Now()
 	th := w.freeze()
+	tm.freeze = time.Since(freezeStart)
 	th.stats = BuildStats{
 		BuildTime: time.Since(start),
 		Entries:   int64(len(th.outLab)) + int64(len(th.inLab)),
 	}
 	th.info.Workers = workers
 	th.info.BatchSize = batch
-	th.info.MergeWait = mergeWait
+	th.info.MergeWait = tm.barrier + tm.merge
+	th.info.BFSTime = tm.bfs
+	th.info.MergeTime = tm.merge
+	th.info.FreezeTime = tm.freeze
 	return th
+}
+
+// thBuildTimings is the per-stage wall-clock split buildLabels and freeze
+// accumulate: bfs covers the hub BFS rounds (barrier wait included),
+// barrier only the post-spawn wait on stragglers, merge the rank-ordered
+// delta merges, freeze the arena conversion.
+type thBuildTimings struct {
+	bfs, barrier, merge, freeze time.Duration
 }
 
 // thDelta buffers one hub's label additions until the batch barrier.
@@ -413,19 +426,20 @@ func (p *thBuildPool) release(b *thBuilder) {
 
 // buildLabels processes the ranked hubs in batches of batchSize, fanning
 // each batch across up to workers goroutines. Returns the accumulated
-// barrier-wait plus merge time (the parallel overhead the
-// microlink_reach_twohop_build_merge_wait_seconds gauge reports).
-func (w *thWork) buildLabels(workers, batchSize int) time.Duration {
+// per-stage timings; barrier+merge is the parallel overhead the
+// microlink_reach_twohop_build_merge_wait_seconds gauge reports.
+func (w *thWork) buildLabels(workers, batchSize int) thBuildTimings {
 	n := len(w.order)
 	pool := &thBuildPool{w: w}
 	deltas := make([]thDelta, batchSize)
-	var mergeWait time.Duration
+	var tm thBuildTimings
 	for lo := 0; lo < n; lo += batchSize {
 		m := min(batchSize, n-lo)
 		ds := deltas[:m]
 		for i := range ds {
 			ds[i].reset()
 		}
+		bfsStart := time.Now()
 		if nw := min(workers, m); nw <= 1 {
 			b := pool.acquire()
 			for i := 0; i < m; i++ {
@@ -455,8 +469,9 @@ func (w *thWork) buildLabels(workers, batchSize int) time.Duration {
 			}
 			barrier := time.Now()
 			wg.Wait()
-			mergeWait += time.Since(barrier)
+			tm.barrier += time.Since(barrier)
 		}
+		tm.bfs += time.Since(bfsStart)
 		mergeStart := time.Now()
 		for i := range ds {
 			d := &ds[i]
@@ -467,9 +482,9 @@ func (w *thWork) buildLabels(workers, batchSize int) time.Duration {
 				w.in[t] = append(w.in[t], d.inLabs[j])
 			}
 		}
-		mergeWait += time.Since(mergeStart)
+		tm.merge += time.Since(mergeStart)
 	}
-	return mergeWait
+	return tm
 }
 
 // maxInternedFol bounds the followee-set length the freeze-time interning

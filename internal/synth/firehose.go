@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// StreamParams tunes GenerateStream. The zero value selects all
+// defaults.
+type StreamParams struct {
+	// Seed makes the stream deterministic independently of the world's
+	// seed, so the same world can be driven by different streams.
+	Seed int64
+	// Events is the total number of stream events. ≤ 0 selects 5000.
+	Events int
+	// FollowFraction is the fraction of events that are follow-edge
+	// insertions (the rest are tweets). ≤ 0 selects 0.2; values ≥ 1 are
+	// clamped to 0.9 so the stream always carries some tweets.
+	FollowFraction float64
+	// Hours is the stream's span past the world horizon. ≤ 0 selects 1.
+	Hours int
+}
+
+// StreamID is the tweet-ID base of generated stream tweets, far above
+// any corpus tweet ID so streamed tweets never collide with the frozen
+// store.
+const StreamID int64 = 1 << 40
+
+// StreamEvent is one firehose item: a posted tweet (Tweet != nil) or a
+// new follow edge U → V (Tweet == nil). Events are time-sorted.
+type StreamEvent struct {
+	Time  int64
+	Tweet *tweets.Tweet
+	U, V  kb.UserID
+}
+
+// GenerateStream derives a synthetic firehose from a generated world: a
+// time-sorted mix of tweets (authored on-profile, with ambiguous surface
+// forms at the world's ambiguity rate) and follow-edge churn (biased
+// toward each topic's broadcasters, mirroring the static generator's
+// attachment rule). The stream covers (Horizon, Horizon+Hours·3600] and
+// is bursty: a third of the tweets land inside three ten-minute hot
+// windows, standing in for the event-driven spikes a real firehose
+// carries. Deterministic in (d, p).
+func GenerateStream(d *Dataset, p StreamParams) []StreamEvent {
+	if p.Events <= 0 {
+		p.Events = 5000
+	}
+	if p.FollowFraction <= 0 {
+		p.FollowFraction = 0.2
+	}
+	if p.FollowFraction >= 1 {
+		p.FollowFraction = 0.9
+	}
+	if p.Hours <= 0 {
+		p.Hours = 1
+	}
+	r := rand.New(rand.NewSource(p.Seed ^ 0x5ee0f1e5))
+	users := d.Params.Users
+	span := int64(p.Hours) * 3600
+	start := d.Horizon()
+
+	// Per-topic entity lists, derived from the stored topic map.
+	entityOfTopic := make([][]kb.EntityID, d.Params.Topics)
+	for e, t := range d.EntityTopic {
+		entityOfTopic[t] = append(entityOfTopic[t], kb.EntityID(e))
+	}
+
+	// Three hot windows of ten minutes each, non-overlapping thirds.
+	burst := make([]int64, 3)
+	for i := range burst {
+		third := span / 3
+		burst[i] = start + int64(i)*third + r.Int63n(max(third-600, 1))
+	}
+	tweetTime := func() int64 {
+		if r.Float64() < 1.0/3 {
+			w := burst[r.Intn(len(burst))]
+			return w + r.Int63n(600)
+		}
+		return start + 1 + r.Int63n(span)
+	}
+
+	out := make([]StreamEvent, 0, p.Events)
+	for i := 0; i < p.Events; i++ {
+		if r.Float64() < p.FollowFraction {
+			// Follow churn: preferential attachment toward the follower's
+			// topic broadcasters, like the static graph generator.
+			u := r.Intn(users)
+			t := d.UserTopic[u]
+			var v kb.UserID
+			if len(d.Broadcasters[t]) > 0 && r.Float64() < 0.6 {
+				v = d.Broadcasters[t][r.Intn(len(d.Broadcasters[t]))]
+			} else {
+				v = kb.UserID(r.Intn(users))
+			}
+			if v == kb.UserID(u) {
+				v = kb.UserID((u + 1) % users)
+			}
+			out = append(out, StreamEvent{
+				Time: start + 1 + r.Int63n(span),
+				U:    kb.UserID(u), V: v,
+			})
+			continue
+		}
+		u := r.Intn(users)
+		ents := entityOfTopic[d.UserTopic[u]]
+		e := ents[r.Intn(len(ents))]
+		surf := d.SurfacesOf[e][0]
+		if len(d.SurfacesOf[e]) > 1 && r.Float64() < d.Params.MentionAmbig {
+			surf = d.SurfacesOf[e][1+r.Intn(len(d.SurfacesOf[e])-1)]
+		}
+		tw := &tweets.Tweet{
+			User: kb.UserID(u),
+			Time: tweetTime(),
+			Text: "streamed take on " + surf,
+			Mentions: []tweets.Mention{
+				{Surface: surf, Truth: e, Kind: tweets.KindProfile},
+			},
+		}
+		out = append(out, StreamEvent{Time: tw.Time, Tweet: tw})
+	}
+
+	// Time-sort (stable on the generation sequence for equal stamps),
+	// then stamp tweet IDs in stream order so IDs grow with time.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	id := StreamID
+	for i := range out {
+		if out[i].Tweet != nil {
+			out[i].Tweet.ID = id
+			id++
+		}
+	}
+	return out
+}

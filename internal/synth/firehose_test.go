@@ -1,0 +1,70 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func streamWorld() *Dataset {
+	return Generate(Params{Seed: 11, Users: 200, Topics: 4, EntitiesPerTopic: 8, Days: 10})
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	d := streamWorld()
+	a := GenerateStream(d, StreamParams{Seed: 3, Events: 400})
+	b := GenerateStream(d, StreamParams{Seed: 3, Events: 400})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical (world, params) produced different streams")
+	}
+	c := GenerateStream(d, StreamParams{Seed: 4, Events: 400})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different stream seeds produced identical streams")
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	d := streamWorld()
+	evs := GenerateStream(d, StreamParams{Seed: 3, Events: 1000, FollowFraction: 0.3, Hours: 2})
+	if len(evs) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(evs))
+	}
+	horizon := d.Horizon()
+	tweetsN, follows := 0, 0
+	lastTime := int64(0)
+	lastID := int64(0)
+	for i, ev := range evs {
+		if ev.Time <= horizon || ev.Time > horizon+2*3600 {
+			t.Fatalf("event %d time %d outside (horizon, horizon+2h]", i, ev.Time)
+		}
+		if ev.Time < lastTime {
+			t.Fatalf("event %d out of time order", i)
+		}
+		lastTime = ev.Time
+		if ev.Tweet == nil {
+			follows++
+			if int(ev.U) >= d.Params.Users || int(ev.V) >= d.Params.Users || ev.U == ev.V {
+				t.Fatalf("event %d: bad follow edge %d → %d", i, ev.U, ev.V)
+			}
+			continue
+		}
+		tweetsN++
+		tw := ev.Tweet
+		if tw.ID < StreamID || tw.ID <= lastID {
+			t.Fatalf("event %d: tweet ID %d not increasing from stream base", i, tw.ID)
+		}
+		lastID = tw.ID
+		if tw.Time != ev.Time {
+			t.Fatalf("event %d: tweet time %d != event time %d", i, tw.Time, ev.Time)
+		}
+		if len(tw.Mentions) == 0 || tw.Mentions[0].Truth < 0 {
+			t.Fatalf("event %d: tweet carries no ground-truth mention", i)
+		}
+	}
+	// The follow mix is a Bernoulli draw; 0.3 ± generous slack.
+	if follows < 200 || follows > 400 {
+		t.Errorf("follow events = %d of 1000, want ≈300", follows)
+	}
+	if tweetsN+follows != 1000 {
+		t.Errorf("tweets %d + follows %d != 1000", tweetsN, follows)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"microlink/internal/eval"
 	"microlink/internal/graph"
 	"microlink/internal/influence"
+	"microlink/internal/ingest"
 	"microlink/internal/kb"
 	"microlink/internal/ner"
 	"microlink/internal/obs"
@@ -66,6 +67,9 @@ type (
 	Mention = tweets.Mention
 	// TweetStore is a frozen tweet corpus.
 	TweetStore = tweets.Store
+	// LiveStore is the append-only tweet corpus fed by the ingest
+	// pipeline.
+	LiveStore = tweets.LiveStore
 	// KB is the base knowledgebase.
 	KB = kb.KB
 	// ComplementedKB carries per-entity postings (Definition 5).
@@ -98,6 +102,29 @@ type (
 	OnTheFlyBaseline = baseline.OnTheFly
 	// CollectiveBaseline is the batch comparator [2].
 	CollectiveBaseline = baseline.Collective
+	// IngestPipeline is the streaming firehose pipeline (see
+	// internal/ingest and DESIGN.md §7); obtain one with
+	// System.StartIngest.
+	IngestPipeline = ingest.Pipeline
+	// IngestConfig tunes the pipeline's queue, batching, backpressure
+	// policy and rebuild cadence.
+	IngestConfig = ingest.Config
+	// IngestEvent is one firehose item (tweet, follow edge, feedback).
+	IngestEvent = ingest.Event
+	// IngestSource yields firehose events for IngestPipeline.Run.
+	IngestSource = ingest.Source
+	// IngestStats is a point-in-time snapshot of pipeline progress.
+	IngestStats = ingest.Stats
+)
+
+// Firehose event constructors, re-exported from internal/ingest.
+var (
+	// TweetEvent wraps a posted tweet (nil links ⇒ link on apply).
+	TweetEvent = ingest.TweetEvent
+	// FollowEvent wraps a new follow edge u → v.
+	FollowEvent = ingest.FollowEvent
+	// FeedbackEvent wraps an explicit linking correction.
+	FeedbackEvent = ingest.FeedbackEvent
 )
 
 // NoEntity marks an unlinkable mention.
@@ -121,6 +148,11 @@ const (
 	// System.Follow repairs the index in place as new follow edges arrive,
 	// instead of rebuilding (the paper's "maintenance cost" concern).
 	ReachDynamic
+	// ReachStreaming pairs a frozen 2-hop cover (serving queries
+	// lock-free) with a dynamic closure absorbing follow edges online;
+	// the ingest pipeline's rebuild manager periodically re-freezes the
+	// cover and copy-on-swaps it in. Required by System.StartIngest.
+	ReachStreaming
 )
 
 // Options wires a System. Zero values choose the paper's defaults:
@@ -186,6 +218,13 @@ type System struct {
 	// evaluation, mirroring the paper's Dtest.
 	TestSet *TweetStore
 
+	// Live is the append-only corpus receiving streamed tweets; empty
+	// until an ingest pipeline runs.
+	Live *LiveStore
+
+	ingestMu sync.Mutex      // microlint:lock-order sys-ingest
+	pipe     *IngestPipeline // microlint:guarded-by ingestMu
+
 	textOnce sync.Once
 	textByID map[int64]string
 }
@@ -224,8 +263,11 @@ func Build(w *World, opts Options) *System {
 
 	reg := obs.NewRegistry()
 	if !opts.DisableMetrics {
-		if th, ok := unwrapReach(rx).(*reach.TwoHop); ok {
-			reach.PublishTwoHopBuild(th, reg)
+		switch v := unwrapReach(rx).(type) {
+		case *reach.TwoHop:
+			reach.PublishTwoHopBuild(v, reg)
+		case *reach.Streaming:
+			reach.PublishTwoHopBuild(v.Frozen(), reg)
 		}
 		rx = reach.Instrument(rx, reg)
 	}
@@ -260,6 +302,7 @@ func Build(w *World, opts Options) *System {
 		NER:        ner.NewExtractor(w.KB, ner.Options{}),
 		Metrics:    reg,
 		TestSet:    w.Store.FilterByActivity(1, 9),
+		Live:       tweets.NewLiveStore(),
 	}
 }
 
@@ -281,31 +324,87 @@ func buildReach(w *World, opts Options) reach.Index {
 		return reach.NewNaive(w.Graph, opts.MaxHops)
 	case ReachDynamic:
 		return reach.NewDynamicClosure(w.Graph, opts.MaxHops)
+	case ReachStreaming:
+		return reach.NewStreaming(w.Graph, reach.TwoHopOptions{MaxHops: opts.MaxHops})
 	default:
 		return reach.BuildTransitiveClosure(w.Graph, reach.ClosureOptions{MaxHops: opts.MaxHops})
 	}
 }
 
 // ErrNotDynamic is returned by Follow when the system was not built with
-// ReachDynamic.
-var ErrNotDynamic = fmt.Errorf("microlink: reachability substrate is not dynamic (build with Options{Reach: ReachDynamic})")
+// ReachDynamic or ReachStreaming.
+var ErrNotDynamic = fmt.Errorf("microlink: reachability substrate is not dynamic (build with Options{Reach: ReachDynamic} or ReachStreaming)")
+
+// ErrNotStreaming is returned by StartIngest when the system was not
+// built with ReachStreaming.
+var ErrNotStreaming = fmt.Errorf("microlink: reachability substrate is not streaming (build with Options{Reach: ReachStreaming})")
+
+// ErrIngestRunning is returned by StartIngest when a pipeline is already
+// attached to this system.
+var ErrIngestRunning = fmt.Errorf("microlink: ingest pipeline already started")
 
 // Follow records a new follow edge u → v and incrementally repairs the
 // weighted reachability index — the social half of the online feedback
-// loop (tweets arrive via Linker.Feedback; follows arrive here). The
-// repair runs under the linker's write lock — the dynamic closure is not
-// safe for concurrent use, and the scoring paths read it behind the
-// linker's read lock — and the linker's interest cache is invalidated
-// wholesale afterwards: a repaired edge can move any user's weighted
-// reachability, so every cached S_in value is suspect. Requires
-// Options.Reach = ReachDynamic.
+// loop (tweets arrive via Linker.Feedback; follows arrive here).
+//
+// With ReachDynamic the repair runs under the linker's write lock — the
+// dynamic closure is not safe for concurrent use, and the scoring paths
+// read it behind the linker's read lock — and the linker's interest
+// cache is invalidated wholesale afterwards: a repaired edge can move
+// any user's weighted reachability, so every cached S_in value is
+// suspect.
+//
+// With ReachStreaming the edge lands in the live closure under the
+// substrate's own lock, with no linker lock and no cache invalidation:
+// scorers read only the frozen arena, which per-edge inserts never
+// touch, so cached scores stay exactly right until the next
+// copy-on-swap rebuild (which invalidates then).
 func (s *System) Follow(u, v UserID) error {
-	dc, ok := unwrapReach(s.Reach).(*reach.DynamicClosure)
-	if !ok {
+	switch idx := unwrapReach(s.Reach).(type) {
+	case *reach.DynamicClosure:
+		s.Linker.UpdateReachability(func() { idx.InsertEdge(u, v) })
+		return nil
+	case *reach.Streaming:
+		idx.InsertEdge(u, v)
+		return nil
+	default:
 		return ErrNotDynamic
 	}
-	s.Linker.UpdateReachability(func() { dc.InsertEdge(u, v) })
-	return nil
+}
+
+// StartIngest attaches a streaming firehose pipeline to the system and
+// starts its applier and rebuild-manager goroutines. Requires
+// Options.Reach = ReachStreaming (the pipeline's copy-on-swap rebuilds
+// need the frozen-arena + live-closure pairing); at most one pipeline
+// per system. Stop it with Pipeline.Close.
+func (s *System) StartIngest(cfg IngestConfig) (*IngestPipeline, error) {
+	st, ok := unwrapReach(s.Reach).(*reach.Streaming)
+	if !ok {
+		return nil, ErrNotStreaming
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.pipe != nil {
+		return nil, ErrIngestRunning
+	}
+	p, err := ingest.New(ingest.Deps{
+		Linker:  s.Linker,
+		Stream:  st,
+		Live:    s.Live,
+		Metrics: s.Metrics,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.pipe = p
+	return p, nil
+}
+
+// Ingest returns the pipeline started with StartIngest, or nil.
+func (s *System) Ingest() *IngestPipeline {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.pipe
 }
 
 // SaveReachIndex serialises a transitive-closure or 2-hop index to path.
@@ -321,6 +420,10 @@ func SaveReachIndex(path string, idx ReachIndex) error {
 		_, err = v.WriteTo(f)
 	case *reach.TwoHop:
 		_, err = v.WriteTo(f)
+	case *reach.Streaming:
+		// The frozen arena is the serializable half; the live closure is
+		// rebuilt from the graph on load.
+		_, err = v.Frozen().WriteTo(f)
 	default:
 		err = fmt.Errorf("microlink: index type %T is not serialisable", idx)
 	}

@@ -1,0 +1,257 @@
+package microlink
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"microlink/internal/graph"
+	"microlink/internal/reach"
+	"microlink/internal/synth"
+)
+
+// streamWorld caches the streaming test world: both tests only read it
+// (Build copies nothing out of the world that the pipeline mutates — the
+// live closure and live store are per-system).
+var (
+	streamOnce  sync.Once
+	streamState *World
+)
+
+func streamingWorld(t *testing.T) *World {
+	t.Helper()
+	streamOnce.Do(func() {
+		streamState = Generate(WorldParams{Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20})
+	})
+	return streamState
+}
+
+// ambiguousStreamSurfaces returns surface forms with ≥ 2 candidates —
+// the queries where a torn index would actually change a ranking.
+func ambiguousStreamSurfaces(w *World) []string {
+	var out []string
+	w.KB.EachSurface(func(form string, cs []EntityID) {
+		if len(cs) >= 2 {
+			out = append(out, form)
+		}
+	})
+	if len(out) == 0 {
+		w.KB.EachSurface(func(form string, cs []EntityID) { out = append(out, form) })
+	}
+	return out
+}
+
+// TestStreamingIngestSoak is the -race soak for the ingest subsystem:
+// a producer drives a mixed tweet/follow stream through the pipeline
+// while two query workers run LinkBatch against the linker, and two
+// copy-on-swap rebuilds are forced mid-stream. Queries must stay
+// error-free and untorn (best candidate ≡ head of the ranking)
+// throughout, staleness must return to zero after the final drain +
+// rebuild, and the pipeline's goroutines must be gone after Close.
+func TestStreamingIngestSoak(t *testing.T) {
+	w := streamingWorld(t)
+	sys := Build(w, Options{Reach: ReachStreaming})
+	baseline := runtime.NumGoroutine()
+
+	pipe, err := sys.StartIngest(IngestConfig{BlockOnFull: true, RebuildAfterEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := synth.GenerateStream(w, synth.StreamParams{Seed: 6, Events: 1200, FollowFraction: 0.3})
+	surfaces := ambiguousStreamSurfaces(w)
+	ctx := context.Background()
+	now := w.Horizon() + 3600
+
+	queryStop := make(chan struct{})
+	var queryWG sync.WaitGroup
+	var tornErr error
+	var tornMu sync.Mutex
+	for i := 0; i < 2; i++ {
+		queryWG.Add(1)
+		go func(off int) {
+			defer queryWG.Done()
+			batch := make([]MentionQuery, 16)
+			for n := 0; ; n++ {
+				select {
+				case <-queryStop:
+					return
+				default:
+				}
+				for j := range batch {
+					batch[j] = MentionQuery{
+						User:    UserID((off + n*17 + j*31) % w.Graph.NumNodes()),
+						Now:     now,
+						Surface: surfaces[(off+n+j)%len(surfaces)],
+					}
+				}
+				for _, r := range sys.Linker.LinkBatch(ctx, batch) {
+					if r.Err != nil {
+						tornMu.Lock()
+						tornErr = r.Err
+						tornMu.Unlock()
+						return
+					}
+					if len(r.Scored) > 0 && r.Entity != r.Scored[0].Entity {
+						tornMu.Lock()
+						tornErr = errTorn
+						tornMu.Unlock()
+						return
+					}
+				}
+			}
+		}(i * 131)
+	}
+
+	producerDone := make(chan error, 1)
+	go func() {
+		for _, ev := range stream {
+			var e IngestEvent
+			if ev.Tweet != nil {
+				e = TweetEvent(ev.Tweet, nil)
+			} else {
+				e = FollowEvent(ev.U, ev.V)
+			}
+			if err := pipe.Submit(ctx, e); err != nil {
+				producerDone <- err
+				return
+			}
+		}
+		producerDone <- nil
+	}()
+
+	// Two forced swaps while the stream is live, at ⅓ and ⅔ of the
+	// event count.
+	marks := []int64{int64(len(stream)) / 3, int64(len(stream)) * 2 / 3}
+	for _, mark := range marks {
+		for {
+			st := pipe.Stats()
+			if st.AppliedTweets+st.AppliedFollows+st.AppliedFeedback >= mark {
+				pipe.ForceRebuild()
+				break
+			}
+			select {
+			case err := <-producerDone:
+				if err != nil {
+					t.Fatalf("producer: %v", err)
+				}
+				producerDone <- nil // producer already finished; re-arm
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	if err := <-producerDone; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+
+	cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pipe.Close(cctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	pipe.ForceRebuild()
+	close(queryStop)
+	queryWG.Wait()
+
+	tornMu.Lock()
+	defer tornMu.Unlock()
+	if tornErr != nil {
+		t.Fatalf("query worker failed mid-stream: %v", tornErr)
+	}
+	st := pipe.Stats()
+	if st.Dropped != 0 {
+		t.Errorf("dropped %d events under the blocking policy", st.Dropped)
+	}
+	if st.Swaps < 2 {
+		t.Errorf("swaps = %d, want ≥ 2 (two forced mid-stream)", st.Swaps)
+	}
+	if st.Staleness != 0 {
+		t.Errorf("staleness = %d after drain + final rebuild, want 0", st.Staleness)
+	}
+	if total := st.AppliedTweets + st.AppliedFollows; total != int64(len(stream)) {
+		t.Errorf("applied %d of %d events", total, len(stream))
+	}
+
+	// The applier and rebuild manager must be gone. Transient LinkBatch
+	// workers also unwind here, so poll with slack.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d after Close", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var errTorn = soakError("torn result: Entity != Scored[0].Entity")
+
+type soakError string
+
+func (e soakError) Error() string { return string(e) }
+
+// TestStreamingIngestDeterministic checks the rebuild contract that
+// makes copy-on-swap trustworthy: follow churn applied through the
+// pipeline (coalesced batches, arbitrary interleaving with rebuilds)
+// then frozen must yield the byte-identical 2-hop index as a cold batch
+// build over the final edge set.
+func TestStreamingIngestDeterministic(t *testing.T) {
+	w := streamingWorld(t)
+	sys := Build(w, Options{Reach: ReachStreaming})
+	pipe, err := sys.StartIngest(IngestConfig{RebuildAfterEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := synth.GenerateStream(w, synth.StreamParams{Seed: 9, Events: 800, FollowFraction: 0.9})
+	ctx := context.Background()
+
+	var follows [][2]UserID
+	for _, ev := range stream {
+		if ev.Tweet != nil {
+			continue
+		}
+		follows = append(follows, [2]UserID{ev.U, ev.V})
+		if err := pipe.Submit(ctx, FollowEvent(ev.U, ev.V)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pipe.Close(cctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	pipe.ForceRebuild()
+
+	st, ok := unwrapReach(sys.Reach).(*reach.Streaming)
+	if !ok {
+		t.Fatalf("reach substrate is %T, want *reach.Streaming", sys.Reach)
+	}
+	var got bytes.Buffer
+	if _, err := st.Frozen().WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold batch build over world edges + streamed follows. NewStreaming
+	// applies the same option defaults the system's substrate got, so the
+	// two frozen arenas share construction parameters exactly.
+	gb := graph.NewBuilder(w.Graph.NumNodes())
+	for u := 0; u < w.Graph.NumNodes(); u++ {
+		for _, v := range w.Graph.Out(graph.NodeID(u)) {
+			gb.AddEdge(UserID(u), v)
+		}
+	}
+	for _, e := range follows {
+		gb.AddEdge(e[0], e[1])
+	}
+	cold := reach.NewStreaming(gb.Build(), reach.TwoHopOptions{MaxHops: reach.DefaultMaxHops})
+	var want bytes.Buffer
+	if _, err := cold.Frozen().WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("ingest-then-rebuild arena (%d bytes) differs from cold batch build (%d bytes)",
+			got.Len(), want.Len())
+	}
+}
