@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile
+.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile snapshot-smoke
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt-check:
 
 # Mirror of .github/workflows/ci.yml: `ci` is the fast lane, `race` the
 # separate race-detector lane (run both before merging concurrency work).
-ci: build vet lint fmt-check test bench-smoke fuzz-smoke
+ci: build vet lint fmt-check test bench-smoke fuzz-smoke snapshot-smoke
 
 test:
 	$(GO) test -vet=all ./...
@@ -61,6 +61,14 @@ bench-smoke:
 bench-index:
 	$(GO) test -run=NONE -bench='BuildTwoHop|TwoHopQuery' -benchmem ./internal/reach
 	$(GO) run ./cmd/linkbench -out BENCH_reach.json index
+
+# Durability smoke: snapshot a streaming system mid-firehose, reopen the
+# data directory, and byte-compare top-k answers against the original
+# (the runner exits non-zero on any divergence). The crash-shaped version
+# of the same check (SIGKILL mid-stream) runs in `make test` as
+# TestCrashRecovery.
+snapshot-smoke:
+	$(GO) run ./cmd/linkbench -quick restart
 
 # A few seconds of coverage-guided fuzzing per target. Targets are named
 # individually: -fuzz accepts only one match per package.

@@ -7,6 +7,9 @@
 // serial single-mention path against the concurrent LinkBatch pipeline;
 // `firehose` drives a synthetic event stream through the ingest pipeline
 // while query workers run against the copy-on-swap reach arena;
+// `restart` snapshots a streaming system mid-firehose, reopens it from
+// the data directory, and reports the cold-start breakdown (segment load
+// vs WAL replay) with a byte-identity check on the restored answers;
 // -cpuprofile and -memprofile capture pprof profiles of any run (see
 // `make profile`).
 //
@@ -43,7 +46,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: linkbench [-seed N] [-users N] [-quick] [-cpuprofile F] [-memprofile F] <experiment|all>")
-		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch index firehose")
+		fmt.Fprintln(os.Stderr, "experiments: fig4a fig4b fig4c fig4d table4 fig5a fig5b fig5c fig5d table5 fig6ab fig6c fig6d categories stages batch index firehose restart")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
@@ -109,6 +112,7 @@ func main() {
 		"batch":      batch,
 		"index":      index,
 		"firehose":   firehose,
+		"restart":    restart,
 	}
 	if id == "all" {
 		ids := make([]string, 0, len(runners))
@@ -444,8 +448,34 @@ func firehose() {
 	writeJSON(r)
 }
 
+func restart() {
+	banner("durable snapshot + WAL warm restart: cold-start breakdown")
+	opts := experiments.RestartOptions{}
+	if *quick {
+		opts.World = microlink.WorldParams{Seed: *seed, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20}
+		opts.Events = 1500
+	}
+	r, err := experiments.Restart(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkbench: restart: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  world: %d users; stream: %d events; snapshot seq %d committed in %dms\n",
+		r.Users, r.Events, r.SnapshotSeq, r.SnapshotMS)
+	fmt.Printf("  cold start %dms = generate %dms + segment load %dms + WAL replay %dms (fresh build: %dms)\n",
+		r.ColdStartMS, r.GenerateMS, r.LoadMS, r.ReplayMS, r.FreshBuildMS)
+	fmt.Printf("  replayed %d records / %d bytes (%d tweets, %d follows), torn tail: %v\n",
+		r.WALRecords, r.WALBytes, r.ReplayedTweets, r.ReplayedFollows, r.TornTail)
+	fmt.Printf("  top-k parity over %d probes: identical=%v\n", r.Probes, r.Identical)
+	if !r.Identical {
+		fmt.Fprintln(os.Stderr, "linkbench: restart: restored answers diverge")
+		os.Exit(1)
+	}
+	writeJSON(r)
+}
+
 // writeJSON honours -out for the experiments with machine-readable
-// results (index, firehose).
+// results (index, firehose, restart).
 func writeJSON(r any) {
 	if *out == "" {
 		return

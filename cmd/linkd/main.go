@@ -1,6 +1,6 @@
 // Command linkd serves the online-inference module (§3.2.2) over HTTP:
 //
-//	linkd [-addr :8080] [-seed 1] [-users 800] [-pprof] [-request-timeout 30s]
+//	linkd [-addr :8080] [-seed 1] [-users 800] [-data DIR] [-pprof] [-request-timeout 30s]
 //
 // Endpoints:
 //
@@ -14,8 +14,17 @@
 //	POST /v1/ingest/tweet                       enqueue a tweet on the firehose pipeline (-ingest)
 //	POST /v1/ingest/follow                      enqueue a follow edge on the firehose pipeline (-ingest)
 //	GET  /v1/stats
+//	POST /v1/admin/snapshot                     commit a durable snapshot to the -data directory
+//	GET  /v1/admin/status                       persistence + ingest freshness (staleness, swaps, WAL)
 //	GET  /metrics                               Prometheus text exposition
 //	GET  /debug/pprof/*                         live profiling (opt-in via -pprof)
+//
+// With -data DIR the server is durable: boot warm-restarts from the
+// directory's snapshot + WAL when one exists (the manifest's world and
+// reach parameters override -seed/-users/-reach) and commits an initial
+// snapshot otherwise; applied firehose events tee into the WAL, and
+// kill -9 loses at most the events not yet applied. -index-file remains
+// as a deprecated alias persisting the reachability index alone.
 //
 // Errors use the structured envelope documented in internal/httpapi. The
 // -request-timeout flag bounds each request with a context deadline that
@@ -51,7 +60,9 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 0, "ingest queue capacity (0 selects the default)")
 	rebuildAfter := flag.Int("rebuild-after", 0, "rebuild the frozen reach arena after this many new follow edges (0 selects the default)")
 	rebuildEvery := flag.Duration("rebuild-interval", 0, "additionally rebuild on this interval when stale (0 disables)")
-	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path")
+	dataDir := flag.String("data", "", "data directory for durable snapshots + WAL; warm-restarts from it when it holds a snapshot")
+	fsyncOn := flag.Bool("fsync", false, "fsync the WAL on every append (durable against power loss, slower)")
+	indexFile := flag.String("index-file", "", "persist/reload the reachability index at this path (deprecated: use -data)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "max time to read a request")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max time to write a response")
@@ -70,6 +81,7 @@ func main() {
 
 	opts := microlink.Options{}
 	opts.Batch.Workers = *workers
+	opts.Fsync = *fsyncOn
 	switch *reachKind {
 	case "closure":
 		opts.Reach = microlink.ReachClosure
@@ -86,23 +98,52 @@ func main() {
 		log.Fatalf("linkd: -ingest requires -reach streaming, got %q", *reachKind)
 	}
 
-	log.Printf("linkd: generating world (seed=%d users=%d)…", *seed, *users)
-	world := microlink.Generate(microlink.WorldParams{Seed: *seed, Users: *users})
-	if *indexFile != "" {
-		if idx, err := microlink.LoadReachIndex(*indexFile, world.Graph, opts.Reach); err == nil {
-			opts.PrebuiltReach = idx
-			log.Printf("linkd: loaded reachability index from %s", *indexFile)
-		} else {
-			log.Printf("linkd: no reusable index (%v); building fresh", err)
+	// Warm restart: when -data holds a committed snapshot, the whole
+	// system — graph, complemented KB, live tweets, frozen reach arena —
+	// reloads from segments and the WAL suffix replays on top. The
+	// manifest's world and reach parameters win over -seed/-users/-reach.
+	var sys *microlink.System
+	if *dataDir != "" {
+		s, rep, err := microlink.Open(*dataDir, opts)
+		switch {
+		case err == nil:
+			sys = s
+			log.Printf("linkd: warm restart from %s: snapshot seq %d, generate %v + segment load %v + WAL replay %v (%d records, torn tail: %v)",
+				*dataDir, rep.Seq, rep.Generate.Round(time.Millisecond), rep.Load.Round(time.Millisecond),
+				rep.Replay.Round(time.Millisecond), rep.WALRecords, rep.TornTail)
+		case errors.Is(err, microlink.ErrNoSnapshot):
+			log.Printf("linkd: %s holds no snapshot; cold start", *dataDir)
+		default:
+			log.Fatalf("linkd: open %s: %v", *dataDir, err)
 		}
 	}
-	log.Printf("linkd: building linking stack…")
-	sys := microlink.Build(world, opts)
-	if *indexFile != "" && opts.PrebuiltReach == nil {
-		if err := microlink.SaveReachIndex(*indexFile, sys.Reach); err != nil {
-			log.Printf("linkd: save index: %v", err)
-		} else {
-			log.Printf("linkd: saved reachability index to %s", *indexFile)
+	if sys == nil {
+		log.Printf("linkd: generating world (seed=%d users=%d)…", *seed, *users)
+		world := microlink.Generate(microlink.WorldParams{Seed: *seed, Users: *users})
+		if *indexFile != "" {
+			if idx, err := microlink.LoadReachIndex(*indexFile, world.Graph, opts.Reach); err == nil {
+				opts.PrebuiltReach = idx
+				log.Printf("linkd: loaded reachability index from %s", *indexFile)
+			} else {
+				log.Printf("linkd: no reusable index (%v); building fresh", err)
+			}
+		}
+		log.Printf("linkd: building linking stack…")
+		sys = microlink.Build(world, opts)
+		if *indexFile != "" && opts.PrebuiltReach == nil {
+			if err := microlink.SaveReachIndex(*indexFile, sys.Reach); err != nil {
+				log.Printf("linkd: save index: %v", err)
+			} else {
+				log.Printf("linkd: saved reachability index to %s", *indexFile)
+			}
+		}
+		if *dataDir != "" {
+			info, err := sys.Snapshot(*dataDir)
+			if err != nil {
+				log.Fatalf("linkd: initial snapshot: %v", err)
+			}
+			log.Printf("linkd: initial snapshot seq %d committed to %s in %v",
+				info.Seq, *dataDir, info.Elapsed.Round(time.Millisecond))
 		}
 	}
 	log.Print("linkd: ", sys.Describe())
@@ -167,6 +208,11 @@ func main() {
 				log.Printf("linkd: ingest drained (%d tweets, %d follows, %d rebuilds)",
 					st.AppliedTweets, st.AppliedFollows, st.Rebuilds)
 			}
+		}
+		// The WAL closes last: every drained event is already teed, so
+		// this is a flush, not a data-loss window.
+		if err := sys.ClosePersist(); err != nil {
+			log.Printf("linkd: close persistence: %v", err)
 		}
 	}()
 

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"microlink"
+	"microlink/internal/synth"
+)
+
+// Restart is the warm-restart experiment for the persistence layer
+// (DESIGN.md §8): a streaming system ingests a firehose, snapshots
+// mid-stream (subsequent events tee into the WAL), shuts down, and is
+// reopened from the data directory. The run reports the cold-start
+// breakdown — world regeneration vs segment load vs WAL replay — next
+// to the cost of building the same system from scratch, and verifies
+// the restored system serves byte-identical top-k answers.
+
+// RestartOptions sizes the run. Zero values select the defaults.
+type RestartOptions struct {
+	World          microlink.WorldParams // zero ⇒ 800-user world, seed 42
+	Events         int                   // stream length (default 4000)
+	FollowFraction float64               // follow share of the stream (default 0.25)
+	SnapshotFrac   float64               // stream fraction ingested before the snapshot (default 0.5)
+	Dir            string                // data directory (default: a fresh temp dir, removed afterwards)
+}
+
+// RestartResult is the JSON payload of `linkbench restart`.
+type RestartResult struct {
+	Users  int `json:"users"`
+	Events int `json:"events"`
+
+	FreshBuildMS int64  `json:"fresh_build_ms"` // cold Build over the generated world
+	SnapshotMS   int64  `json:"snapshot_ms"`    // mid-stream System.Snapshot commit
+	SnapshotSeq  uint64 `json:"snapshot_seq"`
+
+	WALRecords int64 `json:"wal_records"` // records replayed on restart
+	WALBytes   int64 `json:"wal_bytes"`
+
+	// The cold-start breakdown the acceptance story hinges on: load and
+	// replay are reported separately, and neither contains an arena
+	// rebuild.
+	GenerateMS  int64 `json:"generate_ms"`
+	LoadMS      int64 `json:"load_ms"`
+	ReplayMS    int64 `json:"replay_ms"`
+	ColdStartMS int64 `json:"cold_start_ms"` // generate + load + replay
+
+	ReplayedTweets  int64 `json:"replayed_tweets"`
+	ReplayedFollows int64 `json:"replayed_follows"`
+	TornTail        bool  `json:"torn_tail"`
+
+	Probes    int  `json:"probes"`
+	Identical bool `json:"identical"` // restored top-k byte-identical to the original
+}
+
+// restartProbe serialises a deterministic top-k sweep — every user
+// stride × the first ambiguous surfaces — so two equivalent systems
+// produce byte-identical dumps.
+func restartProbe(sys *microlink.System, w *microlink.World) (int, []byte, error) {
+	var surfaces []string
+	w.KB.EachSurface(func(form string, cs []microlink.EntityID) {
+		if len(cs) >= 2 {
+			surfaces = append(surfaces, form)
+		}
+	})
+	sort.Strings(surfaces)
+	if len(surfaces) > 8 {
+		surfaces = surfaces[:8]
+	}
+	now := w.Horizon() + 7200
+	type probe struct {
+		User    microlink.UserID
+		Surface string
+		TopK    []microlink.Scored
+	}
+	var probes []probe
+	for u := 0; u < w.Graph.NumNodes(); u += 29 {
+		for _, sf := range surfaces {
+			probes = append(probes, probe{
+				User:    microlink.UserID(u),
+				Surface: sf,
+				TopK:    sys.Linker.TopK(microlink.UserID(u), now, sf, 3),
+			})
+		}
+	}
+	b, err := json.Marshal(probes)
+	return len(probes), b, err
+}
+
+// Restart runs the experiment.
+func Restart(opts RestartOptions) (RestartResult, error) {
+	if opts.World == (microlink.WorldParams{}) {
+		opts.World = microlink.WorldParams{Seed: 42, Users: 800, Topics: 8, EntitiesPerTopic: 12, Days: 30}
+	}
+	if opts.Events <= 0 {
+		opts.Events = 4000
+	}
+	if opts.FollowFraction <= 0 {
+		opts.FollowFraction = 0.25
+	}
+	if opts.SnapshotFrac <= 0 || opts.SnapshotFrac >= 1 {
+		opts.SnapshotFrac = 0.5
+	}
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "microlink-restart-*")
+		if err != nil {
+			return RestartResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.Dir = dir
+	}
+
+	w := microlink.Generate(opts.World)
+	buildStart := time.Now()
+	sys := microlink.Build(w, microlink.Options{
+		Reach:           microlink.ReachStreaming,
+		TruthComplement: true,
+	})
+	res := RestartResult{
+		Users:        w.Graph.NumNodes(),
+		Events:       opts.Events,
+		FreshBuildMS: time.Since(buildStart).Milliseconds(),
+	}
+
+	pipe, err := sys.StartIngest(microlink.IngestConfig{
+		BlockOnFull:       true,
+		RebuildAfterEdges: -1,
+	})
+	if err != nil {
+		return res, err
+	}
+	stream := synth.GenerateStream(w, synth.StreamParams{
+		Seed: opts.World.Seed + 1, Events: opts.Events, FollowFraction: opts.FollowFraction,
+	})
+	ctx := context.Background()
+	cut := int(float64(len(stream)) * opts.SnapshotFrac)
+
+	if err := pipe.Run(ctx, &sliceSource{events: stream[:cut]}); err != nil {
+		return res, err
+	}
+	// Run returns when the source drains, not when the applier catches
+	// up; wait for the first half to land so the snapshot's segments —
+	// not the WAL — carry it.
+	for {
+		st := pipe.Stats()
+		if st.AppliedTweets+st.AppliedFollows >= int64(cut) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snapStart := time.Now()
+	info, err := sys.Snapshot(opts.Dir)
+	if err != nil {
+		return res, err
+	}
+	res.SnapshotMS = time.Since(snapStart).Milliseconds()
+	res.SnapshotSeq = info.Seq
+
+	if err := pipe.Run(ctx, &sliceSource{events: stream[cut:]}); err != nil {
+		return res, err
+	}
+	if err := pipe.Close(ctx); err != nil {
+		return res, err
+	}
+	pipe.ForceRebuild()
+	nProbes, want, err := restartProbe(sys, w)
+	if err != nil {
+		return res, err
+	}
+	res.Probes = nProbes
+	if err := sys.ClosePersist(); err != nil {
+		return res, err
+	}
+
+	// The restart under measurement: everything the process would do
+	// after a kill -9 — regenerate, load segments, replay the WAL.
+	sys2, rep, err := microlink.Open(opts.Dir, microlink.Options{})
+	if err != nil {
+		return res, fmt.Errorf("reopen %s: %w", opts.Dir, err)
+	}
+	res.GenerateMS = rep.Generate.Milliseconds()
+	res.LoadMS = rep.Load.Milliseconds()
+	res.ReplayMS = rep.Replay.Milliseconds()
+	res.ColdStartMS = (rep.Generate + rep.Load + rep.Replay).Milliseconds()
+	res.WALRecords = rep.WALRecords
+	res.WALBytes = rep.WALBytes
+	res.ReplayedTweets = rep.Tweets
+	res.ReplayedFollows = rep.Follows
+	res.TornTail = rep.TornTail
+
+	if err := sys2.RebuildReach(); err != nil {
+		return res, err
+	}
+	_, got, err := restartProbe(sys2, w)
+	if err != nil {
+		return res, err
+	}
+	res.Identical = bytes.Equal(got, want)
+	if err := sys2.ClosePersist(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+
+	"microlink"
+)
+
+// The admin endpoints are the operational face of the persistence layer
+// (DESIGN.md §8): POST /v1/admin/snapshot commits the system's full
+// state to its data directory, and GET /v1/admin/status reports the
+// serving system's freshness — snapshot generation, WAL accumulation,
+// and the ingest pipeline's staleness and swap counters — for dashboards
+// and restart tooling. A server whose system is not bound to a data
+// directory rejects snapshots with 503 persistence_disabled; status
+// always answers 200 so probes keep working on ephemeral deployments.
+
+// SnapshotResponse is the body of POST /v1/admin/snapshot.
+type SnapshotResponse struct {
+	Seq       uint64  `json:"seq"`
+	Dir       string  `json:"dir"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	info, err := s.sys.SnapshotNow()
+	if err != nil {
+		if errors.Is(err, microlink.ErrNoStore) {
+			s.writeError(w, http.StatusServiceUnavailable, CodePersistenceDisabled,
+				"no data directory bound to this server (start linkd with -data)")
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, CodeSnapshotFailed,
+			"snapshot failed: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+		Seq:       info.Seq,
+		Dir:       info.Dir,
+		ElapsedMS: float64(info.Elapsed.Microseconds()) / 1e3,
+	})
+}
+
+// IngestStatus is the pipeline half of the admin status: staleness and
+// swaps cover the gap between the live graph and the frozen arena.
+type IngestStatus struct {
+	Running         bool  `json:"running"`
+	Staleness       int64 `json:"staleness"`
+	Swaps           int64 `json:"swaps"`
+	Rebuilds        int64 `json:"rebuilds"`
+	AppliedTweets   int64 `json:"applied_tweets"`
+	AppliedFollows  int64 `json:"applied_follows"`
+	QueueDepth      int   `json:"queue_depth"`
+	JournalFailures int64 `json:"journal_failures"`
+}
+
+// StatusResponse is the body of GET /v1/admin/status.
+type StatusResponse struct {
+	Persist microlink.PersistStatus `json:"persist"`
+	Ingest  IngestStatus            `json:"ingest"`
+}
+
+func (s *Server) handleAdminStatus(w http.ResponseWriter, _ *http.Request) {
+	resp := StatusResponse{Persist: s.sys.Persist()}
+	if p := s.sys.Ingest(); p != nil {
+		st := p.Stats()
+		resp.Ingest = IngestStatus{
+			Running:         true,
+			Staleness:       st.Staleness,
+			Swaps:           st.Swaps,
+			Rebuilds:        st.Rebuilds,
+			AppliedTweets:   st.AppliedTweets,
+			AppliedFollows:  st.AppliedFollows,
+			QueueDepth:      st.QueueDepth,
+			JournalFailures: st.JournalFailures,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

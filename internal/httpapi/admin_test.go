@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"microlink"
+)
+
+// adminServer builds a private server (the shared test system must stay
+// unbound — snapshotting it would leak a data directory binding into the
+// other tests).
+func adminServer(t *testing.T, opts microlink.Options) *Server {
+	t.Helper()
+	w := microlink.Generate(microlink.WorldParams{
+		Seed: 7, Users: 200, Topics: 4, EntitiesPerTopic: 8, Days: 10,
+	})
+	opts.TruthComplement = true
+	return New(microlink.Build(w, opts), WithLogger(func(string, ...any) {}))
+}
+
+func TestAdminSnapshotWithoutStore(t *testing.T) {
+	s := adminServer(t, microlink.Options{})
+	req := httptest.NewRequest("POST", "/v1/admin/snapshot", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	decodeError(t, rec, http.StatusServiceUnavailable, CodePersistenceDisabled)
+}
+
+func TestAdminStatusUnbound(t *testing.T) {
+	s := adminServer(t, microlink.Options{})
+	var resp StatusResponse
+	rec := get(t, s, "/v1/admin/status", &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if resp.Persist.Enabled {
+		t.Error("unbound server reports persistence enabled")
+	}
+	if resp.Ingest.Running {
+		t.Error("no pipeline, but ingest reported running")
+	}
+}
+
+func TestAdminSnapshotAndStatus(t *testing.T) {
+	s := adminServer(t, microlink.Options{Reach: microlink.ReachStreaming})
+	dir := t.TempDir()
+	if _, err := s.sys.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.sys.StartIngest(microlink.IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap SnapshotResponse
+	req := httptest.NewRequest("POST", "/v1/admin/snapshot", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot response does not parse: %v", err)
+	}
+	if snap.Seq != 2 || snap.Dir != dir {
+		t.Fatalf("snapshot response = %+v", snap)
+	}
+
+	var resp StatusResponse
+	if rec := get(t, s, "/v1/admin/status", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !resp.Persist.Enabled || resp.Persist.SnapshotSeq != 2 || resp.Persist.Dir != dir {
+		t.Fatalf("persist status = %+v", resp.Persist)
+	}
+	if !resp.Ingest.Running {
+		t.Error("pipeline attached but not reported running")
+	}
+}

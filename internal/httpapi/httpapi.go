@@ -25,6 +25,8 @@
 //	unknown_entity     404  entity ID outside the knowledgebase
 //	ingest_disabled    503  no ingest pipeline attached (start linkd with -ingest)
 //	queue_full         503  ingest queue full; shed by backpressure, retry later
+//	persistence_disabled 503  no data directory bound (start linkd with -data)
+//	snapshot_failed    500  snapshot commit failed (disk error, etc.)
 //	deadline_exceeded  504  request (or batch item) deadline expired
 //	canceled           499  request context canceled mid-flight
 //	internal           500  unexpected failure
@@ -58,19 +60,21 @@ import (
 // Error codes returned in the error envelope. See the package
 // documentation for the status each maps to.
 const (
-	CodeInvalidJSON      = "invalid_json"
-	CodeInvalidUser      = "invalid_user"
-	CodeMissingMention   = "missing_mention"
-	CodeMissingQuery     = "missing_query"
-	CodeEmptyBatch       = "empty_batch"
-	CodeBatchTooLarge    = "batch_too_large"
-	CodeUnknownUser      = "unknown_user"
-	CodeUnknownEntity    = "unknown_entity"
-	CodeIngestDisabled   = "ingest_disabled"
-	CodeQueueFull        = "queue_full"
-	CodeDeadlineExceeded = "deadline_exceeded"
-	CodeCanceled         = "canceled"
-	CodeInternal         = "internal"
+	CodeInvalidJSON         = "invalid_json"
+	CodeInvalidUser         = "invalid_user"
+	CodeMissingMention      = "missing_mention"
+	CodeMissingQuery        = "missing_query"
+	CodeEmptyBatch          = "empty_batch"
+	CodeBatchTooLarge       = "batch_too_large"
+	CodeUnknownUser         = "unknown_user"
+	CodeUnknownEntity       = "unknown_entity"
+	CodeIngestDisabled      = "ingest_disabled"
+	CodeQueueFull           = "queue_full"
+	CodePersistenceDisabled = "persistence_disabled"
+	CodeSnapshotFailed      = "snapshot_failed"
+	CodeDeadlineExceeded    = "deadline_exceeded"
+	CodeCanceled            = "canceled"
+	CodeInternal            = "internal"
 )
 
 // MaxBatchQueries caps the number of queries one /v1/link/batch request
@@ -128,6 +132,8 @@ func New(sys *microlink.System, opts ...Option) *Server {
 	handle("POST /v1/ingest/tweet", "/v1/ingest/tweet", s.handleIngestTweet)
 	handle("POST /v1/ingest/follow", "/v1/ingest/follow", s.handleIngestFollow)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/admin/snapshot", "/v1/admin/snapshot", s.handleSnapshot)
+	handle("GET /v1/admin/status", "/v1/admin/status", s.handleAdminStatus)
 	s.mux.Handle("GET /metrics", sys.Metrics.Handler())
 	return s
 }

@@ -46,6 +46,7 @@ import (
 	"microlink/internal/kb"
 	"microlink/internal/obs"
 	"microlink/internal/reach"
+	"microlink/internal/store"
 	"microlink/internal/tweets"
 )
 
@@ -141,14 +142,23 @@ const (
 	DefaultRebuildAfterEdges = 512
 )
 
+// Journal receives the durable tee of applied mutations: the applier
+// appends one record per event, per batch, while holding the apply lock.
+// *store.Store satisfies it. Append must not call back into the pipeline.
+type Journal interface {
+	Append(recs []store.Record) error
+}
+
 // Deps wires a Pipeline into a serving stack. Linker and Stream are
-// required; Live defaults to a fresh store and Metrics may be nil (all
-// instruments become no-ops).
+// required; Live defaults to a fresh store, Metrics may be nil (all
+// instruments become no-ops), and Journal may be nil (no durable tee; a
+// persistence layer can attach one later via Barrier).
 type Deps struct {
 	Linker  *core.Linker
 	Stream  *reach.Streaming
 	Live    *tweets.LiveStore
 	Metrics *obs.Registry
+	Journal Journal
 }
 
 // ErrClosed is returned by Submit and Close after the pipeline has been
@@ -169,4 +179,5 @@ type Stats struct {
 	Swaps           int64 // arenas installed by copy-on-swap (normally equal to Rebuilds)
 	QueueDepth      int   // events currently buffered
 	Staleness       int64 // edges applied but not yet in the frozen arena
+	JournalFailures int64 // batches whose WAL tee failed (state applied, durability lost)
 }

@@ -8,6 +8,8 @@ import (
 
 	"microlink/internal/graph"
 	"microlink/internal/obs"
+	"microlink/internal/reach"
+	"microlink/internal/store"
 	"microlink/internal/tweets"
 )
 
@@ -24,10 +26,19 @@ import (
 // rebuilds (threshold kick, timer and ForceRebuild can race) and sits
 // above every lock a rebuild takes: the streaming substrate's snapshot
 // lock, the builder pool, and the linker's write lock for the install.
+// applyMu serialises batch application against the snapshot barrier: the
+// applier holds it for the whole of apply (mutations plus the WAL tee),
+// and Barrier holds it while capturing live state and rotating the WAL,
+// so a snapshot never splits a batch between segments and log.
 //
 // microlint:lock-order ingest-rebuild < linker
 // microlint:lock-order ingest-rebuild < reach-stream
 // microlint:lock-order ingest-rebuild < reach-build
+// microlint:lock-order ingest-apply < linker
+// microlint:lock-order ingest-apply < reach-stream
+// microlint:lock-order ingest-apply < tweets-live
+// microlint:lock-order ingest-apply < ckb
+// microlint:lock-order ingest-apply < store
 type Pipeline struct {
 	deps Deps
 	cfg  Config
@@ -36,6 +47,9 @@ type Pipeline struct {
 
 	sendMu sync.RWMutex // microlint:lock-order ingest-send
 	closed bool         // microlint:guarded-by sendMu
+
+	applyMu sync.Mutex // microlint:lock-order ingest-apply
+	journal Journal    // microlint:guarded-by applyMu — nil until a store attaches
 
 	rebuildMu   sync.Mutex // microlint:lock-order ingest-rebuild
 	kick        chan struct{}
@@ -49,6 +63,7 @@ type Pipeline struct {
 	insertedEdges   atomic.Int64
 	dropped         atomic.Int64
 	rebuilds        atomic.Int64
+	journalFails    atomic.Int64
 
 	met metrics
 }
@@ -74,6 +89,7 @@ func New(deps Deps, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		deps:        deps,
 		cfg:         cfg,
+		journal:     deps.Journal,
 		in:          make(chan Event, cfg.Queue),
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
@@ -184,6 +200,7 @@ func (p *Pipeline) Stats() Stats {
 		Swaps:           p.deps.Stream.Swaps(),
 		QueueDepth:      len(p.in),
 		Staleness:       p.deps.Stream.Staleness(),
+		JournalFailures: p.journalFails.Load(),
 	}
 }
 
@@ -225,8 +242,21 @@ func (p *Pipeline) applier() {
 // batch and land in one InsertEdges call at the end — reordering them
 // past tweets is unobservable because scoring reads only the frozen
 // arena, which no per-edge insert touches.
+//
+// The whole batch — mutations plus the WAL tee — runs under applyMu, so
+// a snapshot barrier observes batches whole: every mutation it captures
+// in segments has its record behind the rotation point, and every record
+// ahead of it replays onto state that does not contain it yet. Tweet
+// records carry the links actually fed back (nil when feedback was off),
+// so replay reapplies the stream without re-running the linker.
 func (p *Pipeline) apply(batch []Event) {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
 	var pairs [][2]graph.NodeID
+	var recs []store.Record
+	if p.journal != nil {
+		recs = make([]store.Record, 0, len(batch))
+	}
 	for i := range batch {
 		ev := &batch[i]
 		switch ev.Kind {
@@ -236,17 +266,37 @@ func (p *Pipeline) apply(batch []Event) {
 			if links == nil {
 				links = p.deps.Linker.LinkTweet(ev.Tweet)
 			}
-			if !p.cfg.NoFeedback {
+			fed := links
+			if p.cfg.NoFeedback {
+				fed = nil
+			} else {
 				p.deps.Linker.Feedback(ev.Tweet, links)
+			}
+			if recs != nil {
+				recs = append(recs, store.TweetRecord(ev.Tweet, fed))
 			}
 			p.appliedTweets.Add(1)
 			p.met.evTweet.Inc()
 		case KindFollow:
 			pairs = append(pairs, [2]graph.NodeID{ev.U, ev.V})
+			if recs != nil {
+				recs = append(recs, store.FollowRecord(ev.U, ev.V))
+			}
 		case KindFeedback:
 			p.deps.Linker.Feedback(ev.Tweet, ev.Links)
+			if recs != nil {
+				recs = append(recs, store.FeedbackRecord(ev.Tweet, ev.Links))
+			}
 			p.appliedFeedback.Add(1)
 			p.met.evFeedback.Inc()
+		}
+	}
+	if len(recs) > 0 {
+		// A failed append loses durability for this batch, not liveness:
+		// serving state is already updated, so count and continue.
+		if err := p.journal.Append(recs); err != nil {
+			p.journalFails.Add(1)
+			p.met.journalFails.Inc()
 		}
 	}
 	if len(pairs) == 0 {
@@ -266,6 +316,38 @@ func (p *Pipeline) apply(batch []Event) {
 	}
 }
 
+// Barrier runs fn with batch application frozen: no batch is mid-apply
+// and none can start until fn returns. The snapshot path captures live
+// state (postings, tweets) and rotates the WAL inside fn, making the
+// segment/log split exact; fn receives a setter so it can attach (or
+// replace) the journal under the same critical section.
+func (p *Pipeline) Barrier(fn func(setJournal func(Journal))) {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	fn(func(j Journal) { p.journal = j })
+}
+
+// RebuildForSnapshot synchronously rebuilds and installs a fresh arena —
+// ForceRebuild keeping the (graph, arena, edge-count) triple so the
+// persistence path can write the graph the arena was built from.
+func (p *Pipeline) RebuildForSnapshot() (*graph.Graph, *reach.TwoHop, int64) {
+	p.rebuildMu.Lock()
+	defer p.rebuildMu.Unlock()
+	sp := obs.StartSpan(p.met.rebuildSeconds)
+	g, th, at := p.deps.Stream.RebuildSnapshot()
+	p.deps.Linker.UpdateReachability(func() {
+		p.deps.Stream.Install(th, at)
+	})
+	sp.Stop()
+	p.rebuilds.Add(1)
+	p.met.rebuilds.Inc()
+	p.met.staleness.Set(float64(p.deps.Stream.Staleness()))
+	if p.deps.Metrics != nil {
+		reach.PublishTwoHopBuild(th, p.deps.Metrics)
+	}
+	return g, th, at
+}
+
 // metrics are the pipeline's instruments (satellite of DESIGN.md §7).
 // All fields stay nil — and every update a no-op — when Deps.Metrics is
 // nil. The per-kind counters are resolved once here so the applier's hot
@@ -279,6 +361,7 @@ type metrics struct {
 	rebuilds       *obs.Counter
 	rebuildSeconds *obs.Histogram
 	staleness      *obs.Gauge
+	journalFails   *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -301,5 +384,7 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Duration of copy-on-swap 2-hop arena rebuilds.", nil),
 		staleness: reg.Gauge("microlink_ingest_staleness_events",
 			"Follow edges applied to the live closure but not yet reflected in the frozen arena."),
+		journalFails: reg.Counter("microlink_ingest_journal_failures_total",
+			"Applied batches whose WAL tee failed (state mutated, durability lost)."),
 	}
 }

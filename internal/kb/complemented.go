@@ -1,6 +1,7 @@
 package kb
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -140,4 +141,51 @@ func (c *Complemented) Postings(e EntityID) []Posting {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return append([]Posting(nil), c.postings[e]...)
+}
+
+// SnapshotPostings deep-copies every posting list under one read lock —
+// the persistence capture of the complemented state. Lists come out in
+// the stored (time-sorted) order, so ComplementRestore reproduces the
+// KB exactly.
+func (c *Complemented) SnapshotPostings() [][]Posting {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([][]Posting, len(c.postings))
+	for e, ps := range c.postings {
+		if len(ps) > 0 {
+			out[e] = append([]Posting(nil), ps...)
+		}
+	}
+	return out
+}
+
+// ComplementRestore rebuilds a complemented KB from captured posting
+// lists, re-deriving the per-user tallies. It is the load-side inverse of
+// SnapshotPostings; the entity count must match the base KB.
+func ComplementRestore(k *KB, postings [][]Posting) (*Complemented, error) {
+	if len(postings) != k.NumEntities() {
+		return nil, fmt.Errorf("kb: restore has %d posting lists, base KB has %d entities",
+			len(postings), k.NumEntities())
+	}
+	c := Complement(k)
+	// c is private here, but the mutation below goes through the guarded
+	// fields, so hold the (uncontended) lock like every other writer.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e, ps := range postings {
+		if len(ps) == 0 {
+			continue
+		}
+		c.postings[e] = append([]Posting(nil), ps...)
+		m := make(map[UserID]int32, len(ps))
+		for i := range ps {
+			if i > 0 && ps[i].Time < ps[i-1].Time {
+				return nil, fmt.Errorf("kb: restored postings for entity %d not time-sorted", e)
+			}
+			m[ps[i].User]++
+		}
+		c.perUser[e] = m
+		c.total += int64(len(ps))
+	}
+	return c, nil
 }

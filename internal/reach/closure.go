@@ -272,3 +272,6 @@ func (tc *TransitiveClosure) BuildStats() BuildStats { return tc.stats }
 
 // Reachable returns the number of nodes reachable from u within H hops.
 func (tc *TransitiveClosure) Reachable(u graph.NodeID) int { return len(tc.rows[u].entries) }
+
+// MaxHops returns the hop bound H the closure was built with.
+func (tc *TransitiveClosure) MaxHops() int { return tc.h }

@@ -38,9 +38,17 @@ type Streaming struct {
 	// mu guards the live (mutable) state. It nests inside nothing: edge
 	// application and snapshotting acquire it alone, and the rebuild
 	// manager holds its own mutex (ingest-rebuild) strictly above it.
-	mu      sync.RWMutex    // microlint:lock-order reach-stream
-	dc      *DynamicClosure // microlint:guarded-by mu
-	applied int64           // microlint:guarded-by mu
+	//
+	// Warm-restored instances (NewStreamingFromFrozen) defer the dynamic
+	// closure: dc stays nil while base holds the restored graph and
+	// pending buffers inserted edges, until the first SnapshotGraph
+	// hydrates the closure off the serving path.
+	mu         sync.RWMutex                 // microlint:lock-order reach-stream
+	dc         *DynamicClosure              // microlint:guarded-by mu — nil until hydrated
+	base       *graph.Graph                 // microlint:guarded-by mu — restored graph, nil once hydrated
+	pending    [][2]graph.NodeID            // microlint:guarded-by mu — edges awaiting hydration
+	pendingSet map[[2]graph.NodeID]struct{} // microlint:guarded-by mu — dedup for pending
+	applied    int64                        // microlint:guarded-by mu
 }
 
 // NewStreaming builds the initial frozen cover and the live closure over
@@ -63,8 +71,67 @@ func NewStreaming(g *graph.Graph, opts TwoHopOptions) *Streaming {
 	return st
 }
 
+// NewStreamingFromFrozen restores a Streaming substrate from persisted
+// state: g is the live graph the arena was built from (a loaded segment,
+// not a fresh build) and th the deserialized frozen arena. The dynamic
+// closure — the expensive half — is NOT built here: inserted edges are
+// buffered (deduplicated against g and each other) and the closure
+// hydrates lazily on the first SnapshotGraph, which runs on the rebuild
+// path, off serving. A warm restart therefore pays segment load plus WAL
+// replay, never a closure or 2-hop construction.
+func NewStreamingFromFrozen(g *graph.Graph, th *TwoHop, opts TwoHopOptions) *Streaming {
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = DefaultMaxHops
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultTwoHopBatch
+	}
+	st := &Streaming{
+		opts:       opts,
+		base:       g,
+		pendingSet: make(map[[2]graph.NodeID]struct{}),
+	}
+	st.frozen.Store(th)
+	return st
+}
+
 // Frozen returns the currently serving 2-hop arena.
 func (st *Streaming) Frozen() *TwoHop { return st.frozen.Load() }
+
+// MaxHops returns the hop bound H the substrate builds arenas with.
+func (st *Streaming) MaxHops() int { return st.opts.MaxHops }
+
+// insertPendingLocked buffers one edge in deferred (pre-hydration) mode,
+// reporting whether it was new relative to the restored graph and the
+// buffer.
+func (st *Streaming) insertPendingLocked(u, v graph.NodeID) bool {
+	key := [2]graph.NodeID{u, v}
+	if st.base.HasEdge(u, v) {
+		return false
+	}
+	if _, dup := st.pendingSet[key]; dup {
+		return false
+	}
+	st.pendingSet[key] = struct{}{}
+	st.pending = append(st.pending, key)
+	return true
+}
+
+// hydrateLocked builds the dynamic closure from the restored graph and
+// replays the buffered edges into it. Called with mu held for writing.
+func (st *Streaming) hydrateLocked() {
+	if st.dc != nil {
+		return
+	}
+	dc := NewDynamicClosure(st.base, st.opts.MaxHops)
+	for _, p := range st.pending {
+		dc.InsertEdge(p[0], p[1])
+	}
+	st.dc = dc
+	st.base = nil
+	st.pending = nil
+	st.pendingSet = nil
+}
 
 // InsertEdge applies one follow edge u → v to the live closure, reporting
 // whether it was new. The frozen arena is untouched: staleness grows by
@@ -72,7 +139,11 @@ func (st *Streaming) Frozen() *TwoHop { return st.frozen.Load() }
 func (st *Streaming) InsertEdge(u, v graph.NodeID) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if !st.dc.InsertEdge(u, v) {
+	if st.dc == nil {
+		if !st.insertPendingLocked(u, v) {
+			return false
+		}
+	} else if !st.dc.InsertEdge(u, v) {
 		return false
 	}
 	st.applied++
@@ -87,7 +158,13 @@ func (st *Streaming) InsertEdges(pairs [][2]graph.NodeID) int {
 	defer st.mu.Unlock()
 	n := 0
 	for _, p := range pairs {
-		if st.dc.InsertEdge(p[0], p[1]) {
+		var fresh bool
+		if st.dc == nil {
+			fresh = st.insertPendingLocked(p[0], p[1])
+		} else {
+			fresh = st.dc.InsertEdge(p[0], p[1])
+		}
+		if fresh {
 			n++
 		}
 	}
@@ -99,9 +176,18 @@ func (st *Streaming) InsertEdges(pairs [][2]graph.NodeID) int {
 // returns it with the applied-edge count it reflects. The pair is what a
 // rebuild needs: build the arena from the graph, install it stamped with
 // the count.
+// A warm-restored substrate hydrates its dynamic closure here, on the
+// first call — the rebuild path, not the serving path.
 func (st *Streaming) SnapshotGraph() (*graph.Graph, int64) {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
+	if st.dc != nil {
+		defer st.mu.RUnlock()
+		return st.dc.Snapshot(), st.applied
+	}
+	st.mu.RUnlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.hydrateLocked()
 	return st.dc.Snapshot(), st.applied
 }
 
@@ -111,8 +197,16 @@ func (st *Streaming) SnapshotGraph() (*graph.Graph, int64) {
 // The result is not installed — callers publish it via Install under the
 // linker's write lock so the swap excludes concurrent scorers.
 func (st *Streaming) Rebuild() (*TwoHop, int64) {
+	_, th, at := st.RebuildSnapshot()
+	return th, at
+}
+
+// RebuildSnapshot is Rebuild keeping the graph the arena was built from —
+// the persistence path needs the (graph, arena) pair so the snapshot's
+// graph segment matches the reach segment's fingerprint exactly.
+func (st *Streaming) RebuildSnapshot() (*graph.Graph, *TwoHop, int64) {
 	g, at := st.SnapshotGraph()
-	return BuildTwoHop(g, st.opts), at
+	return g, BuildTwoHop(g, st.opts), at
 }
 
 // Install publishes a rebuilt arena as the serving index. It performs
@@ -156,11 +250,16 @@ func (st *Streaming) R(u, v graph.NodeID) float64 {
 	return st.frozen.Load().R(u, v)
 }
 
-// SizeBytes implements Index: the frozen arena plus the live closure.
+// SizeBytes implements Index: the frozen arena plus the live closure (or
+// the pending-edge buffer while the closure is deferred).
 func (st *Streaming) SizeBytes() int64 {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.frozen.Load().SizeBytes() + st.dc.SizeBytes()
+	live := int64(len(st.pending)) * 8
+	if st.dc != nil {
+		live = st.dc.SizeBytes()
+	}
+	return st.frozen.Load().SizeBytes() + live
 }
 
 // BuildStats implements Index, reporting the frozen arena's stats.

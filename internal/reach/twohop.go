@@ -117,6 +117,9 @@ type TwoHopBuildInfo struct {
 // loaded with ReadTwoHop reports zero Workers/BatchSize.
 func (th *TwoHop) BuildInfo() TwoHopBuildInfo { return th.info }
 
+// MaxHops returns the hop bound H the cover was built with.
+func (th *TwoHop) MaxHops() int { return th.h }
+
 func (th *TwoHop) outLabels(u graph.NodeID) []thLabelFlat {
 	return th.outLab[th.outOff[u]:th.outOff[u+1]]
 }

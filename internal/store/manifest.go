@@ -1,0 +1,125 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"microlink/internal/synth"
+)
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+)
+
+// Manifest is the commit record of one snapshot generation. It is the
+// single mutable file in the layout, replaced atomically by rename, so a
+// crash during Commit leaves either the old snapshot or the new one —
+// never a half-written mix.
+type Manifest struct {
+	// Version is the layout format version (manifestVersion).
+	Version int `json:"version"`
+	// Seq is the snapshot generation, embedded in segment file names.
+	Seq uint64 `json:"seq"`
+	// CreatedUnix is the commit wall time, seconds since the epoch.
+	CreatedUnix int64 `json:"created_unix"`
+	// World regenerates the deterministic base dataset (graph, KB,
+	// corpus); only state beyond it is serialized in segments.
+	World synth.Params `json:"world"`
+	// Reach names the persisted index kind: ReachClosure, ReachTwoHop or
+	// ReachStreaming.
+	Reach string `json:"reach"`
+	// MaxHops is the bounded-reachability horizon the index was built
+	// with (0 for unbounded closure).
+	MaxHops int `json:"max_hops,omitempty"`
+	// Segments maps segment base names (graph, ckb, tweets, reach) to
+	// file names inside the data directory.
+	Segments map[string]string `json:"segments"`
+	// WALSeq is the first WAL file extending this snapshot: replay
+	// starts there and pruning deletes everything below it.
+	WALSeq uint64 `json:"wal_seq"`
+}
+
+// readManifest loads and validates path. A missing file is (nil, nil) —
+// an empty data directory, not an error.
+func readManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrManifest, path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrManifest, path, m.Version, manifestVersion)
+	}
+	switch m.Reach {
+	case ReachClosure, ReachTwoHop, ReachStreaming:
+	default:
+		return nil, fmt.Errorf("%w: %s: unknown reach kind %q", ErrManifest, path, m.Reach)
+	}
+	if m.Seq == 0 || m.WALSeq == 0 {
+		return nil, fmt.Errorf("%w: %s: zero sequence numbers", ErrManifest, path)
+	}
+	for _, name := range []string{segGraphName, segCKBName, segTweetsName, segReachName} {
+		if m.Segments[name] == "" {
+			return nil, fmt.Errorf("%w: %s: missing %s segment entry", ErrManifest, path, name)
+		}
+	}
+	return &m, nil
+}
+
+// writeManifest commits man atomically: write MANIFEST.tmp, sync it,
+// rename over MANIFEST, sync the directory so the rename is durable.
+func writeManifest(dir string, man *Manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := writeFileSynced(tmp, append(b, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSynced writes data to a fresh file and syncs it before close.
+func writeFileSynced(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncDir makes a just-renamed directory entry durable. Best-effort:
+// platforms that refuse to open directories are tolerated.
+func syncDir(dir string) (err error) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer func() {
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return d.Sync()
+}

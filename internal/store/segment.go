@@ -1,0 +1,347 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"strings"
+
+	"microlink/internal/graph"
+	"microlink/internal/kb"
+	"microlink/internal/tweets"
+)
+
+// Segment file format (little endian):
+//
+//	header:  magic "MLSG" | version u16 | kind u8
+//	payload: kind-specific, self-delimiting
+//	trailer: crc64(payload) u64
+//
+// Segments are immutable: written once under a fresh sequence-numbered
+// name, made visible by the manifest commit, deleted when a newer
+// generation supersedes them. The reach segment is the exception — it
+// uses the reach package's own (equally versioned and checksummed) MLRI
+// format verbatim, so the arena bytes on disk are exactly what
+// reach.WriteTo produces.
+
+const (
+	segMagic   = "MLSG"
+	segVersion = 1
+
+	segKindGraph  = 1
+	segKindCKB    = 2
+	segKindTweets = 3
+
+	// Decode-time sanity bounds: a corrupt count field must produce a
+	// typed error, not an absurd allocation.
+	maxNodes      = 1 << 28
+	maxEdges      = 1 << 33
+	maxEntities   = 1 << 24
+	maxPostings   = 1 << 31
+	maxTweets     = 1 << 28
+	maxTweetBytes = 1 << 36
+)
+
+// Segment base names, used as manifest keys and in file names.
+const (
+	segGraphName  = "graph"
+	segCKBName    = "ckb"
+	segTweetsName = "tweets"
+	segReachName  = "reach"
+)
+
+// segName formats the file name of a segment at generation seq.
+func segName(seq uint64, kind string) string {
+	return fmt.Sprintf("seg-%06d-%s.bin", seq, kind)
+}
+
+// isSegName reports whether name looks like a segment file (for pruning).
+func isSegName(name string) bool {
+	return strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".bin")
+}
+
+// writeSegment writes one framed segment: header, payload (checksummed
+// as written), trailer. The file is synced before close so a committed
+// manifest never references a segment the OS might still lose.
+func writeSegment(path string, kind uint8, payload func(w io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		return err
+	}
+	var hdr [3]byte
+	binary.LittleEndian.PutUint16(hdr[:2], segVersion)
+	hdr[2] = kind
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	if err := payload(cw); err != nil {
+		return err
+	}
+	var tr [8]byte
+	binary.LittleEndian.PutUint64(tr[:], cw.crc)
+	if _, err := bw.Write(tr[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// writeRawSegment writes an externally-framed segment (the reach arena,
+// which carries its own magic, version, fingerprint and checksum).
+func writeRawSegment(path string, wt io.WriterTo) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := wt.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readSegment validates the header, streams the payload through fn with
+// checksum accounting, and verifies the trailer.
+func readSegment(path string, kind uint8, payload func(r io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("%w: %s: short header", ErrSegment, path)
+	}
+	if string(hdr[:4]) != segMagic {
+		return fmt.Errorf("%w: %s: bad magic %q", ErrSegment, path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != segVersion {
+		return fmt.Errorf("%w: %s: version %d, want %d", ErrSegmentVersion, path, v, segVersion)
+	}
+	if hdr[6] != kind {
+		return fmt.Errorf("%w: %s: kind %d, want %d", ErrSegment, path, hdr[6], kind)
+	}
+
+	cr := &crcReader{r: br}
+	if err := payload(cr); err != nil {
+		return err
+	}
+	var tr [8]byte
+	if _, err := io.ReadFull(br, tr[:]); err != nil {
+		return fmt.Errorf("%w: %s: missing checksum trailer", ErrSegment, path)
+	}
+	if want := binary.LittleEndian.Uint64(tr[:]); cr.crc != want {
+		return fmt.Errorf("%w: %s: checksum mismatch", ErrSegment, path)
+	}
+	return nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc64.Update(cw.crc, walCRCTable, p)
+	return cw.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc64.Update(cr.crc, walCRCTable, p[:n])
+	return n, err
+}
+
+// Graph payload: n u32 | m u64 | m × (u i32, v i32) in CSR order.
+
+func writeGraphPayload(w io.Writer, g *graph.Graph) error {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(g.NumNodes()))
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(g.NumEdges()))
+	if _, err := w.Write(buf[:12]); err != nil {
+		return err
+	}
+	var edge [8]byte
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Out(graph.NodeID(u)) {
+			binary.LittleEndian.PutUint32(edge[:4], uint32(u))
+			binary.LittleEndian.PutUint32(edge[4:], uint32(v))
+			if _, err := w.Write(edge[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readGraphPayload(r io.Reader) (*graph.Graph, error) {
+	var buf [12]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: graph header: %v", ErrSegment, err)
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	m := binary.LittleEndian.Uint64(buf[4:12])
+	if n > maxNodes || m > maxEdges {
+		return nil, fmt.Errorf("%w: graph claims %d nodes / %d edges", ErrSegment, n, m)
+	}
+	b := graph.NewBuilder(int(n))
+	var edge [8]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(r, edge[:]); err != nil {
+			return nil, fmt.Errorf("%w: graph edge %d: %v", ErrSegment, i, err)
+		}
+		u := int32(binary.LittleEndian.Uint32(edge[:4]))
+		v := int32(binary.LittleEndian.Uint32(edge[4:]))
+		// Builder.AddEdge panics on out-of-range nodes; corruption must
+		// surface as a typed error instead.
+		if u < 0 || v < 0 || u >= int32(n) || v >= int32(n) {
+			return nil, fmt.Errorf("%w: graph edge %d→%d out of range [0,%d)", ErrSegment, u, v, n)
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build(), nil
+}
+
+// Complemented-KB payload: nEntities u32 | per entity: count u32 +
+// count × (tweet i64, user i32, time i64), lists in captured
+// (time-sorted) order. Per-user tallies are re-derived on load.
+
+func writePostingsPayload(w io.Writer, postings [][]kb.Posting) error {
+	var buf [20]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(postings)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, ps := range postings {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(ps)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+		for _, p := range ps {
+			binary.LittleEndian.PutUint64(buf[:8], uint64(p.Tweet))
+			binary.LittleEndian.PutUint32(buf[8:12], uint32(p.User))
+			binary.LittleEndian.PutUint64(buf[12:20], uint64(p.Time))
+			if _, err := w.Write(buf[:20]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readPostingsPayload(r io.Reader) ([][]kb.Posting, error) {
+	var buf [20]byte
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, fmt.Errorf("%w: ckb header: %v", ErrSegment, err)
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	if n > maxEntities {
+		return nil, fmt.Errorf("%w: ckb claims %d entities", ErrSegment, n)
+	}
+	out := make([][]kb.Posting, n)
+	var total uint64
+	for e := range out {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return nil, fmt.Errorf("%w: ckb entity %d: %v", ErrSegment, e, err)
+		}
+		cnt := binary.LittleEndian.Uint32(buf[:4])
+		total += uint64(cnt)
+		if total > maxPostings {
+			return nil, fmt.Errorf("%w: ckb claims over %d postings", ErrSegment, maxPostings)
+		}
+		if cnt == 0 {
+			continue
+		}
+		ps := make([]kb.Posting, cnt)
+		for i := range ps {
+			if _, err := io.ReadFull(r, buf[:20]); err != nil {
+				return nil, fmt.Errorf("%w: ckb entity %d posting %d: %v", ErrSegment, e, i, err)
+			}
+			ps[i] = kb.Posting{
+				Tweet: int64(binary.LittleEndian.Uint64(buf[:8])),
+				User:  kb.UserID(int32(binary.LittleEndian.Uint32(buf[8:12]))),
+				Time:  int64(binary.LittleEndian.Uint64(buf[12:20])),
+			}
+		}
+		out[e] = ps
+	}
+	return out, nil
+}
+
+// Live-tweet payload: count u32 | byteLen u64 | byteLen bytes of packed
+// tweet bodies (the WAL tweet encoding), in arrival order. The byte
+// length makes the payload self-delimiting, leaving the checksum trailer
+// to readSegment.
+
+func writeTweetsPayload(w io.Writer, ts []tweets.Tweet) error {
+	body := make([]byte, 0, 64*len(ts))
+	for i := range ts {
+		var err error
+		if body, err = appendTweet(body, &ts[i]); err != nil {
+			return err
+		}
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ts)))
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(len(body)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readTweetsPayload(r io.Reader) ([]tweets.Tweet, error) {
+	var buf [12]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: tweets header: %v", ErrSegment, err)
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	byteLen := binary.LittleEndian.Uint64(buf[4:12])
+	if n > maxTweets || byteLen > maxTweetBytes {
+		return nil, fmt.Errorf("%w: tweets segment claims %d tweets in %d bytes", ErrSegment, n, byteLen)
+	}
+	body := make([]byte, byteLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: tweets payload: %v", ErrSegment, err)
+	}
+	d := &decoder{b: body}
+	out := make([]tweets.Tweet, 0, min(int(n), 1<<20))
+	for i := uint32(0); i < n; i++ {
+		tw, err := decodeTweet(d)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tweet %d: %v", ErrSegment, i, err)
+		}
+		out = append(out, tw)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in tweets segment", ErrSegment, len(d.b))
+	}
+	return out, nil
+}

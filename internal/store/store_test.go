@@ -1,0 +1,615 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"microlink/internal/graph"
+	"microlink/internal/kb"
+	"microlink/internal/synth"
+	"microlink/internal/tweets"
+)
+
+func sampleTweet(id int64) tweets.Tweet {
+	return tweets.Tweet{
+		ID:   id,
+		User: kb.UserID(7),
+		Time: 1000 + id,
+		Text: "galaxy launch @ court",
+		Mentions: []tweets.Mention{
+			{Surface: "galaxy", Start: 0, End: 1, Truth: 3, Kind: tweets.KindProfile},
+			{Surface: "court", Start: 3, End: 4, Truth: 9, Kind: tweets.KindHot},
+		},
+	}
+}
+
+func sampleRecords() []Record {
+	tw1 := sampleTweet(1)
+	tw2 := sampleTweet(2)
+	tw3 := sampleTweet(3)
+	return []Record{
+		TweetRecord(&tw1, []kb.EntityID{3, 9}),
+		TweetRecord(&tw2, nil), // NoFeedback: links nil, must stay nil
+		FollowRecord(4, 11),
+		FeedbackRecord(&tw3, []kb.EntityID{5}),
+	}
+}
+
+func sampleGraph() *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 5)
+	return b.Build()
+}
+
+// fakeIndex stands in for a reach arena at the store layer, which treats
+// the reach segment as an opaque self-checked blob.
+type fakeIndex struct{ data []byte }
+
+func (f fakeIndex) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(f.data)
+	return int64(n), err
+}
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		World: synth.Params{Seed: 42, Users: 50, Topics: 3},
+		Graph: sampleGraph(),
+		Postings: [][]kb.Posting{
+			{{Tweet: 1, User: 7, Time: 1001}, {Tweet: 2, User: 8, Time: 1002}},
+			nil,
+			{{Tweet: 3, User: 7, Time: 1003}},
+		},
+		Tweets:  []tweets.Tweet{sampleTweet(1), sampleTweet(2)},
+		Reach:   ReachStreaming,
+		MaxHops: 2,
+		Index:   fakeIndex{data: []byte("MLRI-stand-in arena bytes")},
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func commitSample(t *testing.T, s *Store) uint64 {
+	t.Helper()
+	seq, err := s.Commit(sampleSnapshot())
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return seq
+}
+
+func TestEmptyDirectory(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	if s.Manifest() != nil {
+		t.Fatal("fresh directory should have no manifest")
+	}
+	if _, err := s.LoadGraph(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("LoadGraph on empty dir: got %v, want ErrNoSnapshot", err)
+	}
+	if _, err := s.Replay(func(*Record) error { return nil }); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Replay on empty dir: got %v, want ErrNoSnapshot", err)
+	}
+	if err := s.Append(sampleRecords()); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Append before Rotate: got %v, want ErrNoWAL", err)
+	}
+	if _, err := s.Commit(sampleSnapshot()); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Commit before Rotate: got %v, want ErrNoWAL", err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	commitSample(t, s)
+	want := sampleRecords()
+	if err := s.Append(want); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir)
+	var got []Record
+	stats, err := s2.Replay(func(r *Record) error {
+		cp := *r
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if stats.TornTail {
+		t.Error("clean close reported a torn tail")
+	}
+	if stats.Records != int64(len(want)) {
+		t.Fatalf("replayed %d records, want %d", stats.Records, len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ:\n got %+v\nwant %+v", got, want)
+	}
+	if got[1].Links != nil {
+		t.Error("nil links did not survive the round trip")
+	}
+}
+
+func TestWALSpansRotations(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	recs := sampleRecords()
+	if err := s.Append(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(recs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	var got []Record
+	stats, err := s2.Replay(func(r *Record) error { got = append(got, *r); return nil })
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if stats.Files != 2 {
+		t.Errorf("visited %d files, want 2", stats.Files)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay across rotation lost order:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+// walPath returns the single WAL file in dir, failing if there isn't
+// exactly one.
+func walPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one WAL file, got %v (%v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	recs := sampleRecords()
+	if err := s.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop into the final record's checksum: the crash signature.
+	path := walPath(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	var n int
+	stats, err := s2.Replay(func(*Record) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("Replay over torn tail: %v", err)
+	}
+	if !stats.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if n != len(recs)-1 {
+		t.Fatalf("replayed %d records, want %d (last torn away)", n, len(recs)-1)
+	}
+
+	// The torn record was truncated off: a second pass sees a clean file.
+	stats2, err := s2.Replay(func(*Record) error { return nil })
+	if err != nil {
+		t.Fatalf("second Replay: %v", err)
+	}
+	if stats2.TornTail {
+		t.Error("tail still torn after truncating pass")
+	}
+	if stats2.Records != int64(len(recs)-1) {
+		t.Errorf("second pass replayed %d records, want %d", stats2.Records, len(recs)-1)
+	}
+}
+
+func TestWALChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	if err := s.Append(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the first record's payload — mid-file damage,
+	// not a torn tail.
+	path := walPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[walHeaderSize+10] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	_, err = s2.Replay(func(*Record) error { return nil })
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("Replay over flipped byte: got %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestWALVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := walPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] = 0xEE // version low byte
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	_, err = s2.Replay(func(*Record) error { return nil })
+	if !errors.Is(err, ErrWAL) {
+		t.Fatalf("Replay with version skew: got %v, want ErrWAL", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sampleSnapshot()
+	seq, err := s.Commit(snap)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if seq != 1 {
+		t.Errorf("first commit seq = %d, want 1", seq)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	man := s2.Manifest()
+	if man == nil {
+		t.Fatal("manifest missing after reopen")
+	}
+	if man.Seq != 1 || man.Reach != ReachStreaming || man.MaxHops != 2 {
+		t.Errorf("manifest fields wrong: %+v", man)
+	}
+	if man.World != snap.World {
+		t.Errorf("world params did not round-trip: %+v", man.World)
+	}
+
+	g, err := s2.LoadGraph()
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	if g.NumNodes() != snap.Graph.NumNodes() || g.NumEdges() != snap.Graph.NumEdges() {
+		t.Fatalf("graph shape %d/%d, want %d/%d",
+			g.NumNodes(), g.NumEdges(), snap.Graph.NumNodes(), snap.Graph.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if !reflect.DeepEqual(g.Out(graph.NodeID(u)), snap.Graph.Out(graph.NodeID(u))) {
+			t.Fatalf("out-edges of %d differ", u)
+		}
+	}
+
+	ps, err := s2.LoadPostings()
+	if err != nil {
+		t.Fatalf("LoadPostings: %v", err)
+	}
+	if len(ps) != len(snap.Postings) {
+		t.Fatalf("got %d posting lists, want %d", len(ps), len(snap.Postings))
+	}
+	for e := range ps {
+		if len(ps[e]) == 0 && len(snap.Postings[e]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(ps[e], snap.Postings[e]) {
+			t.Fatalf("postings for entity %d differ: %+v vs %+v", e, ps[e], snap.Postings[e])
+		}
+	}
+
+	ts, err := s2.LoadTweets()
+	if err != nil {
+		t.Fatalf("LoadTweets: %v", err)
+	}
+	if !reflect.DeepEqual(ts, snap.Tweets) {
+		t.Fatalf("tweets differ:\n got %+v\nwant %+v", ts, snap.Tweets)
+	}
+
+	rc, err := s2.OpenReach()
+	if err != nil {
+		t.Fatalf("OpenReach: %v", err)
+	}
+	raw, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(raw, []byte("MLRI-stand-in arena bytes")) {
+		t.Fatalf("reach segment bytes differ (%v): %q", err, raw)
+	}
+}
+
+func TestCommitPrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	if err := s.Append(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	// Second snapshot: rotate (barrier), commit, old WAL + segments gone.
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq := commitSample(t, s); seq != 2 {
+		t.Fatalf("second commit seq = %d, want 2", seq)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseWALName(name); ok && seq < 2 {
+			t.Errorf("stale WAL file %s survived prune", name)
+		}
+		if isSegName(name) && name[:10] != "seg-000002" {
+			t.Errorf("stale segment %s survived prune", name)
+		}
+	}
+
+	// The pruned directory must still replay (zero records).
+	stats, err := s.ReplayForTest()
+	if err != nil {
+		t.Fatalf("Replay after prune: %v", err)
+	}
+	if stats.Records != 0 {
+		t.Errorf("replayed %d records from pruned WAL, want 0", stats.Records)
+	}
+}
+
+// ReplayForTest closes the open WAL (replay must not race appends) and
+// replays into the void.
+func (s *Store) ReplayForTest() (ReplayStats, error) {
+	if err := s.Close(); err != nil {
+		return ReplayStats{}, err
+	}
+	return s.Replay(func(*Record) error { return nil })
+}
+
+func segmentPath(t *testing.T, s *Store, kind string) string {
+	t.Helper()
+	p, err := s.segPath(kind)
+	if err != nil {
+		t.Fatalf("segPath(%s): %v", kind, err)
+	}
+	return p
+}
+
+func TestSegmentVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	path := segmentPath(t, s, segGraphName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] = 0xEE // version low byte
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadGraph(); !errors.Is(err, ErrSegmentVersion) {
+		t.Fatalf("LoadGraph with version skew: got %v, want ErrSegmentVersion", err)
+	}
+}
+
+func TestSegmentChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	for _, kind := range []string{segCKBName, segTweetsName} {
+		path := segmentPath(t, s, kind)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-12] ^= 0xFF // inside payload or checksum either way
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var loadErr error
+		switch kind {
+		case segCKBName:
+			_, loadErr = s.LoadPostings()
+		case segTweetsName:
+			_, loadErr = s.LoadTweets()
+		}
+		if !errors.Is(loadErr, ErrSegment) {
+			t.Errorf("load %s with flipped byte: got %v, want ErrSegment", kind, loadErr)
+		}
+	}
+}
+
+func TestSegmentTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	path := segmentPath(t, s, segGraphName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadGraph(); !errors.Is(err, ErrSegment) {
+		t.Fatalf("LoadGraph on truncated segment: got %v, want ErrSegment", err)
+	}
+}
+
+func TestSegmentBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	path := segmentPath(t, s, segTweetsName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b, "NOPE")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadTweets(); !errors.Is(err, ErrSegment) {
+		t.Fatalf("LoadTweets with bad magic: got %v, want ErrSegment", err)
+	}
+}
+
+func TestManifestDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+
+	// Corrupt JSON.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrManifest) {
+		t.Fatalf("Open with corrupt manifest: got %v, want ErrManifest", err)
+	}
+
+	// Version skew.
+	if err := os.WriteFile(path, []byte(`{"version":99,"seq":1,"wal_seq":1,"reach":"twohop","segments":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrManifest) {
+		t.Fatalf("Open with manifest version skew: got %v, want ErrManifest", err)
+	}
+
+	// Unknown reach kind.
+	if err := os.WriteFile(path, []byte(`{"version":1,"seq":1,"wal_seq":1,"reach":"psychic","segments":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrManifest) {
+		t.Fatalf("Open with unknown reach kind: got %v, want ErrManifest", err)
+	}
+}
+
+func TestRecordEncodingRejectsOversize(t *testing.T) {
+	tw := sampleTweet(1)
+	tw.Text = string(make([]byte, maxTextLen+1))
+	r := TweetRecord(&tw, nil)
+	if _, err := appendRecord(nil, &r); err == nil {
+		t.Fatal("oversized tweet text encoded without error")
+	}
+}
+
+func TestWALStatsAndLastSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if b, r := s.WALStats(); b != 0 || r != 0 {
+		t.Errorf("fresh store WALStats = %d/%d, want 0/0", b, r)
+	}
+	if seq, _ := s.LastSnapshot(); seq != 0 {
+		t.Errorf("fresh store LastSnapshot seq = %d, want 0", seq)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	commitSample(t, s)
+	if err := s.Append(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	b, r := s.WALStats()
+	if r != int64(len(sampleRecords())) {
+		t.Errorf("WALStats records = %d, want %d", r, len(sampleRecords()))
+	}
+	if b <= walHeaderSize {
+		t.Errorf("WALStats bytes = %d, want > header", b)
+	}
+	seq, at := s.LastSnapshot()
+	if seq != 1 || at.IsZero() {
+		t.Errorf("LastSnapshot = %d/%v, want 1/non-zero", seq, at)
+	}
+}

@@ -67,6 +67,17 @@ func (s *LiveStore) Recent(n int) []Tweet {
 	return out
 }
 
+// All returns a copy of the corpus in arrival order — the persistence
+// capture: replaying Append over it reproduces the store exactly,
+// per-user indexes included.
+func (s *LiveStore) All() []Tweet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Tweet, len(s.all))
+	copy(out, s.all)
+	return out
+}
+
 // Snapshot freezes the current contents into a regular (time-sorted,
 // immutable) Store.
 func (s *LiveStore) Snapshot() *Store {

@@ -36,6 +36,7 @@ import (
 	"microlink/internal/obs"
 	"microlink/internal/reach"
 	"microlink/internal/recency"
+	"microlink/internal/store"
 	"microlink/internal/synth"
 	"microlink/internal/tweets"
 )
@@ -187,8 +188,13 @@ type Options struct {
 	Candidate candidate.Options
 	// PrebuiltReach substitutes a previously built (or loaded) reachability
 	// index; when set, Build skips index construction and ignores Reach.
-	// It must have been built over the same graph (see LoadReachIndex).
+	// It must have been built over the same graph (see Open).
 	PrebuiltReach ReachIndex
+	// Fsync syncs the write-ahead log on every append when the system is
+	// bound to a data directory (Open / System.Snapshot). Off, appends
+	// are flushed to the OS per batch — durable against process death
+	// (kill -9) but not against power loss.
+	Fsync bool
 	// DisableMetrics builds the stack without hot-path instrumentation:
 	// System.Metrics stays an empty registry, the linker records no stage
 	// timings, and reachability queries go to the raw index. For
@@ -225,6 +231,25 @@ type System struct {
 	ingestMu sync.Mutex      // microlint:lock-order sys-ingest
 	pipe     *IngestPipeline // microlint:guarded-by ingestMu
 
+	// persistMu serialises snapshot commits and store attachment. It is
+	// acquired before every other lock a snapshot touches: the barrier
+	// (ingest-apply), the rebuild manager, the store, and the state locks
+	// captured under the barrier. StartIngest reads persist before
+	// taking ingestMu, so sys-ingest never nests inside sys-persist's
+	// subordinates.
+	//
+	// microlint:lock-order sys-persist < sys-ingest
+	// microlint:lock-order sys-persist < ingest-apply
+	// microlint:lock-order sys-persist < ingest-rebuild
+	// microlint:lock-order sys-persist < store
+	// microlint:lock-order sys-persist < ckb
+	// microlint:lock-order sys-persist < reach-stream
+	// microlint:lock-order sys-persist < tweets-live
+	// microlint:lock-order sys-persist < linker
+	persistMu sync.Mutex   // microlint:lock-order sys-persist
+	persist   *store.Store // microlint:guarded-by persistMu — nil until Open/Snapshot binds a directory
+	fsync     bool
+
 	textOnce sync.Once
 	textByID map[int64]string
 }
@@ -235,7 +260,13 @@ type System struct {
 func Generate(p WorldParams) *World { return synth.Generate(p) }
 
 // Build assembles the full linking stack over a generated world.
-func Build(w *World, opts Options) *System {
+func Build(w *World, opts Options) *System { return build(w, opts, nil) }
+
+// build is Build parameterised over a pre-existing complemented KB: the
+// warm-restart path (Open) supplies one restored from a snapshot segment
+// so the offline complementation phase — collective linking over the
+// whole active corpus — is skipped entirely.
+func build(w *World, opts Options, pre *kb.Complemented) *System {
 	if opts.MaxHops <= 0 {
 		opts.MaxHops = reach.DefaultMaxHops
 	}
@@ -245,12 +276,14 @@ func Build(w *World, opts Options) *System {
 
 	cand := candidate.NewIndex(w.KB, opts.Candidate)
 
-	activeStore := w.Store.FilterByActivity(opts.ComplementTheta, 0)
 	var ckb *kb.Complemented
-	if opts.TruthComplement {
-		ckb = w.ComplementTruth(activeStore)
-	} else {
-		ckb = w.ComplementCollective(activeStore, cand)
+	switch {
+	case pre != nil:
+		ckb = pre
+	case opts.TruthComplement:
+		ckb = w.ComplementTruth(w.Store.FilterByActivity(opts.ComplementTheta, 0))
+	default:
+		ckb = w.ComplementCollective(w.Store.FilterByActivity(opts.ComplementTheta, 0), cand)
 	}
 
 	var rx reach.Index
@@ -303,6 +336,7 @@ func Build(w *World, opts Options) *System {
 		Metrics:    reg,
 		TestSet:    w.Store.FilterByActivity(1, 9),
 		Live:       tweets.NewLiveStore(),
+		fsync:      opts.Fsync,
 	}
 }
 
@@ -382,6 +416,14 @@ func (s *System) StartIngest(cfg IngestConfig) (*IngestPipeline, error) {
 	if !ok {
 		return nil, ErrNotStreaming
 	}
+	// Read the store before ingestMu: persistMu sits above sys-ingest in
+	// the lock order (Snapshot holds it while querying the pipeline).
+	s.persistMu.Lock()
+	var journal ingest.Journal
+	if s.persist != nil {
+		journal = s.persist
+	}
+	s.persistMu.Unlock()
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if s.pipe != nil {
@@ -392,6 +434,7 @@ func (s *System) StartIngest(cfg IngestConfig) (*IngestPipeline, error) {
 		Stream:  st,
 		Live:    s.Live,
 		Metrics: s.Metrics,
+		Journal: journal,
 	}, cfg)
 	if err != nil {
 		return nil, err
@@ -409,6 +452,10 @@ func (s *System) Ingest() *IngestPipeline {
 
 // SaveReachIndex serialises a transitive-closure or 2-hop index to path.
 // The naive oracle holds no index and returns an error.
+//
+// Deprecated: SaveReachIndex persists the reachability index alone. Use
+// System.Snapshot, which captures the whole system state — KB postings,
+// live tweets, graph, arena and WAL position — into a data directory.
 func SaveReachIndex(path string, idx ReachIndex) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -435,6 +482,10 @@ func SaveReachIndex(path string, idx ReachIndex) error {
 
 // LoadReachIndex reloads an index saved with SaveReachIndex, validating it
 // against g. kind must match the saved index's kind.
+//
+// Deprecated: LoadReachIndex restores the reachability index alone. Use
+// Open, which rebuilds a whole System from a data directory and replays
+// the write-ahead log on top.
 func LoadReachIndex(path string, g *graph.Graph, kind ReachKind) (ReachIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,490 @@
+package microlink
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"microlink/internal/reach"
+	"microlink/internal/store"
+	"microlink/internal/synth"
+)
+
+// persistWorldParams is shared by the persistence tests and the crash
+// child, which re-exec's this binary and must regenerate the identical
+// world.
+var persistWorldParams = WorldParams{Seed: 5, Users: 400, Topics: 6, EntitiesPerTopic: 10, Days: 20}
+
+func persistWorld() *World { return Generate(persistWorldParams) }
+
+// topKDump serialises a deterministic probe of the linker — every
+// ambiguous surface for a spread of users — as JSON. Two systems serving
+// identical answers produce byte-identical dumps.
+func topKDump(t *testing.T, sys *System, w *World) []byte {
+	t.Helper()
+	now := w.Horizon() + 7200
+	surfaces := ambiguousStreamSurfaces(w)
+	sort.Strings(surfaces) // EachSurface iterates a map; pin the probe set
+	if len(surfaces) > 8 {
+		surfaces = surfaces[:8]
+	}
+	type probe struct {
+		User    UserID
+		Surface string
+		TopK    []Scored
+	}
+	var probes []probe
+	for u := 0; u < w.Graph.NumNodes(); u += 37 {
+		for _, sf := range surfaces {
+			probes = append(probes, probe{
+				User:    UserID(u),
+				Surface: sf,
+				TopK:    sys.Linker.TopK(UserID(u), now, sf, 3),
+			})
+		}
+	}
+	b, err := json.Marshal(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// drainTo submits events [lo, hi) of stream into pipe, blocking on a
+// full queue.
+func drainTo(t *testing.T, pipe *IngestPipeline, stream []synth.StreamEvent, lo, hi int) {
+	t.Helper()
+	ctx := context.Background()
+	for _, ev := range stream[lo:hi] {
+		var e IngestEvent
+		if ev.Tweet != nil {
+			e = TweetEvent(ev.Tweet, nil)
+		} else {
+			e = FollowEvent(ev.U, ev.V)
+		}
+		if err := pipe.Submit(ctx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotOpenRoundTrip is the warm-restart happy path: snapshot a
+// streaming system mid-firehose, keep ingesting (those events tee into
+// the WAL), shut down cleanly, Open the directory, and require the
+// recovered system to serve byte-identical answers.
+func TestSnapshotOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := persistWorld()
+	opts := Options{Reach: ReachStreaming, TruthComplement: true}
+	sys := Build(w, opts)
+	pipe, err := sys.StartIngest(IngestConfig{BlockOnFull: true, RebuildAfterEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := synth.GenerateStream(w, synth.StreamParams{Seed: 9, Events: 400, FollowFraction: 0.3})
+
+	drainTo(t, pipe, stream, 0, 200)
+	info, err := sys.Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 || info.Dir != dir {
+		t.Fatalf("snapshot info = %+v", info)
+	}
+	drainTo(t, pipe, stream, 200, 400)
+	if err := pipe.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Persist()
+	if !st.Enabled || st.SnapshotSeq != 1 || st.WALRecords == 0 {
+		t.Fatalf("persist status = %+v", st)
+	}
+	if stats := pipe.Stats(); stats.JournalFailures != 0 {
+		t.Fatalf("journal failures: %d", stats.JournalFailures)
+	}
+	if err := sys.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq != 1 {
+		t.Fatalf("restored seq %d, want 1", rep.Seq)
+	}
+	if rep.Tweets == 0 || rep.Follows == 0 {
+		t.Fatalf("replay touched no events: %+v", rep)
+	}
+	if rep.TornTail {
+		t.Fatal("clean shutdown reported a torn tail")
+	}
+	if rep.WALRecords != rep.Tweets+rep.Follows+rep.Feedback {
+		t.Fatalf("record accounting: %+v", rep)
+	}
+	if _, ok := unwrapReach(sys2.Reach).(*reach.Streaming); !ok {
+		t.Fatalf("restored substrate %T, want *reach.Streaming", unwrapReach(sys2.Reach))
+	}
+	if sys2.Live.Len() != sys.Live.Len() {
+		t.Fatalf("live corpus: restored %d, original %d", sys2.Live.Len(), sys.Live.Len())
+	}
+	if sys2.CKB.TotalCount() != sys.CKB.TotalCount() {
+		t.Fatalf("ckb postings: restored %d, original %d", sys2.CKB.TotalCount(), sys.CKB.TotalCount())
+	}
+
+	// Align the frozen arenas with the live graphs on both sides, then
+	// require byte-identical rankings.
+	pipe.ForceRebuild()
+	if err := sys2.RebuildReach(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := topKDump(t, sys2, w), topKDump(t, sys, w); !bytes.Equal(got, want) {
+		t.Fatal("restored system serves different answers")
+	}
+	if err := sys2.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotOpenClosure covers the pipeline-less substrates: a
+// transitive-closure system snapshots and reopens with identical
+// answers and no WAL traffic.
+func TestSnapshotOpenClosure(t *testing.T) {
+	dir := t.TempDir()
+	w := persistWorld()
+	sys := Build(w, Options{Reach: ReachClosure, TruthComplement: true})
+	if _, err := sys.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WALRecords != 0 {
+		t.Fatalf("closure snapshot replayed %d records", rep.WALRecords)
+	}
+	if _, ok := unwrapReach(sys2.Reach).(*reach.TransitiveClosure); !ok {
+		t.Fatalf("restored substrate %T, want *reach.TransitiveClosure", unwrapReach(sys2.Reach))
+	}
+	if got, want := topKDump(t, sys2, w), topKDump(t, sys, w); !bytes.Equal(got, want) {
+		t.Fatal("restored closure system serves different answers")
+	}
+}
+
+// TestSnapshotErrors covers the API edges: snapshotting with no
+// directory bound, rebinding to a different directory, and the
+// non-snapshottable substrates.
+func TestSnapshotErrors(t *testing.T) {
+	w := persistWorld()
+	sys := Build(w, Options{Reach: ReachClosure, TruthComplement: true})
+	if _, err := sys.SnapshotNow(); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("SnapshotNow unbound: %v", err)
+	}
+	if st := sys.Persist(); st.Enabled {
+		t.Fatal("unbound system reports persistence enabled")
+	}
+	dir := t.TempDir()
+	if _, err := sys.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Snapshot(t.TempDir()); err == nil {
+		t.Fatal("rebinding to a second directory succeeded")
+	}
+	if _, err := sys.SnapshotNow(); err != nil {
+		t.Fatalf("SnapshotNow bound: %v", err)
+	}
+	if st := sys.Persist(); !st.Enabled || st.SnapshotSeq != 2 {
+		t.Fatalf("persist status = %+v", st)
+	}
+
+	naive := Build(w, Options{Reach: ReachNaive, TruthComplement: true})
+	if _, err := naive.Snapshot(t.TempDir()); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("naive snapshot: %v", err)
+	}
+	if _, _, err := Open(t.TempDir(), Options{}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("open empty dir: %v", err)
+	}
+}
+
+// snapshotClosureDir commits one closure snapshot of the shared world
+// and returns the directory and manifest, for the corruption matrix.
+func snapshotClosureDir(t *testing.T) (string, *store.Manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	sys := Build(persistWorld(), Options{Reach: ReachClosure, TruthComplement: true})
+	if _, err := sys.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man store.Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		t.Fatal(err)
+	}
+	return dir, &man
+}
+
+// TestOpenWrongWorld tampers the manifest's world parameters so the
+// regenerated graph no longer matches the persisted one; Open must fail
+// with the typed graph-mismatch error, not serve wrong answers.
+func TestOpenWrongWorld(t *testing.T) {
+	dir, man := snapshotClosureDir(t)
+	man.World.Users += 50
+	b, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, reach.ErrGraphMismatch) {
+		t.Fatalf("open with tampered world: %v", err)
+	}
+}
+
+// TestOpenCorruptSegment flips one payload byte in each segment kind and
+// requires Open to surface the store's typed errors.
+func TestOpenCorruptSegment(t *testing.T) {
+	for _, seg := range []string{"graph", "ckb", "tweets", "reach"} {
+		t.Run(seg, func(t *testing.T) {
+			dir, man := snapshotClosureDir(t)
+			path := filepath.Join(dir, man.Segments[seg])
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0xFF
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = Open(dir, Options{})
+			if err == nil {
+				t.Fatal("open succeeded on a corrupt segment")
+			}
+			// The reach segment uses the reach package's own framing and
+			// surfaces its typed error; the rest are store segments.
+			if seg == "reach" {
+				if !errors.Is(err, reach.ErrFormat) && !errors.Is(err, reach.ErrGraphMismatch) {
+					t.Fatalf("reach corruption: %v", err)
+				}
+			} else if !errors.Is(err, store.ErrSegment) {
+				t.Fatalf("%s corruption: %v", seg, err)
+			}
+		})
+	}
+}
+
+// TestOpenManifestDamage requires a damaged manifest to surface
+// ErrManifest through the facade.
+func TestOpenManifestDamage(t *testing.T) {
+	dir, _ := snapshotClosureDir(t)
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, store.ErrManifest) {
+		t.Fatalf("open with damaged manifest: %v", err)
+	}
+}
+
+// TestOpenTornWAL truncates the final WAL record mid-frame — the kill -9
+// signature — and requires Open to succeed, report the torn tail, and
+// keep every fully-written record.
+func TestOpenTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	w := persistWorld()
+	sys := Build(w, Options{Reach: ReachStreaming, TruthComplement: true})
+	pipe, err := sys.StartIngest(IngestConfig{BlockOnFull: true, RebuildAfterEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	stream := synth.GenerateStream(w, synth.StreamParams{Seed: 10, Events: 120, FollowFraction: 0.3})
+	drainTo(t, pipe, stream, 0, len(stream))
+	if err := pipe.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no WAL files: %v", err)
+	}
+	last := wals[len(wals)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail {
+		t.Fatal("truncated WAL not reported as torn")
+	}
+	if rep.WALRecords == 0 {
+		t.Fatal("torn tail dropped every record")
+	}
+}
+
+// crashChildEnv points the re-exec'd crash child at its data directory.
+const crashChildEnv = "MICROLINK_CRASH_DIR"
+
+// TestCrashChild is the helper process of TestCrashRecovery: it
+// snapshots an empty streaming system, then ingests a firehose forever,
+// printing applied-event progress until the parent SIGKILLs it.
+func TestCrashChild(t *testing.T) {
+	dir := os.Getenv(crashChildEnv)
+	if dir == "" {
+		t.Skip("helper process for TestCrashRecovery")
+	}
+	w := persistWorld()
+	sys := Build(w, Options{Reach: ReachStreaming, TruthComplement: true})
+	pipe, err := sys.StartIngest(IngestConfig{BlockOnFull: true, RebuildAfterEdges: -1})
+	if err != nil {
+		fmt.Printf("child-error: %v\n", err)
+		return
+	}
+	if _, err := sys.Snapshot(dir); err != nil {
+		fmt.Printf("child-error: %v\n", err)
+		return
+	}
+	fmt.Println("snapshotted")
+	stream := synth.GenerateStream(w, synth.StreamParams{Seed: 11, Events: 20000, FollowFraction: 0.3})
+	ctx := context.Background()
+	for i, ev := range stream {
+		var e IngestEvent
+		if ev.Tweet != nil {
+			e = TweetEvent(ev.Tweet, nil)
+		} else {
+			e = FollowEvent(ev.U, ev.V)
+		}
+		if err := pipe.Submit(ctx, e); err != nil {
+			fmt.Printf("child-error: %v\n", err)
+			return
+		}
+		if i%50 == 49 {
+			s := pipe.Stats()
+			fmt.Printf("applied %d\n", s.AppliedTweets+s.AppliedFollows)
+		}
+	}
+	// Stream exhausted before the parent killed us; idle so SIGKILL is
+	// still the only way out.
+	select {}
+}
+
+// TestCrashRecovery is the acceptance story: SIGKILL a child mid-
+// firehose, Open its data directory, and require answers byte-identical
+// to a reference system built fresh and fed the surviving WAL records
+// directly. The WAL is the acknowledgement boundary — whatever it holds
+// after the kill is exactly what the recovered system must serve.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test skipped in -short")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+	timer := time.AfterFunc(90*time.Second, func() { _ = cmd.Process.Kill() })
+	defer timer.Stop()
+
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "child-error:") {
+			t.Fatalf("crash child failed: %s", line)
+		}
+		if n, ok := strings.CutPrefix(line, "applied "); ok {
+			applied, err := strconv.ParseInt(n, 10, 64)
+			if err != nil {
+				t.Fatalf("bad progress line %q", line)
+			}
+			if applied >= 400 {
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL, mid-ingest
+		t.Fatal(err)
+	}
+	killed = true
+	_ = cmd.Wait()
+
+	sys2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if rep.WALRecords == 0 {
+		t.Fatal("kill landed before any WAL append; nothing recovered")
+	}
+	t.Logf("recovered seq %d: %d records (%d tweets, %d follows), torn=%v, generate=%v load=%v replay=%v",
+		rep.Seq, rep.WALRecords, rep.Tweets, rep.Follows, rep.TornTail, rep.Generate, rep.Load, rep.Replay)
+
+	// Reference: a fresh build of the same (pre-stream) state, fed the
+	// surviving WAL records verbatim.
+	w := persistWorld()
+	ref := Build(w, Options{Reach: ReachStreaming, TruthComplement: true})
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repRef RestartReport
+	stats, err := st.Replay(func(r *store.Record) error { return ref.applyRecord(r, &repRef) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != rep.WALRecords {
+		t.Fatalf("reference replayed %d records, recovery %d", stats.Records, rep.WALRecords)
+	}
+
+	if err := ref.RebuildReach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.RebuildReach(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := topKDump(t, sys2, w), topKDump(t, ref, w); !bytes.Equal(got, want) {
+		t.Fatal("recovered system diverges from the WAL reference")
+	}
+}
