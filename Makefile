@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint fuzz-smoke fmt fmt-check cover ci profile snapshot-smoke
+.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint lint-json fuzz-smoke fmt fmt-check cover ci profile snapshot-smoke
 
 all: build test
 
@@ -18,6 +18,13 @@ vet:
 # //nolint:microlint/<analyzer> comment (see README "Static analysis").
 lint:
 	$(GO) run ./cmd/microlint ./...
+
+# Same diagnostics as `lint` but as a JSON report on stdout (the file CI
+# uploads as an artifact). `-only`/`-skip` narrow the analyzer set, e.g.
+# `go run ./cmd/microlint -only durcheck,publishcheck ./...`.
+lint-json:
+	$(GO) run ./cmd/microlint -json ./... > microlint.json || true
+	@cat microlint.json
 
 fmt:
 	gofmt -w .

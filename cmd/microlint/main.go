@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	microlint [-json] [dir]
+//	microlint [-json] [-only list] [-skip list] [dir]
 //
 // The optional dir argument selects where to start looking for go.mod
 // (default "."); patterns like ./... are accepted and treated the same
-// way, since microlint always analyzes the whole module. Exit status is
-// 0 when the module is clean, 1 when there are diagnostics, and 2 when
-// the module fails to load or type-check.
+// way, since microlint always analyzes the whole module. -only runs a
+// comma-separated subset of the analyzers, -skip runs all but the named
+// ones; the full list is printed by -h. Exit status is 0 when the
+// module is clean, 1 when there are diagnostics, and 2 when the module
+// fails to load or type-check (or the flags are invalid).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,25 +25,42 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
-	flag.Usage = func() {
-		out := flag.CommandLine.Output()
-		fmt.Fprintf(out, "usage: microlint [-json] [dir]\n")
-		flag.PrintDefaults()
-		fmt.Fprintf(out, "\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the exit-code contract
+// is unit-testable: 0 clean, 1 diagnostics, 2 load/flag failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("microlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to exclude")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: microlint [-json] [-only list] [-skip list] [dir]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(out, "  %-14s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name(), a.Doc())
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "microlint: %v\n", err)
+		return 2
+	}
 
 	dir := "."
-	if args := flag.Args(); len(args) > 1 {
-		flag.Usage()
-		os.Exit(2)
-	} else if len(args) == 1 {
+	if rest := fs.Args(); len(rest) > 1 {
+		fs.Usage()
+		return 2
+	} else if len(rest) == 1 {
 		// Accept go-style patterns: microlint ./... means "this module".
-		dir = strings.TrimSuffix(args[0], "...")
+		dir = strings.TrimSuffix(rest[0], "...")
 		dir = strings.TrimSuffix(dir, "/")
 		if dir == "" {
 			dir = "."
@@ -49,22 +69,76 @@ func main() {
 
 	mod, err := lint.LoadModule(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "microlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "microlint: %v\n", err)
+		return 2
 	}
-	diags := lint.Run(mod, lint.Analyzers())
+	diags := lint.Run(mod, analyzers)
 	var werr error
 	if *jsonOut {
-		werr = lint.WriteJSON(os.Stdout, diags)
+		werr = lint.WriteJSON(stdout, diags)
 	} else {
-		werr = lint.WriteText(os.Stdout, diags)
+		werr = lint.WriteText(stdout, diags)
 	}
 	if werr != nil {
-		fmt.Fprintf(os.Stderr, "microlint: %v\n", werr)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "microlint: %v\n", werr)
+		return 2
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "microlint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "microlint: %d diagnostic(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only/-skip flags against the registered
+// analyzer list. Unknown names are an error rather than a silent no-op:
+// a typo in CI must not quietly disable a gate.
+func selectAnalyzers(only, skip string) ([]lint.Analyzer, error) {
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	names := func(list string) (map[string]bool, error) {
+		set := map[string]bool{}
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := lint.AnalyzerByName(n); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (see microlint -h for the list)", n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	switch {
+	case only != "":
+		want, err := names(only)
+		if err != nil {
+			return nil, err
+		}
+		if len(want) == 0 {
+			return nil, fmt.Errorf("-only selected no analyzers")
+		}
+		var out []lint.Analyzer
+		for _, a := range lint.Analyzers() {
+			if want[a.Name()] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	case skip != "":
+		drop, err := names(skip)
+		if err != nil {
+			return nil, err
+		}
+		var out []lint.Analyzer
+		for _, a := range lint.Analyzers() {
+			if !drop[a.Name()] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	return lint.Analyzers(), nil
 }

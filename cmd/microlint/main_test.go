@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microlink/internal/lint"
+)
+
+// writeModule materialises a one-file module under t.TempDir.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	gomod := "module scratch/m\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const cleanSrc = `package m
+
+func Add(a, b int) int { return a + b }
+`
+
+// droppedErrSrc trips errdrop: the error result is discarded.
+const droppedErrSrc = `package m
+
+import "errors"
+
+func fallible() error { return errors.New("x") }
+
+func Use() { fallible() }
+`
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers()
+
+	t.Run("default is everything", func(t *testing.T) {
+		got, err := selectAnalyzers("", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(all) {
+			t.Fatalf("got %d analyzers, want %d", len(got), len(all))
+		}
+	})
+
+	t.Run("only picks the named subset", func(t *testing.T) {
+		got, err := selectAnalyzers("errdrop, lockcheck", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("got %d analyzers, want 2: %v", len(got), got)
+		}
+		names := map[string]bool{}
+		for _, a := range got {
+			names[a.Name()] = true
+		}
+		if !names["errdrop"] || !names["lockcheck"] {
+			t.Fatalf("wrong subset: %v", names)
+		}
+	})
+
+	t.Run("skip drops the named subset", func(t *testing.T) {
+		got, err := selectAnalyzers("", "errdrop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(all)-1 {
+			t.Fatalf("got %d analyzers, want %d", len(got), len(all)-1)
+		}
+		for _, a := range got {
+			if a.Name() == "errdrop" {
+				t.Fatal("errdrop should have been skipped")
+			}
+		}
+	})
+
+	t.Run("unknown name errors", func(t *testing.T) {
+		if _, err := selectAnalyzers("nosuch", ""); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+			t.Fatalf("err = %v, want unknown analyzer", err)
+		}
+	})
+
+	t.Run("only and skip are exclusive", func(t *testing.T) {
+		if _, err := selectAnalyzers("errdrop", "lockcheck"); err == nil {
+			t.Fatal("expected an error for -only with -skip")
+		}
+	})
+
+	t.Run("empty only selects nothing and errors", func(t *testing.T) {
+		if _, err := selectAnalyzers(" , ", ""); err == nil {
+			t.Fatal("expected an error for an empty -only selection")
+		}
+	})
+}
+
+func TestExitCodes(t *testing.T) {
+	runIn := func(args ...string) (int, string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+
+	t.Run("clean module exits 0", func(t *testing.T) {
+		dir := writeModule(t, cleanSrc)
+		code, _, stderr := runIn(dir)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0; stderr: %s", code, stderr)
+		}
+	})
+
+	t.Run("diagnostics exit 1", func(t *testing.T) {
+		dir := writeModule(t, droppedErrSrc)
+		code, stdout, _ := runIn(dir)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1; stdout: %s", code, stdout)
+		}
+		if !strings.Contains(stdout, "errdrop") {
+			t.Fatalf("stdout missing errdrop diagnostic: %s", stdout)
+		}
+	})
+
+	t.Run("only filters the seeded bug away", func(t *testing.T) {
+		dir := writeModule(t, droppedErrSrc)
+		code, _, stderr := runIn("-only", "lockcheck", dir)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0 with -only lockcheck; stderr: %s", code, stderr)
+		}
+		code, stdout, _ := runIn("-only", "errdrop", dir)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1 with -only errdrop; stdout: %s", code, stdout)
+		}
+	})
+
+	t.Run("skip drops the seeded bug", func(t *testing.T) {
+		dir := writeModule(t, droppedErrSrc)
+		code, _, stderr := runIn("-skip", "errdrop", dir)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0 with -skip errdrop; stderr: %s", code, stderr)
+		}
+	})
+
+	t.Run("broken module exits 2", func(t *testing.T) {
+		dir := writeModule(t, "package m\n\nfunc broken( {\n")
+		code, _, _ := runIn(dir)
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+
+	t.Run("unknown analyzer exits 2", func(t *testing.T) {
+		dir := writeModule(t, cleanSrc)
+		code, _, stderr := runIn("-only", "nosuch", dir)
+		if code != 2 {
+			t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+		}
+	})
+
+	t.Run("json output stays parseable", func(t *testing.T) {
+		dir := writeModule(t, droppedErrSrc)
+		code, stdout, _ := runIn("-json", dir)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.HasPrefix(strings.TrimSpace(stdout), "[") {
+			t.Fatalf("json output does not start with [: %s", stdout)
+		}
+	})
+
+	t.Run("extra args exit 2", func(t *testing.T) {
+		code, _, _ := runIn("a", "b")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+}

@@ -79,13 +79,18 @@ func newInterestCache(numEntities, maxPerShard int) *interestCache {
 
 // shard picks the shard for a key by mixing both halves; Fibonacci hashing
 // spreads the dense small IDs of the synthetic worlds evenly.
+//
+// microlint:noalloc
 func (c *interestCache) shard(k interestKey) *interestShard {
 	h := (uint64(uint32(k.u))*0x9e3779b97f4a7c15 ^ uint64(uint32(k.e))*0xff51afd7ed558ccd) >> 32
 	return &c.shards[h%interestCacheShards]
 }
 
 // get returns the cached raw interest value, or ok=false when the entry is
-// absent, stamped for a different candidate set, or invalidated.
+// absent, stamped for a different candidate set, or invalidated. The hit
+// path is allocation-free: value key, sharded map read, atomic stamps.
+//
+// microlint:noalloc
 func (c *interestCache) get(u kb.UserID, e kb.EntityID, setHash uint64) (float64, bool) {
 	if c == nil || int(e) >= len(c.entGen) {
 		return 0, false

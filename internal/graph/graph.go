@@ -122,6 +122,8 @@ func (g *Graph) In(u NodeID) []NodeID {
 }
 
 // OutDegree returns the number of users u follows.
+//
+// microlint:noalloc
 func (g *Graph) OutDegree(u NodeID) int {
 	return int(g.outOffsets[u+1] - g.outOffsets[u])
 }

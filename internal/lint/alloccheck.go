@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// alloccheck turns the zero-alloc guarantee of the query hot path into
+// a compile-time gate. Functions annotated
+//
+//	// microlint:noalloc
+//
+// promise steady-state allocation freedom (the property the
+// AllocsPerRun tests measure); the analyzer flags the obvious ways to
+// break it:
+//
+//   - make, new, slice/map composite literals, and &T{} — fresh heap
+//     storage per call;
+//   - append whose destination is a fresh function-local slice (growth
+//     into escaping storage); append into parameters, fields, or pooled
+//     scratch is the amortised-zero reuse idiom and is allowed;
+//   - function literals — a closure capturing variables allocates;
+//   - go statements — every spawn allocates a goroutine;
+//   - string concatenation, string([]byte) / []byte(string)
+//     conversions, and fmt.Sprint* / fmt.Errorf calls;
+//   - passing a non-pointer-shaped concrete value (struct, slice,
+//     string, number) where an interface is expected — the boxing
+//     conversion allocates. Pointers, maps, channels, and funcs are
+//     single-word and box free;
+//   - static calls to module functions not themselves annotated
+//     noalloc — the guarantee must propagate through the whole call
+//     tree, stdlib excepted (sync.Pool.Get/Put and friends are part of
+//     the idiom).
+//
+// The check is syntactic over typed ASTs, not an escape analysis: it
+// cannot see what the compiler's escape analysis proves stack-bound,
+// so value struct literals (Result{...}) and &arr[i] addressing are
+// deliberately not flagged, and interface-method calls are not
+// followed. The AllocsPerRun tests remain the ground truth; alloccheck
+// is the reviewable gate that catches regressions before they run.
+type alloccheck struct{}
+
+func (alloccheck) Name() string { return "alloccheck" }
+func (alloccheck) Doc() string {
+	return "allocation sites inside microlint:noalloc functions: make/new/literals, append into fresh slices, closures, interface boxing, string building"
+}
+
+// Run is satisfied per the Analyzer interface; knowing whether a callee
+// is annotated requires the module-wide table, so the analysis lives in
+// RunModule.
+func (alloccheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+const noallocMarker = "microlint:noalloc"
+
+func (alloccheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	annotated := map[*types.Func]bool{}
+	var decls []struct {
+		pkg *Package
+		fd  *ast.FuncDecl
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, ok := funcMarker(fd, noallocMarker); !ok {
+					continue
+				}
+				if fd.Body == nil {
+					report(fd.Pos(), fmt.Sprintf("noalloc annotation on %s, which has no body to check", fd.Name.Name))
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					annotated[obj] = true
+				}
+				decls = append(decls, struct {
+					pkg *Package
+					fd  *ast.FuncDecl
+				}{pkg, fd})
+			}
+		}
+	}
+	for _, d := range decls {
+		checkNoalloc(mod.Path, d.pkg, d.fd, annotated, report)
+	}
+}
+
+// checkNoalloc walks one annotated function body and reports each
+// allocation site.
+func checkNoalloc(modPath string, pkg *Package, fd *ast.FuncDecl, annotated map[*types.Func]bool, report func(token.Pos, string)) {
+	params := paramObjs(pkg, fd.Recv, fd.Type)
+	defs := localDefs(pkg, fd.Body)
+
+	inspectNoFuncLit(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement in a noalloc function: spawning a goroutine allocates")
+
+		case *ast.CompositeLit:
+			switch pkg.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal in a noalloc function allocates backing storage")
+			case *types.Map:
+				report(n.Pos(), "map literal in a noalloc function allocates")
+			}
+			// Struct and array literals are values; whether they escape is
+			// the compiler's call, so they are not flagged.
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal in a noalloc function heap-allocates the value")
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pkg.Info.Types[n].Type) {
+				report(n.Pos(), "string concatenation in a noalloc function allocates the result")
+			}
+
+		case *ast.CallExpr:
+			checkNoallocCall(modPath, pkg, n, defs, params, annotated, report)
+		}
+		return true
+	})
+
+	// Closures: direct literals of this function (not nested ones, which
+	// belong to their enclosing literal's report).
+	for _, stmt := range fd.Body.List {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				report(lit.Pos(), "function literal in a noalloc function allocates a closure")
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkNoallocCall classifies one call expression inside a noalloc body.
+func checkNoallocCall(modPath string, pkg *Package, call *ast.CallExpr, defs map[types.Object][]ast.Expr, params map[types.Object]bool, annotated map[*types.Func]bool, report func(token.Pos, string)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltinUse(pkg, id) {
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make in a noalloc function allocates")
+		case "new":
+			report(call.Pos(), "new in a noalloc function allocates")
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			dst := ast.Unparen(call.Args[0])
+			fresh := false
+			switch d := dst.(type) {
+			case *ast.Ident:
+				if obj := pkg.Info.Uses[d]; obj != nil {
+					fresh = freshLocal(pkg, obj, defs, params)
+				}
+			case *ast.CompositeLit, *ast.CallExpr:
+				fresh = true
+			}
+			if fresh {
+				report(call.Pos(),
+					"append into a fresh function-local slice in a noalloc function: growth escapes per call; append into a parameter, field, or pooled scratch instead")
+			}
+		}
+		return
+	}
+
+	// Type conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pkg.Info.Types[call.Args[0]].Type
+		if isStringByteConversion(to, from) {
+			report(call.Pos(), fmt.Sprintf(
+				"conversion %s in a noalloc function copies its operand", types.ExprString(call.Fun)))
+		}
+		return
+	}
+
+	callee := staticCallee(pkg, call)
+
+	// fmt's formatting entry points always allocate.
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		report(call.Pos(), fmt.Sprintf("fmt.%s in a noalloc function allocates", callee.Name()))
+		return
+	}
+
+	// Interface boxing at argument positions.
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			checkBoxingArgs(pkg, call, sig, report)
+		}
+	}
+
+	// The guarantee propagates: a module callee must be annotated too.
+	if callee != nil && callee.Pkg() != nil && isModulePath(modPath, callee.Pkg().Path()) && !annotated[callee] {
+		report(call.Pos(), fmt.Sprintf(
+			"call to %s, which is not annotated microlint:noalloc; the zero-alloc guarantee must cover the whole call tree", callee.Name()))
+	}
+}
+
+// isModulePath reports whether path belongs to the module under
+// analysis (the module path itself or a package under it).
+func isModulePath(modPath, path string) bool {
+	return path == modPath ||
+		len(path) > len(modPath) && path[:len(modPath)] == modPath && path[len(modPath)] == '/'
+}
+
+// checkBoxingArgs flags concrete non-pointer-shaped values passed where
+// the callee expects an interface.
+func checkBoxingArgs(pkg *Package, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string)) {
+	nparams := sig.Params().Len()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= nparams-1 {
+			pi = nparams - 1
+		}
+		if pi >= nparams {
+			break
+		}
+		pt := sig.Params().At(pi).Type()
+		if sig.Variadic() && pi == nparams-1 {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pkg.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), fmt.Sprintf(
+			"passing %s value as interface in a noalloc function boxes it on the heap", at.String()))
+	}
+}
+
+// isPointerShaped reports whether values of t fit in one pointer word
+// and convert to interfaces without allocating.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConversion reports string([]byte), []byte(string), and
+// the rune variants — conversions that copy.
+func isStringByteConversion(to, from types.Type) bool {
+	isBytesOrRunes := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+	}
+	if isStringType(to) && isBytesOrRunes(from) {
+		return true
+	}
+	return isStringType(from) && isBytesOrRunes(to)
+}

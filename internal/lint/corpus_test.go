@@ -96,6 +96,7 @@ func TestCorpus(t *testing.T) {
 	for _, name := range []string{
 		"lockcheck", "ctxcheck", "detercheck", "errdrop",
 		"deadlockcheck", "leakcheck", "wgcheck", "atomiccheck",
+		"publishcheck", "durcheck", "alloccheck",
 	} {
 		t.Run(name, func(t *testing.T) {
 			a, ok := AnalyzerByName(name)

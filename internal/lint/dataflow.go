@@ -1,0 +1,507 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// dataflow.go is the intraprocedural dataflow layer under the protocol
+// analyzers (publishcheck, durcheck, alloccheck). It adds three
+// capabilities to the CFG of cfg.go:
+//
+//   - propagateMarks: a forward may-analysis that tracks a set of
+//     "marked" local objects through assignments. Marks are introduced
+//     at analyzer-chosen points (a value flowing into an
+//     atomic.Pointer.Store, say), copied through alias assignments
+//     (y := x marks y when x is marked), and killed when a variable is
+//     rebound to a fresh value. Reporting happens on "use" events whose
+//     object carries a mark on some path — the same
+//     fixpoint-then-final-emit shape as the held-lock dataflow in
+//     summary.go.
+//
+//   - pathReachesAvoiding: the forward twin of pathToExitAvoiding —
+//     "can execution reach this node from the function entry without
+//     passing a node the predicate stops at", used for ordering rules
+//     (an os.Rename with no fsync anywhere before it).
+//
+//   - value-source queries: rootObj resolves an lvalue or derived view
+//     to the variable it is backed by, and freshLocals classifies each
+//     local as fresh (every reaching definition allocates: make, a
+//     composite literal, nil) or reuse-backed (some definition derives
+//     from a parameter, a field, or pooled scratch). alloccheck uses
+//     the split to flag append growth into escaping fresh slices while
+//     allowing the amortised-zero scratch idiom.
+//
+// Like the CFG itself, everything here is conservative in the
+// *under*-reporting direction: an expression the helpers cannot resolve
+// contributes no mark, no kill, and no stop.
+
+// markEventKind discriminates the actions propagateMarks understands.
+type markEventKind int
+
+const (
+	// eventMark introduces a mark on obj (a publish point).
+	eventMark markEventKind = iota
+	// eventCopy propagates the mark of src to dst (alias assignment)
+	// or, when src is unmarked or nil, kills dst (fresh rebinding).
+	eventCopy
+	// eventUse observes obj; the engine reports it to the caller when
+	// obj may be marked here.
+	eventUse
+)
+
+// markEvent is one action inside a CFG node, positioned so that events
+// within a node replay in source order.
+type markEvent struct {
+	kind markEventKind
+	pos  token.Pos
+	obj  types.Object // marked / destination / used object
+	src  types.Object // eventCopy source (nil = fresh value)
+	via  string       // eventMark: how the mark happened, for diagnostics
+	node ast.Node     // witness expression, for diagnostics
+}
+
+// markFact records where and through what a mark was introduced, so a
+// diagnostic at the use site can point back at the publish site.
+type markFact struct {
+	pos token.Pos
+	via string
+}
+
+// propagateMarks runs the forward may-analysis over g. events lists the
+// ordered mark events of each node (callers precompute and cache it);
+// use is invoked once per converged eventUse whose object is marked on
+// some path, with the fact of the earliest mark that reaches it.
+func (g *funcCFG) propagateMarks(events map[ast.Node][]markEvent, use func(ev markEvent, fact markFact)) {
+	copyState := func(s map[types.Object]markFact) map[types.Object]markFact {
+		out := make(map[types.Object]markFact, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+
+	transfer := func(b *cfgBlock, cur map[types.Object]markFact, emit bool) map[types.Object]markFact {
+		for _, n := range b.nodes {
+			for _, ev := range events[n] {
+				switch ev.kind {
+				case eventMark:
+					if ev.obj != nil {
+						cur[ev.obj] = markFact{pos: ev.pos, via: ev.via}
+					}
+				case eventCopy:
+					if ev.obj == nil {
+						break
+					}
+					if fact, ok := cur[ev.src]; ev.src != nil && ok {
+						cur[ev.obj] = fact
+					} else {
+						delete(cur, ev.obj)
+					}
+				case eventUse:
+					if !emit || ev.obj == nil {
+						break
+					}
+					if fact, ok := cur[ev.obj]; ok {
+						use(ev, fact)
+					}
+				}
+			}
+		}
+		return cur
+	}
+
+	in := map[*cfgBlock]map[types.Object]markFact{g.entry: {}}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b, copyState(in[b]), false)
+		for _, s := range b.succs {
+			next, ok := in[s]
+			if !ok {
+				in[s] = copyState(out)
+				work = append(work, s)
+				continue
+			}
+			grown := false
+			for k, v := range out {
+				if old, ok := next[k]; !ok || v.pos < old.pos {
+					next[k] = v
+					grown = true
+				}
+			}
+			if grown {
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.blocks {
+		if s, ok := in[b]; ok {
+			transfer(b, copyState(s), true)
+		}
+	}
+}
+
+// sortEvents orders a node's events by source position, so publishes,
+// aliases, and writes packed into one statement replay correctly.
+func sortEvents(evs []markEvent) []markEvent {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// pathReachesAvoiding reports whether some path from the function entry
+// reaches a node for which hit returns true without first passing a node
+// for which stop returns true. Within a block, nodes before the hit are
+// checked against stop in order; a node can both hit and stop (hit
+// wins), so "is there an unsynced path to this rename" asks hit=rename,
+// stop=sync.
+func (g *funcCFG) pathReachesAvoiding(hit, stop func(ast.Node) bool) bool {
+	seen := map[*cfgBlock]bool{g.entry: true}
+	stack := []*cfgBlock{g.entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blocked := false
+		for _, n := range b.nodes {
+			if hit(n) {
+				return true
+			}
+			if stop(n) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// rootObj resolves an lvalue or derived-view expression to the variable
+// object backing it: x, x.f, x[i], *x, x[i:j], and parenthesised forms
+// all root at x. Returns nil when the base is not a named variable (a
+// call result, a literal).
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := pkg.Info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// Only field access derives from the base; a package-qualified
+			// name (os.Args) roots at the package variable itself.
+			if sel := pkg.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				e = x.X
+				continue
+			}
+			if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// paramObjs collects the parameter and receiver objects of a function
+// type (including named results, which are caller-visible storage).
+func paramObjs(pkg *Package, recv *ast.FieldList, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addList(recv)
+	addList(ft.Params)
+	addList(ft.Results)
+	return out
+}
+
+// localDefs collects, for each local variable assigned in body, the
+// expressions that define it: declaration initialisers and plain
+// assignments. A no-initialiser var declaration records a nil entry
+// (the zero value, which for slices is a fresh nil slice).
+func localDefs(pkg *Package, body *ast.BlockStmt) map[types.Object][]ast.Expr {
+	defs := map[types.Object][]ast.Expr{}
+	add := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			defs[v] = append(defs[v], rhs)
+		}
+	}
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						add(id, n.Rhs[i])
+					}
+				}
+			} else {
+				// Multi-value: x, y := f() — the sources are opaque.
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						add(id, n.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if id.Name == "_" {
+					continue
+				}
+				if i < len(n.Values) {
+					add(id, n.Values[i])
+				} else {
+					add(id, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					add(id, n.X)
+				}
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+// freshLocal reports whether every definition of obj yields fresh,
+// function-owned storage — make, a composite literal, nil, the zero
+// value, or append over another fresh local. A definition rooted in a
+// parameter, a field, pooled scratch, or any call the classifier cannot
+// see through makes the local reuse-backed, which is the permissive
+// answer for alloccheck (growth into reused storage is amortised-free).
+func freshLocal(pkg *Package, obj types.Object, defs map[types.Object][]ast.Expr, params map[types.Object]bool) bool {
+	return freshLocalSeen(pkg, obj, defs, params, map[types.Object]bool{})
+}
+
+func freshLocalSeen(pkg *Package, obj types.Object, defs map[types.Object][]ast.Expr, params map[types.Object]bool, seen map[types.Object]bool) bool {
+	if params[obj] {
+		return false
+	}
+	if seen[obj] {
+		return true // cycles (self-append chains) don't make a local reused
+	}
+	seen[obj] = true
+	exprs, ok := defs[obj]
+	if !ok {
+		// Never assigned in this body: a free variable or package-level
+		// state — reuse-backed by definition.
+		return false
+	}
+	for _, e := range exprs {
+		if !freshExpr(pkg, e, defs, params, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// freshExpr classifies one defining expression; nil means a
+// no-initialiser declaration (fresh zero value).
+func freshExpr(pkg *Package, e ast.Expr, defs map[types.Object][]ast.Expr, params map[types.Object]bool, seen map[types.Object]bool) bool {
+	if e == nil {
+		return true
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return true
+		}
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		return freshLocalSeen(pkg, obj, defs, params, seen)
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "make", "new":
+				return true
+			case "append":
+				if len(x.Args) > 0 {
+					return freshExpr(pkg, x.Args[0], defs, params, seen)
+				}
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return freshExpr(pkg, x.X, defs, params, seen)
+	default:
+		return false
+	}
+}
+
+// markerText extracts the payload of a `// microlint:<marker> ...`
+// comment, with the same grammar as the lock-order annotations
+// (deadlockcheck.markerRest): one leading comment token is stripped, so
+// an annotation quoted inside a doc comment (beginning "// //") does
+// not parse, and anything after a nested "//" is trailing prose.
+func markerText(comment, marker string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*"))
+	rest, ok := strings.CutPrefix(text, marker)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // longer marker (e.g. noalloc vs noallocx)
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// funcMarker scans a function declaration's doc comment for a marker
+// annotation and returns its payload.
+func funcMarker(fd *ast.FuncDecl, marker string) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, ok := markerText(c.Text, marker); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// staticCallee resolves the *types.Func a call expression statically
+// invokes: a named function, a package-qualified function, or a concrete
+// method. Interface dispatch and function values return nil.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// aliasClasses unions function locals connected by direct
+// ident-to-ident copies (b := a, b = a) of reference-typed values into
+// equivalence classes. A publish through one name freezes the whole
+// class, which catches aliases taken *before* the publish — forward
+// copy propagation alone only carries marks into copies made after it.
+// The classes are flow-insensitive, so an alias rebound to a fresh
+// value before the publish stays in the class; that over-approximation
+// is deliberate (the shape is worth rewriting anyway).
+func aliasClasses(pkg *Package, body *ast.BlockStmt) map[types.Object][]types.Object {
+	parent := map[types.Object]types.Object{}
+	var find func(o types.Object) types.Object
+	find = func(o types.Object) types.Object {
+		p, ok := parent[o]
+		if !ok || p == o {
+			return o
+		}
+		r := find(p)
+		parent[o] = r
+		return r
+	}
+	union := func(a, b types.Object) {
+		if _, ok := parent[a]; !ok {
+			parent[a] = a
+		}
+		if _, ok := parent[b]; !ok {
+			parent[b] = b
+		}
+		if ra, rb := find(a), find(b); ra != rb {
+			parent[ra] = rb
+		}
+	}
+	localRef := func(id *ast.Ident) types.Object {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && isReferenceType(v.Type()) {
+			return v
+		}
+		return nil
+	}
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, lok := ast.Unparen(lhs).(*ast.Ident)
+			rid, rok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+			if !lok || !rok {
+				continue
+			}
+			if lo, ro := localRef(lid), localRef(rid); lo != nil && ro != nil {
+				union(lo, ro)
+			}
+		}
+		return true
+	})
+	byRoot := map[types.Object][]types.Object{}
+	for o := range parent {
+		r := find(o)
+		byRoot[r] = append(byRoot[r], o)
+	}
+	classes := map[types.Object][]types.Object{}
+	for _, members := range byRoot {
+		for _, o := range members {
+			classes[o] = members
+		}
+	}
+	return classes
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one import-free source file into a
+// Package, for exercising the dataflow helpers directly.
+func typecheckSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// funcBody finds the body of the named top-level function.
+func funcBody(t *testing.T, pkg *Package, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd.Body
+			}
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestRootObj(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+type s struct {
+	n      int
+	labels []int
+	m      map[string]int
+}
+func f(p *s) {
+	a := &s{}
+	a.n = 1
+	a.labels[0] = 2
+	a.m["k"] = 3
+	(*p).n = 4
+	ls := a.labels
+	ls[1] = 5
+	_ = ls
+}
+`)
+	// Expected root variable per assignment line (0 = plain ident LHS,
+	// handled elsewhere).
+	want := map[int]string{9: "a", 10: "a", 11: "a", 12: "p", 14: "ls"}
+	got := map[int]string{}
+	ast.Inspect(funcBody(t, pkg, "f"), func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			return true
+		}
+		if obj := rootObj(pkg, lhs); obj != nil {
+			got[pkg.Fset.Position(lhs.Pos()).Line] = obj.Name()
+		}
+		return true
+	})
+	for line, name := range want {
+		if got[line] != name {
+			t.Errorf("line %d: rootObj = %q, want %q", line, got[line], name)
+		}
+	}
+}
+
+func TestFreshLocal(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+type s struct{ buf []int }
+func f(param []int, sc *s) {
+	var zero []int
+	made := make([]int, 4)
+	lit := []int{1}
+	grown := append(made, 1)
+	view := sc.buf[:0]
+	fromParam := param[1:]
+	aliased := lit
+	_, _, _, _, _, _, _ = zero, made, lit, grown, view, fromParam, aliased
+}
+`)
+	body := funcBody(t, pkg, "f")
+	var decl *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "f" {
+				decl = x
+			}
+		}
+	}
+	params := paramObjs(pkg, decl.Recv, decl.Type)
+	defs := localDefs(pkg, body)
+
+	byName := map[string]types.Object{}
+	for obj := range defs {
+		byName[obj.Name()] = obj
+	}
+	want := map[string]bool{
+		"zero":      true,  // zero-value declaration
+		"made":      true,  // make
+		"lit":       true,  // composite literal
+		"grown":     true,  // append into a fresh slice
+		"view":      false, // slice of a field: reuse-backed
+		"fromParam": false, // slice of a parameter
+		"aliased":   true,  // copy of a fresh local
+	}
+	for name, fresh := range want {
+		obj := byName[name]
+		if obj == nil {
+			t.Fatalf("no local %s in defs", name)
+		}
+		if got := freshLocal(pkg, obj, defs, params); got != fresh {
+			t.Errorf("freshLocal(%s) = %v, want %v", name, got, fresh)
+		}
+	}
+}
+
+func TestAliasClasses(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+type s struct{ n int }
+func f() {
+	a := &s{}
+	b := a
+	c := b
+	lone := &s{}
+	_, _ = c, lone
+}
+`)
+	body := funcBody(t, pkg, "f")
+	classes := aliasClasses(pkg, body)
+
+	find := func(name string) types.Object {
+		for obj := range classes {
+			if obj.Name() == name {
+				return obj
+			}
+		}
+		return nil
+	}
+	a, b, c := find("a"), find("b"), find("c")
+	if a == nil || b == nil || c == nil {
+		t.Fatalf("alias classes missing copied locals: %v", classes)
+	}
+	if len(classes[a]) != 3 {
+		t.Errorf("class of a has %d members, want 3 (a, b, c)", len(classes[a]))
+	}
+	if find("lone") != nil {
+		t.Errorf("lone was never copied; it should not appear in any class")
+	}
+}
+
+func TestPropagateMarks(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+type s struct{ n int }
+func linear() {
+	a := &s{}
+	_ = a // mark line 5
+	a.n = 1
+}
+func rebound() {
+	a := &s{}
+	_ = a // mark line 10
+	a = &s{}
+	a.n = 1
+}
+func branchy(c bool) {
+	a := &s{}
+	_ = a // mark line 16
+	if c {
+		a = &s{}
+	}
+	a.n = 1
+}
+`)
+	// run wires mark/copy/use events for one function: the statement at
+	// markLine marks `a`, every `a = ...` rebind kills it, and the final
+	// a.n write is the use. It returns whether the use fired.
+	run := func(name string, markLine int) bool {
+		body := funcBody(t, pkg, name)
+		g := buildCFG(body)
+		var aObj types.Object
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "a" && pkg.Info.Defs[id] != nil {
+				aObj = pkg.Info.Defs[id]
+			}
+			return true
+		})
+		if aObj == nil {
+			t.Fatalf("%s: no local a", name)
+		}
+		events := map[ast.Node][]markEvent{}
+		for _, b := range g.blocks {
+			for _, n := range b.nodes {
+				line := pkg.Fset.Position(n.Pos()).Line
+				switch {
+				case line == markLine:
+					events[n] = []markEvent{{kind: eventMark, pos: n.Pos(), obj: aObj, via: "test", node: n}}
+				default:
+					if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+						if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "a" {
+							// Rebind to a fresh value: kill.
+							events[n] = []markEvent{{kind: eventCopy, pos: n.Pos(), obj: aObj, src: nil, node: n}}
+							continue
+						}
+						// a.n = 1: the use.
+						events[n] = []markEvent{{kind: eventUse, pos: n.Pos(), obj: aObj, node: as.Lhs[0]}}
+					}
+				}
+			}
+		}
+		fired := false
+		g.propagateMarks(events, func(ev markEvent, fact markFact) { fired = true })
+		return fired
+	}
+
+	if !run("linear", 5) {
+		t.Errorf("linear: mark should reach the write")
+	}
+	if run("rebound", 10) {
+		t.Errorf("rebound: the rebind kills the mark before the write")
+	}
+	if !run("branchy", 16) {
+		t.Errorf("branchy: may-analysis keeps the mark on the no-rebind path")
+	}
+}

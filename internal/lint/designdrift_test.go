@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLockOrderMatchesDesignDoc keeps DESIGN.md §6's lock-order graph
+// and the module's microlint:lock-order annotations from drifting
+// apart: every edge and level in the doc's fenced block must exist in
+// source, and every annotation in source must be listed in the doc.
+// The deadlockcheck analyzer enforces the annotations against the code;
+// this test enforces the document against the annotations, closing the
+// loop.
+func TestLockOrderMatchesDesignDoc(t *testing.T) {
+	docLevels, docEdges := parseDesignLockOrder(t)
+	srcLevels, srcEdges := parseSourceLockOrder(t)
+
+	diff := func(kind string, a, b map[string]bool, aName, bName string) {
+		var missing []string
+		for k := range a {
+			if !b[k] {
+				missing = append(missing, k)
+			}
+		}
+		sort.Strings(missing)
+		for _, k := range missing {
+			t.Errorf("%s %q is in %s but not in %s", kind, k, aName, bName)
+		}
+	}
+	diff("level", docLevels, srcLevels, "DESIGN.md §6", "source annotations")
+	diff("level", srcLevels, docLevels, "source annotations", "DESIGN.md §6")
+	diff("edge", docEdges, srcEdges, "DESIGN.md §6", "source annotations")
+	diff("edge", srcEdges, docEdges, "source annotations", "DESIGN.md §6")
+}
+
+// parseDesignLockOrder extracts the lock-order block of DESIGN.md §6:
+// the fenced code block following the "The declared lock-order graph"
+// sentence. Lines are either `a < b  comment` (one edge, endpoints are
+// levels) or `name  comment` (a level with no outgoing edge listed).
+func parseDesignLockOrder(t *testing.T) (levels, edges map[string]bool) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "The declared lock-order graph") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("DESIGN.md: anchor sentence \"The declared lock-order graph\" not found")
+	}
+
+	levels, edges = map[string]bool{}, map[string]bool{}
+	inBlock := false
+	for _, l := range lines[start:] {
+		if strings.HasPrefix(l, "```") {
+			if inBlock {
+				break // end of the graph block
+			}
+			inBlock = true
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		fields := strings.Fields(l)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) >= 3 && fields[1] == "<" {
+			levels[fields[0]] = true
+			levels[fields[2]] = true
+			edges[fields[0]+" < "+fields[2]] = true
+			continue
+		}
+		levels[fields[0]] = true
+	}
+	if !inBlock {
+		t.Fatal("DESIGN.md: no fenced block after the lock-order anchor")
+	}
+	if len(edges) == 0 {
+		t.Fatal("DESIGN.md: lock-order block contains no edges; parsing is broken")
+	}
+	return levels, edges
+}
+
+// parseSourceLockOrder collects the module's microlint:lock-order
+// annotations with the same comment grammar deadlockcheck uses
+// (markerRest): a single name binds a mutex to a level; a chain
+// `a < b < c` declares consecutive edges.
+func parseSourceLockOrder(t *testing.T) (levels, edges map[string]bool) {
+	t.Helper()
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, edges = map[string]bool{}, map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := markerRest(c.Text)
+					if !ok {
+						continue
+					}
+					parts := strings.Split(rest, "<")
+					if len(parts) == 1 {
+						if name := strings.TrimSpace(parts[0]); name != "" {
+							levels[name] = true
+						}
+						continue
+					}
+					for i := 0; i+1 < len(parts); i++ {
+						a, b := strings.TrimSpace(parts[i]), strings.TrimSpace(parts[i+1])
+						if a == "" || b == "" {
+							t.Errorf("%s: malformed lock-order chain %q", mod.Fset.Position(c.Pos()), rest)
+							continue
+						}
+						edges[fmt.Sprintf("%s < %s", a, b)] = true
+					}
+				}
+			}
+		}
+	}
+	if len(levels) == 0 || len(edges) == 0 {
+		t.Fatalf("source scan found %d levels and %d edges; annotation parsing is broken", len(levels), len(edges))
+	}
+	return levels, edges
+}

@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// durcheck enforces the durability ordering contract of internal/store
+// (DESIGN.md §8): write-temp → fsync → rename → dirsync for manifest
+// commits, and append-then-flush before acking for the WAL. Functions
+// opt in with
+//
+//	// microlint:durable
+//
+// on their declaration, so the rule travels with the code rather than
+// being pinned to a package. Inside a durable function the analyzer
+// checks, over the CFG:
+//
+//  1. every os.Rename is preceded on all paths by a call that fsyncs
+//     (directly or through a callee that reaches (*os.File).Sync);
+//  2. after an os.Rename, every success path to return passes a sync
+//     (the directory sync making the rename itself durable);
+//  3. every buffered write ((*bufio.Writer).Write and friends) is
+//     followed on all success paths by a Flush or Sync before return —
+//     an acked record still sitting in a userspace buffer is lost on
+//     crash;
+//  4. a ".tmp"-derived file created in the function is removed
+//     somewhere (os.Remove/RemoveAll, deferred cleanups count) when the
+//     function can fail — a failed commit must not leave junk the next
+//     generation trips over.
+//
+// Paths that exit with an error (return of an error identifier or a
+// wrapped fmt.Errorf/errors.* construction) are exempt from rules 2 and
+// 3: the write never gets acknowledged on those paths. A rename in a
+// function *not* annotated durable is itself a diagnostic, so the
+// ordering rules cannot be dodged by forgetting the annotation.
+type durcheck struct{}
+
+func (durcheck) Name() string { return "durcheck" }
+func (durcheck) Doc() string {
+	return "durability ordering in microlint:durable functions: fsync before rename, dirsync after, flush after buffered writes, temp cleanup on error"
+}
+
+// Run is satisfied per the Analyzer interface; resolving sync-reaching
+// callees needs the module callgraph, so the analysis lives in RunModule.
+func (durcheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+const durableMarker = "microlint:durable"
+
+func (durcheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	ci := mod.concurrency()
+	syncReach := computeCallReach(ci.cg, func(fn *funcNode) bool {
+		return hasDirectCall(fn, func(call *ast.CallExpr) bool {
+			return isFileSyncCall(fn.pkg, call)
+		})
+	})
+	removeReach := computeCallReach(ci.cg, func(fn *funcNode) bool {
+		return hasDirectCall(fn, func(call *ast.CallExpr) bool {
+			return isPkgCall(fn.pkg, call, "os", "Remove") || isPkgCall(fn.pkg, call, "os", "RemoveAll")
+		})
+	})
+
+	durable := map[*funcNode]bool{}
+	for _, fn := range ci.cg.funcs {
+		if fn.decl == nil {
+			continue
+		}
+		if _, ok := funcMarker(fn.decl, durableMarker); ok {
+			durable[fn] = true
+		}
+	}
+
+	for _, fn := range ci.cg.funcs {
+		if durable[fn] {
+			checkDurable(fn, ci.cg, syncReach, removeReach, report)
+			continue
+		}
+		// Rule 0: rename outside the durable protocol.
+		fn.walkOwn(func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isPkgCall(fn.pkg, call, "os", "Rename") {
+				report(call.Pos(), fmt.Sprintf(
+					"os.Rename in %s, which is not annotated microlint:durable; the fsync/rename/dirsync ordering is unchecked here", fn.name()))
+			}
+			return true
+		})
+	}
+}
+
+// hasDirectCall reports whether fn's own body contains a call matching
+// the predicate.
+func hasDirectCall(fn *funcNode, match func(*ast.CallExpr) bool) bool {
+	direct := false
+	fn.walkOwn(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && match(call) {
+			direct = true
+		}
+		return true
+	})
+	return direct
+}
+
+// computeCallReach closes a direct-call property over static and defer
+// edges of the callgraph. With "calls (*os.File).Sync" as the seed,
+// writeFileSynced and syncDir count as sync barriers at their call
+// sites; with "calls os.Remove" as the seed, cleanup helpers count as
+// removals.
+func computeCallReach(cg *callgraph, seed func(*funcNode) bool) map[*funcNode]bool {
+	reach := map[*funcNode]bool{}
+	for _, fn := range cg.funcs {
+		if seed(fn) {
+			reach[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.funcs {
+			if reach[fn] {
+				continue
+			}
+			for _, cs := range fn.calls {
+				if cs.kind != callStatic && cs.kind != callDefer {
+					continue
+				}
+				for _, tgt := range cs.targets {
+					if reach[tgt] {
+						reach[fn] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// checkDurable applies the ordering rules to one annotated function.
+func checkDurable(fn *funcNode, cg *callgraph, syncReach, removeReach map[*funcNode]bool, report func(token.Pos, string)) {
+	pkg := fn.pkg
+	g := fn.cfg()
+
+	syncBearing := func(n ast.Node) bool { return nodeHasSync(fn, cg, n, syncReach, false) }
+	flushBearing := func(n ast.Node) bool { return nodeHasSync(fn, cg, n, syncReach, true) }
+	deferredFlush := hasDeferredSync(fn, cg, syncReach)
+
+	for _, b := range g.blocks {
+		for i, n := range b.nodes {
+			i, n := i, n
+			var renames, bufWrites []*ast.CallExpr
+			inspectNoFuncLit(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.DeferStmt); ok {
+					return false // deferred calls run at exit, not here
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(pkg, call, "os", "Rename") {
+					renames = append(renames, call)
+				}
+				if isBufWriteCall(pkg, call) {
+					bufWrites = append(bufWrites, call)
+				}
+				return true
+			})
+			for _, call := range renames {
+				// Rule 1: some path from entry reaches this rename with no
+				// fsync of the written file anywhere before it.
+				if g.pathReachesAvoiding(func(m ast.Node) bool { return m == n }, syncBearing) {
+					report(call.Pos(),
+						"os.Rename reachable without a preceding fsync on some path; the renamed file's contents may not be durable (write-temp, fsync, then rename)")
+				}
+				// Rule 2: some success path returns after the rename with no
+				// sync — the directory entry itself may be lost.
+				if !deferredFlush && g.pathToExitAvoiding(b, i+1, func(m ast.Node) bool {
+					return syncBearing(m) || isErrorExit(pkg, m)
+				}) {
+					report(call.Pos(),
+						"no directory sync after os.Rename on some success path; the rename may not survive a crash (sync the directory after renaming)")
+				}
+			}
+			// Rule 3: buffered write with no flush before a success return.
+			for _, call := range bufWrites {
+				if deferredFlush {
+					continue
+				}
+				if g.pathToExitAvoiding(b, i+1, func(m ast.Node) bool {
+					return flushBearing(m) || isErrorExit(pkg, m)
+				}) {
+					report(call.Pos(),
+						"buffered write not followed by Flush or Sync on some success path; acknowledged data could be lost in the userspace buffer")
+				}
+			}
+		}
+	}
+
+	checkTempCleanup(fn, cg, removeReach, report)
+}
+
+// checkTempCleanup implements rule 4: a ".tmp"-named file created by a
+// fallible durable function must be os.Remove'd somewhere in it —
+// directly, in a deferred closure, or by handing the path to a cleanup
+// helper that reaches os.Remove.
+func checkTempCleanup(fn *funcNode, cg *callgraph, removeReach map[*funcNode]bool, report func(token.Pos, string)) {
+	if fn.body == nil {
+		return
+	}
+	pkg := fn.pkg
+
+	// Locals whose defining expression mentions a ".tmp" literal.
+	tmpVars := map[types.Object]token.Pos{}
+	fn.walkOwn(func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" || !mentionsTmpLiteral(as.Rhs[i]) {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				tmpVars[obj] = id.Pos()
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				tmpVars[obj] = id.Pos()
+			}
+		}
+		return true
+	})
+	if len(tmpVars) == 0 {
+		return
+	}
+
+	fallible := false
+	fn.walkOwn(func(n ast.Node) bool {
+		if isErrorExit(pkg, n) {
+			fallible = true
+		}
+		return true
+	})
+	if !fallible {
+		return
+	}
+
+	// Removal anywhere in the body counts, including deferred closures
+	// and calls into remove-reaching cleanup helpers.
+	removed := map[types.Object]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		direct := isPkgCall(pkg, call, "os", "Remove") || isPkgCall(pkg, call, "os", "RemoveAll")
+		helper := false
+		if !direct {
+			if callee := staticCallee(pkg, call); callee != nil {
+				if tgt := cg.byObj[callee]; tgt != nil && removeReach[tgt] {
+					helper = true
+				}
+			}
+		}
+		if !direct && !helper {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObj(pkg, arg); obj != nil {
+				removed[obj] = true
+			}
+			if direct {
+				break // only the first arg is the removed path
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range tmpVars {
+		if !removed[obj] {
+			report(pos, fmt.Sprintf(
+				"temp file %s is never removed although %s can fail; clean it up on error paths so a failed commit leaves no junk behind",
+				obj.Name(), fn.name()))
+		}
+	}
+}
+
+// mentionsTmpLiteral reports whether expr contains a string literal
+// containing ".tmp" — the naming convention for not-yet-committed files.
+func mentionsTmpLiteral(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING && strings.Contains(lit.Value, ".tmp") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeHasSync reports whether node performs a durability barrier: a
+// direct (*os.File).Sync, a call into a sync-reaching module function,
+// or — when flush is set — a (*bufio.Writer).Flush. Deferred calls are
+// skipped; they run at exit, not at their syntactic position.
+func nodeHasSync(fn *funcNode, cg *callgraph, node ast.Node, syncReach map[*funcNode]bool, flush bool) bool {
+	pkg := fn.pkg
+	found := false
+	inspectNoFuncLit(node, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isFileSyncCall(pkg, call) {
+			found = true
+			return false
+		}
+		if flush && isBufFlushCall(pkg, call) {
+			found = true
+			return false
+		}
+		if callee := staticCallee(pkg, call); callee != nil {
+			if tgt := cg.byObj[callee]; tgt != nil && syncReach[tgt] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasDeferredSync reports whether fn defers a flush/sync-bearing call
+// (defer w.close() style), which satisfies the before-return rules at
+// every exit.
+func hasDeferredSync(fn *funcNode, cg *callgraph, syncReach map[*funcNode]bool) bool {
+	pkg := fn.pkg
+	found := false
+	fn.walkOwn(func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		call := d.Call
+		if isFileSyncCall(pkg, call) || isBufFlushCall(pkg, call) {
+			found = true
+			return false
+		}
+		if callee := staticCallee(pkg, call); callee != nil {
+			if tgt := cg.byObj[callee]; tgt != nil && syncReach[tgt] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isErrorExit reports whether node is a return that leaves with an
+// error: a bare error-typed identifier (return err; return 0, err) or a
+// wrapped construction (fmt.Errorf, errors.New/Join). Such paths never
+// acknowledge the write, so durability rules 2 and 3 exempt them.
+func isErrorExit(pkg *Package, node ast.Node) bool {
+	ret, ok := node.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		switch r := ast.Unparen(res).(type) {
+		case *ast.Ident:
+			if r.Name == "nil" {
+				continue
+			}
+			if obj := pkg.Info.Uses[r]; obj != nil && isErrorType(obj.Type()) {
+				return true
+			}
+		case *ast.CallExpr:
+			if isPkgCall(pkg, r, "fmt", "Errorf") ||
+				isPkgCall(pkg, r, "errors", "New") || isPkgCall(pkg, r, "errors", "Join") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isPkgCall reports whether call invokes pkgPath.name (os.Rename,
+// fmt.Errorf, ...), resolved through the type checker rather than
+// source text so aliased imports still match.
+func isPkgCall(pkg *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// isFileSyncCall reports a direct (*os.File).Sync() call.
+func isFileSyncCall(pkg *Package, call *ast.CallExpr) bool {
+	return isMethodOn(pkg, call, "os", "File", "Sync")
+}
+
+// isBufFlushCall reports a direct (*bufio.Writer).Flush() call.
+func isBufFlushCall(pkg *Package, call *ast.CallExpr) bool {
+	return isMethodOn(pkg, call, "bufio", "Writer", "Flush")
+}
+
+// isBufWriteCall reports a write into a bufio.Writer's userspace buffer.
+func isBufWriteCall(pkg *Package, call *ast.CallExpr) bool {
+	for _, m := range []string{"Write", "WriteString", "WriteByte", "WriteRune"} {
+		if isMethodOn(pkg, call, "bufio", "Writer", m) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMethodOn reports whether call is recv.method() with recv of (a
+// pointer to) the named type pkgPath.typeName.
+func isMethodOn(pkg *Package, call *ast.CallExpr, pkgPath, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

@@ -53,6 +53,7 @@ func Analyzers() []Analyzer {
 	return []Analyzer{
 		lockcheck{}, ctxcheck{}, detercheck{}, errdrop{},
 		deadlockcheck{}, leakcheck{}, wgcheck{}, atomiccheck{},
+		publishcheck{}, durcheck{}, alloccheck{},
 	}
 }
 

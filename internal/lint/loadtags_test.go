@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fileNames returns the base names of the files loaded for pkg.
+func fileNames(pkg *Package) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range pkg.Files {
+		names[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)] = true
+	}
+	return names
+}
+
+// TestLoaderRespectsBuildTags loads a corpus whose raceEnabled constant
+// is declared twice under opposite //go:build tags. The load must pick
+// exactly the file `go build` would (no "race" tag in the default
+// context), or the package would fail with a duplicate declaration.
+func TestLoaderRespectsBuildTags(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "tagged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadTree(dir, "corpus/tagged")
+	if err != nil {
+		t.Fatalf("load tagged corpus: %v", err)
+	}
+	if len(mod.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(mod.Pkgs))
+	}
+	names := fileNames(mod.Pkgs[0])
+	if !names["race_off.go"] {
+		t.Errorf("race_off.go (//go:build !race) should be loaded; got %v", names)
+	}
+	if names["race_on.go"] {
+		t.Errorf("race_on.go (//go:build race) must be excluded; got %v", names)
+	}
+	if !names["tagged.go"] {
+		t.Errorf("untagged tagged.go should be loaded; got %v", names)
+	}
+
+	// The analyzers must run cleanly over the constrained view.
+	if diags := Run(mod, Analyzers()); len(diags) != 0 {
+		t.Errorf("tagged corpus should be diagnostic-free, got %v", diags)
+	}
+}
+
+// TestModuleLoadRespectsBuildTags pins the same behavior on the real
+// module: internal/reach ships the race_{on,off}.go pair, and the
+// module load must resolve it exactly like the corpus.
+func TestModuleLoadRespectsBuildTags(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.Pkgs {
+		if pkg.PkgPath != "microlink/internal/reach" {
+			continue
+		}
+		names := fileNames(pkg)
+		if !names["race_off.go"] || names["race_on.go"] {
+			t.Fatalf("reach package loaded the wrong race file set: %v", names)
+		}
+		return
+	}
+	t.Fatal("module load missed microlink/internal/reach")
+}

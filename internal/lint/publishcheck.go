@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// publishcheck enforces the copy-on-swap immutability contract: a value
+// published through an atomic pointer is frozen forever after. Once a
+// local flows into
+//
+//	p.Store(x)          // p of type sync/atomic.Pointer[T]
+//
+// or into a pointer argument of a function annotated
+//
+//	// microlint:published-by <ptr>
+//
+// (reach.Streaming.Install publishes through its frozen pointer), any
+// later write through that value — x.f = v, x[i] = v, *x = v, map
+// stores, delete, copy into its storage — is a diagnostic on every path
+// where the publish may have happened. Aliases count: y := x carries
+// the mark, and so do derived views (labs := x.labels shares the
+// published backing array). Rebinding a variable to a fresh value
+// clears its mark, which is exactly the legal idiom: build a new
+// arena, publish it, never touch it again.
+//
+// The analysis is intraprocedural (the dataflow layer of dataflow.go);
+// a value that escapes into another function and is mutated there is
+// not caught, and a publish inside a closure marks the closure's
+// variables at the statement that contains the literal — the
+// synchronous-callback shape of Linker.UpdateReachability.
+type publishcheck struct{}
+
+func (publishcheck) Name() string { return "publishcheck" }
+func (publishcheck) Doc() string {
+	return "writes through values already published via atomic.Pointer.Store or a microlint:published-by function (copy-on-swap immutability)"
+}
+
+// Run is satisfied per the Analyzer interface; the analysis needs the
+// module-wide annotation table and lives in RunModule.
+func (publishcheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+const publishedByMarker = "microlint:published-by"
+
+func (publishcheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	publishers := collectPublishers(mod, report)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPublished(pkg, fd.Body, publishers, report)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkPublished(pkg, lit.Body, publishers, report)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// collectPublishers gathers the functions annotated published-by and
+// validates that each can actually publish something.
+func collectPublishers(mod *Module, report func(token.Pos, string)) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				name, ok := funcMarker(fd, publishedByMarker)
+				if !ok {
+					continue
+				}
+				if name == "" {
+					report(fd.Pos(), "published-by annotation is missing the pointer name; want `// microlint:published-by <ptr>`")
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if !hasReferenceParam(obj) {
+					report(fd.Pos(), fmt.Sprintf(
+						"published-by annotation on %s, which has no pointer, slice, or map parameter to publish", fd.Name.Name))
+					continue
+				}
+				out[obj] = name
+			}
+		}
+	}
+	return out
+}
+
+// hasReferenceParam reports whether fn takes at least one argument whose
+// mutation after publication would be observable through the publish
+// point (pointer, slice, or map typed).
+func hasReferenceParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isReferenceType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isReferenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// checkPublished runs the publish dataflow over one function body.
+func checkPublished(pkg *Package, body *ast.BlockStmt, publishers map[*types.Func]string, report func(token.Pos, string)) {
+	g := buildCFG(body)
+	classes := aliasClasses(pkg, body)
+	events := map[ast.Node][]markEvent{}
+	any := false
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			evs := publishEventsIn(pkg, n, publishers, classes)
+			if len(evs) > 0 {
+				events[n] = evs
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	g.propagateMarks(events, func(ev markEvent, fact markFact) {
+		pos := pkg.Fset.Position(fact.pos)
+		report(ev.pos, fmt.Sprintf(
+			"write to %s, published via %s at line %d; published values are immutable — build a fresh value and swap it in",
+			types.ExprString(ev.node.(ast.Expr)), fact.via, pos.Line))
+	})
+}
+
+// publishEventsIn decodes the mark events of one CFG node, in source
+// order. Publishes descend into nested function literals (the
+// UpdateReachability callback publishes on behalf of its enclosing
+// statement); alias and write detection does not — a literal's own body
+// is analyzed as its own function. A publish marks the whole alias
+// class of its argument, so names copied before the store freeze too.
+func publishEventsIn(pkg *Package, node ast.Node, publishers map[*types.Func]string, classes map[types.Object][]types.Object) []markEvent {
+	var evs []markEvent
+
+	mark := func(obj types.Object, pos token.Pos, via string, n ast.Node) {
+		evs = append(evs, markEvent{kind: eventMark, pos: pos, obj: obj, via: via, node: n})
+		for _, member := range classes[obj] {
+			if member != obj {
+				evs = append(evs, markEvent{kind: eventMark, pos: pos, obj: member, via: via, node: n})
+			}
+		}
+	}
+
+	// Publishes: atomic.Pointer Store calls and annotated publishers.
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, ok := atomicPointerStore(pkg, call); ok && len(call.Args) == 1 {
+			if obj := rootObj(pkg, call.Args[0]); obj != nil {
+				mark(obj, call.Pos(), types.ExprString(recv)+".Store", call)
+			}
+			return true
+		}
+		if fn := staticCallee(pkg, call); fn != nil {
+			if ptr, ok := publishers[fn]; ok {
+				sig := fn.Type().(*types.Signature)
+				for i, arg := range call.Args {
+					pi := i
+					if sig.Variadic() && pi >= sig.Params().Len() {
+						pi = sig.Params().Len() - 1
+					}
+					if pi >= sig.Params().Len() || !isReferenceType(sig.Params().At(pi).Type()) {
+						continue
+					}
+					if obj := rootObj(pkg, arg); obj != nil {
+						mark(obj, call.Pos(), fmt.Sprintf("%s (published-by %s)", fn.Name(), ptr), call)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Aliases, kills, and writes — own control flow only.
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			paired := len(n.Lhs) == len(n.Rhs)
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					obj := pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pkg.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					var src types.Object
+					if paired {
+						src = aliasSource(pkg, n.Rhs[i])
+					}
+					evs = append(evs, markEvent{kind: eventCopy, pos: n.Pos(), obj: obj, src: src, node: lhs})
+					continue
+				}
+				// x.f = v, x[i] = v, *x = v: a write through the base.
+				if obj := rootObj(pkg, lhs); obj != nil {
+					evs = append(evs, markEvent{kind: eventUse, pos: lhs.Pos(), obj: obj, node: lhs})
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := ast.Unparen(n.X).(*ast.Ident); !isIdent {
+				if obj := rootObj(pkg, n.X); obj != nil {
+					evs = append(evs, markEvent{kind: eventUse, pos: n.X.Pos(), obj: obj, node: n.X})
+				}
+			}
+		case *ast.CallExpr:
+			// delete(x.m, k) and copy(x.s, src) mutate published storage.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 &&
+				(id.Name == "delete" || id.Name == "copy") && isBuiltinUse(pkg, id) {
+				if obj := rootObj(pkg, n.Args[0]); obj != nil {
+					evs = append(evs, markEvent{kind: eventUse, pos: n.Args[0].Pos(), obj: obj, node: n.Args[0]})
+				}
+			}
+		}
+		return true
+	})
+
+	return sortEvents(evs)
+}
+
+// aliasSource resolves the object whose mark an assignment's RHS
+// carries: a plain identifier is a direct alias, and a selector, index,
+// or slice of a marked base is a derived view sharing its storage.
+// Anything else (a call, a literal, arithmetic) is a fresh value.
+func aliasSource(pkg *Package, rhs ast.Expr) types.Object {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.UnaryExpr:
+		return rootObj(pkg, rhs)
+	}
+	return nil
+}
+
+// isBuiltinUse reports whether id resolves to a predeclared builtin
+// (and not a shadowing local function).
+func isBuiltinUse(pkg *Package, id *ast.Ident) bool {
+	_, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// atomicPointerStore reports whether call is p.Store(x) with p of type
+// sync/atomic.Pointer[T], returning the receiver expression.
+func atomicPointerStore(pkg *Package, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return nil, false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil, false
+	}
+	return sel.X, true
+}

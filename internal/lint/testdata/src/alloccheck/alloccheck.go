@@ -1,0 +1,147 @@
+// Corpus for the alloccheck analyzer: microlint:noalloc functions may
+// not contain per-call allocation sites. The allowed shapes are the
+// amortised-zero reuse idioms the real query path uses: append into
+// parameters, fields, or pool-derived scratch, value struct results,
+// and pointer-shaped interface arguments.
+package alloccheck
+
+import (
+	"fmt"
+	"sync"
+)
+
+type scratch struct {
+	tmp []int
+	buf []int
+}
+
+var pool = sync.Pool{New: func() any { return &scratch{} }}
+
+// sink consumes an interface value; annotated so that calls to it
+// exercise only the boxing rule, not callee propagation.
+//
+// microlint:noalloc
+func sink(v any) { _ = v }
+
+// allocEverywhere is the seeded violation set: one diagnostic per
+// allocation form.
+//
+// microlint:noalloc
+func allocEverywhere(n int) {
+	s := make([]int, n) // want "make in a noalloc function allocates"
+	p := new(int)       // want "new in a noalloc function allocates"
+	l := []int{1, 2}    // want "slice literal in a noalloc function allocates backing storage"
+	m := map[int]int{}  // want "map literal in a noalloc function allocates"
+	a := &scratch{}     // want "&composite literal in a noalloc function heap-allocates the value"
+	_, _, _, _, _ = s, p, l, m, a
+}
+
+// growsFreshSlice appends into a slice rooted at nothing but this
+// call's own frame: the growth escapes every invocation.
+//
+// microlint:noalloc
+func growsFreshSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append into a fresh function-local slice"
+	}
+	return out
+}
+
+// reusesScratch is the blessed pool idiom from the two-hop query walk:
+// scratch comes from the pool, appends target its fields (or views of
+// them), and the pointer goes back without boxing.
+//
+// microlint:noalloc
+func reusesScratch(xs []int) int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.buf = sc.buf[:0]
+	for _, x := range xs {
+		sc.buf = append(sc.buf, x) // ok: field-rooted storage is reused
+	}
+	dst := sc.tmp[:0]
+	dst = append(dst, sc.buf...) // ok: dst is a view of pooled scratch
+	return len(dst)
+}
+
+// appendsIntoParam is the caller-owned-buffer idiom: growth is the
+// caller's amortised cost, not a fresh escape here.
+//
+// microlint:noalloc
+func appendsIntoParam(buf []int, xs []int) []int {
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x) // ok: parameter storage belongs to the caller
+	}
+	return buf
+}
+
+type result struct {
+	dist int
+	ids  []int
+}
+
+// valueResult returns a struct by value; whether it stays on the stack
+// is the compiler's escape analysis to prove, so it is not flagged.
+//
+// microlint:noalloc
+func valueResult(ids []int) result {
+	return result{dist: 2, ids: ids} // ok: value literal, not &literal
+}
+
+// stringWork covers the string-building allocation forms.
+//
+// microlint:noalloc
+func stringWork(a, b string, raw []byte) string {
+	joined := a + b         // want "string concatenation in a noalloc function allocates"
+	decoded := string(raw)  // want "conversion string in a noalloc function copies its operand"
+	return joined + decoded // want "string concatenation in a noalloc function allocates"
+}
+
+// spawnsAndCloses covers the control-flow allocators: goroutines and
+// closures.
+//
+// microlint:noalloc
+func spawnsAndCloses(n int) {
+	go leaf(n)                   // want "go statement in a noalloc function: spawning a goroutine allocates"
+	f := func() int { return n } // want "function literal in a noalloc function allocates a closure"
+	_ = f
+}
+
+// formatsAndBoxes covers fmt and interface boxing.
+//
+// microlint:noalloc
+func formatsAndBoxes(n int, sc *scratch) {
+	_ = fmt.Sprintf("%d", n) // want "fmt.Sprintf in a noalloc function allocates"
+	sink(n)                  // want "passing int value as interface in a noalloc function boxes it"
+	sink(sc)                 // ok: pointers are single-word and box free
+}
+
+// callsUnannotated breaks the guarantee transitively: the callee may
+// allocate and nothing checks it.
+//
+// microlint:noalloc
+func callsUnannotated(n int) int {
+	return helper(n) // want "call to helper, which is not annotated microlint:noalloc"
+}
+
+// callsAnnotated keeps the whole call tree under the contract.
+//
+// microlint:noalloc
+func callsAnnotated(n int) int {
+	return leaf(n) // ok: leaf carries its own noalloc annotation
+}
+
+// leaf is an annotated, allocation-free callee.
+//
+// microlint:noalloc
+func leaf(n int) int { return n * 2 }
+
+// helper is a module function without the annotation.
+func helper(n int) int { return n + 1 }
+
+// external has no body, so the annotation promises nothing checkable.
+//
+// microlint:noalloc
+func external() // want "no body to check"

@@ -1,0 +1,3 @@
+module corpus/alloccheck
+
+go 1.22

@@ -1,0 +1,151 @@
+// Corpus for the durcheck analyzer: microlint:durable functions must
+// order their commit steps write-temp → fsync → rename → dirsync, flush
+// buffered writes before acknowledging success, and clean their temp
+// files up when they can fail. Renames outside durable functions are
+// flagged so the protocol cannot be dodged by omission.
+package durcheck
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+var data = []byte("payload")
+
+// commitGood is the full correct sequence: synced temp write, rename,
+// directory sync, cleanup on the failure path.
+//
+// microlint:durable
+func commitGood(dir string) error {
+	tmp := filepath.Join(dir, "m.tmp")
+	if err := writeFileSynced(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "m")); err != nil {
+		if rmErr := os.Remove(tmp); rmErr != nil {
+			return fmt.Errorf("rename: %v; cleanup: %v", err, rmErr)
+		}
+		return err
+	}
+	return syncDir(dir)
+}
+
+// commitNoSync is the seeded violation: the temp file is written with
+// no fsync before the rename, the rename gets no directory sync, and
+// the temp file is never removed although the function can fail.
+//
+// microlint:durable
+func commitNoSync(dir string) error {
+	tmp := filepath.Join(dir, "m.tmp") // want "temp file tmp is never removed"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "m")) // want "without a preceding fsync" "no directory sync after os.Rename"
+}
+
+// commitNoDirSync syncs the payload but forgets the directory entry.
+//
+// microlint:durable
+func commitNoDirSync(dir string) error {
+	tmp := filepath.Join(dir, "c.tmp")
+	if err := writeFileSynced(tmp, data); err != nil {
+		return removeTemp(tmp, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "c")); err != nil { // want "no directory sync after os.Rename"
+		return removeTemp(tmp, err)
+	}
+	return nil
+}
+
+// appendGood is the WAL ack path done right: buffered writes, one
+// flush, then success.
+//
+// microlint:durable
+func appendGood(bw *bufio.Writer, recs [][]byte) error {
+	for _, r := range recs {
+		if _, err := bw.Write(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendNoFlush acks records that may still sit in the userspace
+// buffer.
+//
+// microlint:durable
+func appendNoFlush(bw *bufio.Writer, rec []byte) error {
+	if _, err := bw.Write(rec); err != nil { // want "not followed by Flush or Sync"
+		return err
+	}
+	return nil
+}
+
+// appendDeferredClose is clean: the deferred sync-bearing helper runs
+// on every exit.
+//
+// microlint:durable
+func appendDeferredClose(f *os.File, rec []byte) error {
+	bw := bufio.NewWriter(f)
+	defer flushAndSync(bw, f)
+	if _, err := bw.Write(rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// renameOutsideProtocol is not annotated, so its rename escapes the
+// ordering rules — which is itself the finding.
+func renameOutsideProtocol(dir string) error {
+	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")) // want "not annotated microlint:durable"
+}
+
+// writeFileSynced writes data to path and fsyncs before close; callees
+// like this one make their call sites sync barriers.
+//
+// microlint:durable
+func writeFileSynced(path string, b []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+//
+// microlint:durable
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// flushAndSync is the deferred barrier used by appendDeferredClose.
+func flushAndSync(bw *bufio.Writer, f *os.File) {
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	_ = f.Sync() //nolint:microlint/errdrop -- corpus helper; error handling is not what this corpus tests
+}
+
+// removeTemp joins cleanup errors onto the primary failure.
+func removeTemp(tmp string, err error) error {
+	if rmErr := os.Remove(tmp); rmErr != nil {
+		return fmt.Errorf("%v; cleanup: %v", err, rmErr)
+	}
+	return err
+}

@@ -1,0 +1,3 @@
+module corpus/durcheck
+
+go 1.22

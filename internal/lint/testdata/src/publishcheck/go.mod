@@ -1,0 +1,3 @@
+module corpus/publishcheck
+
+go 1.22

@@ -1,0 +1,128 @@
+// Corpus for the publishcheck analyzer: a value that flowed into an
+// atomic.Pointer Store (or an annotated publisher) is immutable; later
+// writes through it or its aliases are diagnostics, while rebinding to
+// a fresh value and republishing is the blessed copy-on-swap idiom.
+package publishcheck
+
+import "sync/atomic"
+
+type arena struct {
+	n      int
+	labels []int
+	idx    map[string]int
+}
+
+var live atomic.Pointer[arena]
+
+// mutateAfterStore is the seeded violation: the arena is published,
+// then written through directly.
+func mutateAfterStore() {
+	a := &arena{labels: make([]int, 4)}
+	live.Store(a)
+	a.n = 1 // want "published via live.Store"
+}
+
+// mutateThroughAlias writes through a second name for the same value.
+func mutateThroughAlias() {
+	a := &arena{}
+	b := a
+	live.Store(a)
+	b.n = 2 // want "published via live.Store"
+}
+
+// mutateDerivedView writes the published arena's backing array through
+// a slice view taken from it after the store. (A view captured *before*
+// the publish is a known intraprocedural blind spot: marks flow
+// forward through assignments, not backward into earlier copies.)
+func mutateDerivedView() {
+	a := &arena{labels: make([]int, 4)}
+	live.Store(a)
+	labs := a.labels
+	labs[0] = 7 // want "published via live.Store"
+}
+
+// mapAndSliceWrites covers the non-field write forms.
+func mapAndSliceWrites() {
+	a := &arena{labels: make([]int, 4), idx: map[string]int{}}
+	live.Store(a)
+	a.labels[2] = 9              // want "published via live.Store"
+	a.idx["k"] = 1               // want "published via live.Store"
+	delete(a.idx, "k")           // want "published via live.Store"
+	copy(a.labels, a.labels[1:]) // want "published via live.Store"
+	a.n++                        // want "published via live.Store"
+}
+
+// freshAfterRebind is clean: rebinding kills the mark, so preparing the
+// next generation is fine, and publishing it freezes that one instead.
+func freshAfterRebind() {
+	a := &arena{}
+	live.Store(a)
+	a = &arena{labels: make([]int, 8)}
+	a.n = 3 // ok: a now names a fresh, unpublished arena
+	live.Store(a)
+}
+
+// buildThenPublish is the legal order: all mutation strictly before the
+// store.
+func buildThenPublish() {
+	a := &arena{labels: make([]int, 4)}
+	a.n = 10
+	a.labels[0] = 1
+	live.Store(a)
+}
+
+// publishOnSomePath must still flag: the store happens conditionally,
+// and the write executes on the published path too (may-analysis).
+func publishOnSomePath(swap bool) {
+	a := &arena{}
+	if swap {
+		live.Store(a)
+	}
+	a.n = 4 // want "published via live.Store"
+}
+
+// install is an annotated publisher standing in for
+// reach.Streaming.Install: callers' arguments freeze at the call.
+//
+// microlint:published-by live
+func install(a *arena) {
+	live.Store(a)
+}
+
+// mutateAfterInstall is the annotated-publisher half of the seeded
+// violation.
+func mutateAfterInstall() {
+	a := &arena{}
+	install(a)
+	a.n = 5 // want "published via install \(published-by live\)"
+}
+
+// installInsideCallback publishes from a synchronous closure — the
+// copy-on-swap shape used under the linker's write lock. The write
+// after the callback statement is still caught.
+func installInsideCallback(withLock func(func())) {
+	a := &arena{}
+	withLock(func() {
+		install(a)
+	})
+	a.n = 6 // want "published via install"
+}
+
+// valueOnly has no pointer-shaped parameter, so the annotation cannot
+// mean anything.
+//
+// microlint:published-by live
+func valueOnly(n int) {} // want "no pointer, slice, or map parameter"
+
+func use() {
+	mutateAfterStore()
+	mutateThroughAlias()
+	mutateDerivedView()
+	mapAndSliceWrites()
+	freshAfterRebind()
+	buildThenPublish()
+	publishOnSomePath(true)
+	mutateAfterInstall()
+	installInsideCallback(func(f func()) { f() })
+	valueOnly(0)
+}

@@ -1,0 +1,3 @@
+module corpus/tagged
+
+go 1.22

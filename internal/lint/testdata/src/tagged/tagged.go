@@ -1,0 +1,10 @@
+// Corpus for loader build-constraint handling: raceEnabled is defined
+// in two files under opposite //go:build tags, mirroring the real
+// module's internal/reach/race_{on,off}.go pair. A loader that ignored
+// the constraints would see a duplicate declaration and fail to
+// type-check; one that resolved them differently from `go build` would
+// analyze code the compiler never builds.
+package tagged
+
+// Enabled reports the build-tag choice the loader made.
+func Enabled() bool { return raceEnabled }

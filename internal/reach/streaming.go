@@ -213,7 +213,10 @@ func (st *Streaming) RebuildSnapshot() (*graph.Graph, *TwoHop, int64) {
 // atomic stores only — no locks — because callers are expected to run it
 // inside Linker.UpdateReachability, whose write lock already excludes
 // every scorer and whose cache flush makes the swap observable
-// atomically.
+// atomically. Once installed the arena is frozen: publishcheck flags
+// any later write through the same pointer at the call site.
+//
+// microlint:published-by frozen
 func (st *Streaming) Install(th *TwoHop, atEdges int64) {
 	st.frozen.Store(th)
 	st.frozenAt.Store(atEdges)

@@ -120,14 +120,17 @@ func (th *TwoHop) BuildInfo() TwoHopBuildInfo { return th.info }
 // MaxHops returns the hop bound H the cover was built with.
 func (th *TwoHop) MaxHops() int { return th.h }
 
+// microlint:noalloc
 func (th *TwoHop) outLabels(u graph.NodeID) []thLabelFlat {
 	return th.outLab[th.outOff[u]:th.outOff[u+1]]
 }
 
+// microlint:noalloc
 func (th *TwoHop) inLabels(u graph.NodeID) []thLabelFlat {
 	return th.inLab[th.inOff[u]:th.inOff[u+1]]
 }
 
+// microlint:noalloc
 func (th *TwoHop) folSet(l thLabelFlat) []graph.NodeID {
 	return th.folPool[l.folOff : l.folOff+int32(l.folLen)]
 }
@@ -142,7 +145,11 @@ type thScratch struct {
 
 var thScratchPool = sync.Pool{New: func() any { return new(thScratch) }}
 
-// union folds a sorted set into the sorted accumulator sc.fol.
+// union folds a sorted set into the sorted accumulator sc.fol. All
+// growth lands in the scratch's own fields, so steady state reuses
+// their capacity.
+//
+// microlint:noalloc
 func (sc *thScratch) union(set []graph.NodeID) {
 	if len(set) == 0 {
 		return
@@ -179,6 +186,8 @@ func (sc *thScratch) union(set []graph.NodeID) {
 // ascending inside sc.fol. Two merge walks over the rank-sorted label runs:
 // the first finds the minimum distance, the second unions only the followee
 // sets of hubs achieving it, so non-minimal labels cost no set work.
+//
+// microlint:noalloc
 func (th *TwoHop) queryRank(s, t graph.NodeID, sc *thScratch) (int, []graph.NodeID) {
 	sc.fol = sc.fol[:0]
 	if s == t {
@@ -269,6 +278,8 @@ func (th *TwoHop) Query(u, v graph.NodeID) (Result, bool) {
 // followee set is appended to buf (which may be nil) and returned inside
 // Result.Followees. With a reused buffer of sufficient capacity the call
 // performs no allocation.
+//
+// microlint:noalloc
 func (th *TwoHop) QueryAppend(u, v graph.NodeID, buf []graph.NodeID) (Result, bool) {
 	sc := thScratchPool.Get().(*thScratch)
 	d, fol := th.queryRank(u, v, sc)
@@ -287,6 +298,8 @@ func (th *TwoHop) QueryAppend(u, v graph.NodeID, buf []graph.NodeID) (Result, bo
 
 // R implements Index. The whole evaluation runs on pooled scratch, so the
 // linker's per-candidate hot path stays allocation-free.
+//
+// microlint:noalloc
 func (th *TwoHop) R(u, v graph.NodeID) float64 {
 	sc := thScratchPool.Get().(*thScratch)
 	d, fol := th.queryRank(u, v, sc)

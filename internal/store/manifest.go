@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -77,6 +78,10 @@ func readManifest(path string) (*Manifest, error) {
 
 // writeManifest commits man atomically: write MANIFEST.tmp, sync it,
 // rename over MANIFEST, sync the directory so the rename is durable.
+// Failed commits remove the temp file so the next generation starts
+// from a clean directory.
+//
+// microlint:durable
 func writeManifest(dir string, man *Manifest) error {
 	b, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -84,15 +89,25 @@ func writeManifest(dir string, man *Manifest) error {
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	if err := writeFileSynced(tmp, append(b, '\n')); err != nil {
-		return err
+		return errors.Join(err, removeTemp(tmp))
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		return err
+		return errors.Join(err, removeTemp(tmp))
 	}
 	return syncDir(dir)
 }
 
+// removeTemp deletes a leftover temp file, tolerating its absence.
+func removeTemp(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
 // writeFileSynced writes data to a fresh file and syncs it before close.
+//
+// microlint:durable
 func writeFileSynced(path string, data []byte) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -111,6 +126,8 @@ func writeFileSynced(path string, data []byte) (err error) {
 
 // syncDir makes a just-renamed directory entry durable. Best-effort:
 // platforms that refuse to open directories are tolerated.
+//
+// microlint:durable
 func syncDir(dir string) (err error) {
 	d, err := os.Open(dir)
 	if err != nil {

@@ -66,6 +66,8 @@ func isSegName(name string) bool {
 // writeSegment writes one framed segment: header, payload (checksummed
 // as written), trailer. The file is synced before close so a committed
 // manifest never references a segment the OS might still lose.
+//
+// microlint:durable
 func writeSegment(path string, kind uint8, payload func(w io.Writer) error) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -103,6 +105,8 @@ func writeSegment(path string, kind uint8, payload func(w io.Writer) error) (err
 
 // writeRawSegment writes an externally-framed segment (the reach arena,
 // which carries its own magic, version, fingerprint and checksum).
+//
+// microlint:durable
 func writeRawSegment(path string, wt io.WriterTo) (err error) {
 	f, err := os.Create(path)
 	if err != nil {

@@ -61,6 +61,8 @@ type walWriter struct {
 
 // createWAL creates path (which must not exist — sequence numbers never
 // repeat) and writes the header.
+//
+// microlint:durable
 func createWAL(path string, fsync bool) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
@@ -85,6 +87,8 @@ func createWAL(path string, fsync bool) (*walWriter, error) {
 // append frames and writes recs, then flushes to the OS (and syncs when
 // configured). The whole batch is one flush: after append returns, every
 // record in it survives process death.
+//
+// microlint:durable
 func (w *walWriter) append(recs []Record) error {
 	for i := range recs {
 		frame, err := appendWALFrame(w.scratch[:0], &recs[i])
@@ -127,6 +131,8 @@ func appendWALFrame(b []byte, r *Record) ([]byte, error) {
 }
 
 // close flushes, syncs and closes the file.
+//
+// microlint:durable
 func (w *walWriter) close() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
