@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint lint-json fuzz-smoke fmt fmt-check cover ci profile snapshot-smoke
+.PHONY: all build test test-race race bench bench-smoke bench-index repro repro-quick examples vet lint lint-json lint-advisory fuzz-smoke fmt fmt-check cover ci profile snapshot-smoke
 
 all: build test
 
@@ -20,11 +20,19 @@ lint:
 	$(GO) run ./cmd/microlint ./...
 
 # Same diagnostics as `lint` but as a JSON report on stdout (the file CI
-# uploads as an artifact). `-only`/`-skip` narrow the analyzer set, e.g.
-# `go run ./cmd/microlint -only durcheck,publishcheck ./...`.
+# uploads as an artifact), including the per-analyzer wall-time table
+# from the worker-pool runner. `-only`/`-skip` narrow the analyzer set,
+# e.g. `go run ./cmd/microlint -only durcheck,publishcheck ./...`.
 lint-json:
-	$(GO) run ./cmd/microlint -json ./... > microlint.json || true
+	$(GO) run ./cmd/microlint -timing ./... > microlint.json || true
 	@cat microlint.json
+
+# Non-blocking advisory lane: racecheck in suggestion mode proposes
+# `// microlint:guarded-by <mu>` annotations for fields it proves are
+# consistently locked but unannotated. Always exits 0; CI publishes the
+# output as an artifact for review, never as a gate.
+lint-advisory:
+	$(GO) run ./cmd/microlint -advisory ./... | tee microlint-advisory.txt
 
 fmt:
 	gofmt -w .
@@ -84,6 +92,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzNormalizePhrase -fuzztime=5s ./internal/textutil
 	$(GO) test -run=NONE -fuzz=FuzzWithinEditDistance -fuzztime=5s ./internal/textutil
 	$(GO) test -run=NONE -fuzz=FuzzDecodeLinkRequest -fuzztime=5s ./internal/httpapi
+	$(GO) test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=5s ./internal/lint
+	$(GO) test -run=NONE -fuzz=FuzzLocksetTransfer -fuzztime=5s ./internal/lint
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

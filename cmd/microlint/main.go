@@ -3,15 +3,21 @@
 //
 // Usage:
 //
-//	microlint [-json] [-only list] [-skip list] [dir]
+//	microlint [-json] [-timing] [-advisory] [-only list] [-skip list] [dir]
 //
 // The optional dir argument selects where to start looking for go.mod
 // (default "."); patterns like ./... are accepted and treated the same
 // way, since microlint always analyzes the whole module. -only runs a
 // comma-separated subset of the analyzers, -skip runs all but the named
-// ones; the full list is printed by -h. Exit status is 0 when the
-// module is clean, 1 when there are diagnostics, and 2 when the module
-// fails to load or type-check (or the flags are invalid).
+// ones; the full list is printed by -h. Analyzers run on a worker pool
+// (they are independent once the shared analysis state is precomputed);
+// -timing switches the JSON output to a {"diagnostics", "timing"}
+// object carrying per-analyzer wall time, which CI uploads as
+// microlint.json. -advisory runs the non-blocking advisory lane
+// (racecheck suggestion mode) instead of the suite and always exits 0
+// on a loadable module. Exit status is 0 when the module is clean, 1
+// when there are diagnostics, and 2 when the module fails to load or
+// type-check (or the flags are invalid).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"microlink/internal/lint"
@@ -34,10 +41,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("microlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	timing := fs.Bool("timing", false, "emit JSON {diagnostics, timing} with per-analyzer wall time (implies -json)")
+	advisory := fs.Bool("advisory", false, "run the advisory lane (suggestions, never blocks) and exit 0")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := fs.String("skip", "", "comma-separated analyzers to exclude")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: microlint [-json] [-only list] [-skip list] [dir]\n")
+		fmt.Fprintf(stderr, "usage: microlint [-json] [-timing] [-advisory] [-only list] [-skip list] [dir]\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -52,6 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "microlint: %v\n", err)
 		return 2
+	}
+	if *advisory {
+		if *only != "" || *skip != "" {
+			fmt.Fprintf(stderr, "microlint: -advisory ignores -only/-skip\n")
+			return 2
+		}
+		analyzers = lint.AdvisoryAnalyzers()
 	}
 
 	dir := "."
@@ -72,11 +88,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "microlint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(mod, analyzers)
+	diags, timings := lint.RunTimed(mod, analyzers, runtime.NumCPU())
 	var werr error
-	if *jsonOut {
+	switch {
+	case *timing:
+		werr = lint.WriteJSONTimed(stdout, diags, timings)
+	case *jsonOut:
 		werr = lint.WriteJSON(stdout, diags)
-	} else {
+	default:
 		werr = lint.WriteText(stdout, diags)
 	}
 	if werr != nil {
@@ -84,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if len(diags) > 0 {
+		if *advisory {
+			fmt.Fprintf(stderr, "microlint: %d advisory suggestion(s) (non-blocking)\n", len(diags))
+			return 0
+		}
 		fmt.Fprintf(stderr, "microlint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,6 +39,57 @@ func fallible() error { return errors.New("x") }
 
 func Use() { fallible() }
 `
+
+// advisorySrc has a consistently-locked unannotated field: clean for
+// the blocking suite, one suggestion in the advisory lane.
+const advisorySrc = `package m
+
+import "sync"
+
+type L struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *L) Spin() {
+	go func() { l.mu.Lock(); l.n++; l.mu.Unlock() }()
+	go func() { l.mu.Lock(); _ = l.n; l.mu.Unlock() }()
+}
+`
+
+// TestUsageListsAllAnalyzers pins the -h contract: the suite is exactly
+// twelve analyzers and every registered name appears in the usage
+// roster. Adding or removing an analyzer must update this count (and
+// the README/DESIGN docs) deliberately.
+func TestUsageListsAllAnalyzers(t *testing.T) {
+	const wantCount = 12
+	if got := len(lint.Analyzers()); got != wantCount {
+		t.Fatalf("lint.Analyzers() has %d analyzers, want %d", got, wantCount)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-h exit %d, want 2", code)
+	}
+	usage := stderr.String()
+	_, roster, found := strings.Cut(usage, "analyzers:")
+	if !found {
+		t.Fatalf("usage output missing the analyzers roster:\n%s", usage)
+	}
+	listed := 0
+	for _, line := range strings.Split(roster, "\n") {
+		if strings.TrimSpace(line) != "" {
+			listed++
+		}
+	}
+	if listed != wantCount {
+		t.Fatalf("usage lists %d analyzers, want %d:\n%s", listed, wantCount, roster)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(roster, a.Name()) {
+			t.Fatalf("usage roster missing analyzer %q:\n%s", a.Name(), roster)
+		}
+	}
+}
 
 func TestSelectAnalyzers(t *testing.T) {
 	all := lint.Analyzers()
@@ -178,6 +230,60 @@ func TestExitCodes(t *testing.T) {
 
 	t.Run("extra args exit 2", func(t *testing.T) {
 		code, _, _ := runIn("a", "b")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+
+	t.Run("timing emits the diagnostics+timing object", func(t *testing.T) {
+		dir := writeModule(t, droppedErrSrc)
+		code, stdout, _ := runIn("-timing", dir)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		var rep struct {
+			Diagnostics []struct {
+				Analyzer string `json:"analyzer"`
+			} `json:"diagnostics"`
+			Timing []struct {
+				Analyzer string  `json:"analyzer"`
+				Millis   float64 `json:"ms"`
+			} `json:"timing"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("timing output is not valid JSON: %v\n%s", err, stdout)
+		}
+		if len(rep.Diagnostics) == 0 || rep.Diagnostics[0].Analyzer != "errdrop" {
+			t.Fatalf("timing output missing the errdrop diagnostic: %s", stdout)
+		}
+		if len(rep.Timing) != len(lint.Analyzers()) {
+			t.Fatalf("timing table has %d rows, want %d: %s", len(rep.Timing), len(lint.Analyzers()), stdout)
+		}
+		for _, row := range rep.Timing {
+			if row.Millis < 0 {
+				t.Fatalf("negative wall time for %s: %s", row.Analyzer, stdout)
+			}
+		}
+	})
+
+	t.Run("advisory never blocks", func(t *testing.T) {
+		dir := writeModule(t, advisorySrc)
+		code, _, stderr := runIn(dir)
+		if code != 0 {
+			t.Fatalf("blocking run exit %d, want 0 (field is consistently locked); stderr: %s", code, stderr)
+		}
+		code, stdout, stderr := runIn("-advisory", dir)
+		if code != 0 {
+			t.Fatalf("advisory run exit %d, want 0; stderr: %s", code, stderr)
+		}
+		if !strings.Contains(stdout, "guarded-by") {
+			t.Fatalf("advisory run missing the guarded-by suggestion: %s", stdout)
+		}
+	})
+
+	t.Run("advisory rejects only/skip", func(t *testing.T) {
+		dir := writeModule(t, cleanSrc)
+		code, _, _ := runIn("-advisory", "-only", "errdrop", dir)
 		if code != 2 {
 			t.Fatalf("exit %d, want 2", code)
 		}

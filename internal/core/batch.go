@@ -74,7 +74,7 @@ type BatchResult struct {
 // entirely inside one read-locked critical section).
 func (l *Linker) LinkBatch(ctx context.Context, queries []MentionQuery) []BatchResult {
 	res := make([]BatchResult, len(queries))
-	l.met.batchSize.Observe(float64(len(queries)))
+	l.metrics().batchSize.Observe(float64(len(queries)))
 	if len(queries) == 0 {
 		return res
 	}
@@ -129,9 +129,9 @@ func (l *Linker) LinkBatch(ctx context.Context, queries []MentionQuery) []BatchR
 		go func() {
 			defer wg.Done()
 			for k := range ch {
-				l.met.batchWorkers.Inc()
+				l.metrics().batchWorkers.Inc()
 				l.scoreGroup(ctx, k.now, k.surface, groups[k], queries, res)
-				l.met.batchWorkers.Dec()
+				l.metrics().batchWorkers.Dec()
 			}
 		}()
 	}
@@ -169,12 +169,12 @@ func (l *Linker) scoreGroup(ctx context.Context, now int64, surface string, idxs
 		return
 	}
 	for _, i := range idxs {
-		l.met.mentions.Inc()
+		l.metrics().mentions.Inc()
 		switch {
 		case ctx.Err() != nil:
 			res[i] = BatchResult{Entity: kb.NoEntity, Err: ctx.Err()}
 		case sh == nil:
-			l.met.misses.Inc()
+			l.metrics().misses.Inc()
 			res[i] = BatchResult{Entity: kb.NoEntity}
 		default:
 			i := i
@@ -186,7 +186,7 @@ func (l *Linker) scoreGroup(ctx context.Context, now int64, surface string, idxs
 }
 
 func (l *Linker) scoreItem(ctx context.Context, u kb.UserID, sh *sharedScores) BatchResult {
-	span := obs.StartSpan(l.met.link)
+	span := obs.StartSpan(l.metrics().link)
 	scored, err := l.finishLocked(ctx, u, sh)
 	span.Stop()
 	if err != nil {

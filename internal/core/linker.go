@@ -120,8 +120,12 @@ type Linker struct {
 	// microlint:lock-order linker < ckb
 	// microlint:lock-order linker < influence
 	// microlint:lock-order linker < recency-memo
-	mu  sync.RWMutex // microlint:lock-order linker
-	met linkerMetrics
+	mu sync.RWMutex // microlint:lock-order linker
+
+	// met is the instrumentation set, published atomically by Instrument
+	// so hot-path readers never race the one-time wiring. Nil until
+	// Instrument runs; read through metrics(), never directly.
+	met atomic.Pointer[linkerMetrics]
 }
 
 // linkerMetrics holds the hot-path instrumentation. All fields are nil
@@ -162,7 +166,7 @@ func (l *Linker) Config() Config { return l.cfg }
 // latency, mention/tweet/feedback counters, interest-cache hit/miss
 // counters, the batch-size histogram, and the batch pool-depth gauge.
 func (l *Linker) Instrument(reg *obs.Registry) {
-	l.met = linkerMetrics{
+	l.met.Store(&linkerMetrics{
 		stage: reg.HistogramVec("microlink_linker_stage_seconds",
 			"Per-stage Eq. 1 scoring latency.", nil, "stage"),
 		link: reg.Histogram("microlink_linker_link_seconds",
@@ -183,20 +187,33 @@ func (l *Linker) Instrument(reg *obs.Registry) {
 			"Queries per LinkBatch call.", obs.ExpBuckets(1, 2, 12)),
 		batchWorkers: reg.Gauge("microlink_linker_batch_workers_active",
 			"Batch pool workers currently scoring a query group."),
-	}
+	})
 }
+
+// metrics returns the active instrumentation, or a shared zero value
+// before Instrument runs — the obs types are nil-safe, so callers
+// record unconditionally either way.
+func (l *Linker) metrics() *linkerMetrics {
+	if m := l.met.Load(); m != nil {
+		return m
+	}
+	return &zeroLinkerMetrics
+}
+
+// zeroLinkerMetrics backs metrics() on uninstrumented linkers.
+var zeroLinkerMetrics linkerMetrics
 
 // StageStats returns a snapshot of the per-stage latency histograms keyed
 // by stage name (candidate, popularity, recency, interest), or nil when
 // the linker is uninstrumented.
 func (l *Linker) StageStats() map[string]obs.HistogramSnapshot {
-	return l.met.stage.Snapshots()
+	return l.metrics().stage.Snapshots()
 }
 
 // CacheStats returns the interest cache's hit/miss counts since
 // Instrument. Both are zero on an uninstrumented or cache-disabled linker.
 func (l *Linker) CacheStats() (hits, misses uint64) {
-	return l.met.cacheHits.Value(), l.met.cacheMisses.Value()
+	return l.metrics().cacheHits.Value(), l.metrics().cacheMisses.Value()
 }
 
 // sharedScores is the user-independent part of one Eq. 1 evaluation: the
@@ -214,7 +231,7 @@ type sharedScores struct {
 // sharedLocked computes the candidate, popularity and recency stages.
 // Returns nil when the surface has no candidates. Callers hold mu.RLock.
 func (l *Linker) sharedLocked(now int64, surface string) *sharedScores {
-	sw := obs.StartStopwatch(l.met.stage)
+	sw := obs.StartStopwatch(l.metrics().stage)
 
 	cands := l.cand.Candidates(surface)
 	sw.Stage("candidate")
@@ -248,7 +265,7 @@ func (l *Linker) sharedLocked(now int64, surface string) *sharedScores {
 // combines Eq. 1, sorted by descending score (ties by ascending entity
 // ID). Callers hold mu.RLock.
 func (l *Linker) finishLocked(ctx context.Context, u kb.UserID, sh *sharedScores) ([]Scored, error) {
-	sw := obs.StartStopwatch(l.met.stage)
+	sw := obs.StartStopwatch(l.metrics().stage)
 	ints, err := l.interests(ctx, u, sh)
 	if err != nil {
 		return nil, err
@@ -368,12 +385,12 @@ func (l *Linker) cachedInterest(u kb.UserID, e kb.EntityID, sh *sharedScores) fl
 		return l.interest(u, e, sh.ents)
 	}
 	if v, ok := l.cache.get(u, e, sh.setHash); ok {
-		l.met.cacheHits.Inc()
+		l.metrics().cacheHits.Inc()
 		return v
 	}
 	v := l.interest(u, e, sh.ents)
 	l.cache.put(u, e, sh.setHash, v)
-	l.met.cacheMisses.Inc()
+	l.metrics().cacheMisses.Inc()
 	return v
 }
 
@@ -390,13 +407,13 @@ func (l *Linker) ScoreCandidatesCtx(ctx context.Context, u kb.UserID, now int64,
 	}
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	l.met.mentions.Inc()
-	total := obs.StartSpan(l.met.link)
+	l.metrics().mentions.Inc()
+	total := obs.StartSpan(l.metrics().link)
 	defer total.Stop()
 
 	sh := l.sharedLocked(now, surface)
 	if sh == nil {
-		l.met.misses.Inc()
+		l.metrics().misses.Inc()
 		return nil, nil
 	}
 	return l.finishLocked(ctx, u, sh)
@@ -484,7 +501,7 @@ func (l *Linker) TopK(u kb.UserID, now int64, surface string, k int) []Scored {
 // LinkTweet links every mention of tw independently (§1.1's third
 // difference: no joint inference), returning one entity per mention.
 func (l *Linker) LinkTweet(tw *tweets.Tweet) []kb.EntityID {
-	l.met.tweets.Inc()
+	l.metrics().tweets.Inc()
 	out := make([]kb.EntityID, len(tw.Mentions))
 	for i, m := range tw.Mentions {
 		e, ok := l.LinkMention(tw.User, tw.Time, m.Surface)
@@ -511,7 +528,7 @@ func (l *Linker) Feedback(tw *tweets.Tweet, links []kb.EntityID) {
 		l.ckb.Link(e, kb.Posting{Tweet: tw.ID, User: tw.User, Time: tw.Time})
 		l.inf.Invalidate(e)
 		l.cache.invalidateEntity(e)
-		l.met.feedback.Inc()
+		l.metrics().feedback.Inc()
 	}
 }
 

@@ -9,6 +9,10 @@ const unreachableDist = int32(-1)
 
 // Traversal is a reusable BFS scratch space over one graph. It is not safe
 // for concurrent use; create one Traversal per worker goroutine.
+//
+// microlint:owned — per-worker scratch by contract: every holder either
+// constructs its own Traversal or checks one out of a free list that
+// hands each instance to at most one goroutine at a time.
 type Traversal struct {
 	g     *Graph
 	marks *DistMap

@@ -6,6 +6,9 @@ package graph
 // nodes it actually visits, which is what makes millions of pruned BFS
 // runs during 2-hop construction affordable. Not safe for concurrent use;
 // create one per worker goroutine.
+//
+// microlint:owned — per-worker scratch by contract, reached only through
+// the worker's own Traversal or builder slot.
 type DistMap struct {
 	dist    []int32
 	touched []NodeID

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"sync"
 )
 
 // callgraph.go builds a module-wide static callgraph in the CHA
@@ -55,7 +56,7 @@ type funcNode struct {
 	// Filled by summary.go.
 	acquires    map[lockKey]token.Pos // locks this body acquires directly
 	acquiresAll map[lockKey]token.Pos // transitive over static/defer calls
-	cfgOnce     bool
+	cfgOnce     sync.Once
 	cfgGraph    *funcCFG
 }
 
@@ -67,12 +68,12 @@ func (f *funcNode) name() string {
 	return "func literal"
 }
 
-// cfg returns the lazily built CFG of the node's body.
+// cfg returns the lazily built CFG of the node's body (once-guarded:
+// Precompute warms every node, but a cold concurrent call must be safe).
 func (f *funcNode) cfg() *funcCFG {
-	if !f.cfgOnce {
+	f.cfgOnce.Do(func() {
 		f.cfgGraph = buildCFG(f.body)
-		f.cfgOnce = true
-	}
+	})
 	return f.cfgGraph
 }
 

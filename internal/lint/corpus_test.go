@@ -96,7 +96,7 @@ func TestCorpus(t *testing.T) {
 	for _, name := range []string{
 		"lockcheck", "ctxcheck", "detercheck", "errdrop",
 		"deadlockcheck", "leakcheck", "wgcheck", "atomiccheck",
-		"publishcheck", "durcheck", "alloccheck",
+		"publishcheck", "durcheck", "alloccheck", "racecheck",
 	} {
 		t.Run(name, func(t *testing.T) {
 			a, ok := AnalyzerByName(name)
@@ -106,6 +106,13 @@ func TestCorpus(t *testing.T) {
 			runCorpus(t, name, []Analyzer{a})
 		})
 	}
+}
+
+// TestRacecheckAdvisory runs the advisory lane over its corpus: the
+// consistently-locked unannotated field earns a guarded-by suggestion,
+// and annotated fields stay silent.
+func TestRacecheckAdvisory(t *testing.T) {
+	runCorpus(t, "racecheckadvisory", AdvisoryAnalyzers())
 }
 
 // TestNolintReasonRequired checks both halves of the reason rule: a
@@ -127,5 +134,30 @@ func TestNolintReasonRequired(t *testing.T) {
 	d := diags[0]
 	if d.Analyzer != "nolint" || !strings.Contains(d.Message, "requires a reason") {
 		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestNolintUnused checks the stale-suppression rule end to end: a
+// directive that suppresses nothing is reported, one that still earns
+// its keep is silent, and the check respects analyzer selection — a
+// directive whose analyzer was excluded from the run is dormant, not
+// dead.
+func TestNolintUnused(t *testing.T) {
+	runCorpus(t, "nolintunused", Analyzers())
+
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "nolintunused"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadTree(dir, "corpus/nolintunused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := AnalyzerByName("lockcheck")
+	if !ok {
+		t.Fatal("no analyzer lockcheck")
+	}
+	if diags := Run(mod, []Analyzer{a}); len(diags) != 0 {
+		t.Fatalf("subset run without errdrop should leave the stale directive dormant, got %v", diags)
 	}
 }

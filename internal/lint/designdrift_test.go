@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,6 +37,58 @@ func TestLockOrderMatchesDesignDoc(t *testing.T) {
 	diff("level", srcLevels, docLevels, "source annotations", "DESIGN.md §6")
 	diff("edge", docEdges, srcEdges, "DESIGN.md §6", "source annotations")
 	diff("edge", srcEdges, docEdges, "source annotations", "DESIGN.md §6")
+}
+
+// TestRacecheckLocksMatchDesignDoc closes the loop from the other
+// direction: every lock racecheck *infers* as protecting a concurrently
+// accessed object (the protection sets of root-reachable accesses) must
+// carry a microlint:lock-order level, and that level must appear in
+// DESIGN.md §6. A lock that protects shared state but is absent from
+// the declared graph is exactly the drift the document exists to
+// prevent — the code grew a synchronization role the doc doesn't know.
+func TestRacecheckLocksMatchDesignDoc(t *testing.T) {
+	docLevels, _ := parseDesignLockOrder(t)
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := mod.raceAnalysis()
+	levels, _ := collectLockOrder(mod, func(token.Pos, string) {})
+
+	inferred := map[lockKey]bool{}
+	for fn, accs := range ri.accesses {
+		if len(ri.rootsOf[fn]) == 0 {
+			continue // single-threaded as far as the module can prove
+		}
+		for _, a := range accs {
+			for k := range ri.protSet(a) {
+				inferred[k] = true
+			}
+		}
+	}
+	if len(inferred) == 0 {
+		t.Fatal("racecheck inferred no protecting locks at all; the analysis is broken")
+	}
+
+	var names []string
+	byName := map[string]lockKey{}
+	for k := range inferred {
+		n := ri.ci.lockName(k)
+		names = append(names, n)
+		byName[n] = k
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		k := byName[n]
+		lvl, ok := levels[k]
+		if !ok {
+			t.Errorf("racecheck infers %s as a guard of shared state, but it carries no microlint:lock-order level", n)
+			continue
+		}
+		if !docLevels[lvl] {
+			t.Errorf("racecheck infers %s (level %q) as a guard, but that level is not in the DESIGN.md §6 graph", n, lvl)
+		}
+	}
 }
 
 // parseDesignLockOrder extracts the lock-order block of DESIGN.md §6:

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// FuzzCFGBuild throws arbitrary (often syntactically broken) Go source
+// at the CFG builder: any input go/parser accepts — including partial
+// parses with error nodes — must build a CFG for every function body
+// without panicking, and the graph must be structurally sound: every
+// successor of a reachable block is registered in blocks, and entry and
+// exit are present.
+func FuzzCFGBuild(f *testing.F) {
+	f.Add("package p\nfunc f() { for i := 0; i < 3; i++ { if i == 1 { continue } } }")
+	f.Add("package p\nfunc f(xs []int) int {\n\ts := 0\nloop:\n\tfor _, x := range xs {\n\t\tswitch {\n\t\tcase x < 0:\n\t\t\tbreak loop\n\t\tcase x == 0:\n\t\t\tcontinue\n\t\tdefault:\n\t\t\ts += x\n\t\t}\n\t}\n\treturn s\n}")
+	f.Add("package p\nfunc f() { defer g(); select { case <-c: return; default: } }")
+	f.Add("package p\nfunc f() {\n\tswitch x := y.(type) {\n\tcase int:\n\t\tfallthrough\n\tdefault:\n\t\t_ = x\n\t}\n}")
+	f.Add("package p\nfunc f() { goto done; done: return }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if file == nil || err != nil {
+			return // only fully parsed files reach buildCFG in production
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := buildCFG(fd.Body)
+			if g == nil || g.entry == nil || g.exit == nil {
+				t.Fatalf("buildCFG returned an incomplete graph for %q", src)
+			}
+			registered := make(map[*cfgBlock]bool, len(g.blocks))
+			for _, b := range g.blocks {
+				registered[b] = true
+			}
+			if !registered[g.entry] || !registered[g.exit] {
+				t.Fatalf("entry/exit not registered in blocks for %q", src)
+			}
+			for _, b := range g.blocks {
+				for _, s := range b.succs {
+					if s == nil {
+						t.Fatalf("nil successor in CFG for %q", src)
+					}
+					if !registered[s] {
+						t.Fatalf("successor outside blocks in CFG for %q", src)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzLocksetTransfer drives the heldSet lattice operations with
+// arbitrary lock/mode sequences and checks the algebra racecheck's
+// fixpoint depends on: intersection is a lower bound (subset of both
+// sides, modes never stronger than either), union is an upper bound,
+// both are idempotent, and clone is an independent copy.
+func FuzzLocksetTransfer(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{1, 3, 5})
+	f.Add([]byte{}, []byte{7, 7, 7})
+	f.Add([]byte{255, 0, 128}, []byte{})
+
+	// A fixed universe of lock identities: fuzz bytes select (lock,
+	// mode) pairs out of it, so the two sides overlap often enough to
+	// exercise the demotion paths.
+	universe := make([]lockKey, 8)
+	for i := range universe {
+		universe[i] = types.NewVar(token.NoPos, nil, "mu", types.Typ[types.Int])
+	}
+	mkSet := func(bs []byte) heldSet {
+		s := heldSet{}
+		for _, b := range bs {
+			k := universe[int(b)%len(universe)]
+			mode := lockMode(int(b>>3) % 2)
+			// Acquiring in a stronger mode wins, as in the transfer
+			// function: never downgrade an existing write entry.
+			if cur, ok := s[k]; !ok || (cur == modeRead && mode == modeWrite) {
+				s[k] = mode
+			}
+		}
+		return s
+	}
+
+	f.Fuzz(func(t *testing.T, abs, bbs []byte) {
+		a, b := mkSet(abs), mkSet(bbs)
+		aOrig, bOrig := a.clone(), b.clone()
+
+		inter := a.clone()
+		intersectInto(inter, b)
+		for k, m := range inter {
+			am, aok := a[k]
+			bm, bok := b[k]
+			if !aok || !bok {
+				t.Fatalf("intersection kept lock absent from one side")
+			}
+			if m == modeWrite && (am != modeWrite || bm != modeWrite) {
+				t.Fatalf("intersection failed to demote a read/write disagreement")
+			}
+		}
+		again := inter.clone()
+		if intersectInto(again, b) {
+			t.Fatalf("intersection is not idempotent")
+		}
+
+		uni := a.clone()
+		unionInto(uni, b)
+		for k, am := range a {
+			um, ok := uni[k]
+			if !ok {
+				t.Fatalf("union dropped a lock from the left side")
+			}
+			if am == modeWrite && um != modeWrite {
+				t.Fatalf("union weakened a write-mode lock")
+			}
+		}
+		for k, bm := range b {
+			um, ok := uni[k]
+			if !ok {
+				t.Fatalf("union dropped a lock from the right side")
+			}
+			if bm == modeWrite && um != modeWrite {
+				t.Fatalf("union weakened a write-mode lock")
+			}
+		}
+		uniAgain := uni.clone()
+		unionInto(uniAgain, b)
+		if len(uniAgain) != len(uni) {
+			t.Fatalf("union is not idempotent")
+		}
+
+		// The operations above must not mutate their src arguments, and
+		// clone must have produced independent copies.
+		if len(a) != len(aOrig) || len(b) != len(bOrig) {
+			t.Fatalf("lattice ops mutated their inputs")
+		}
+		for k, m := range aOrig {
+			if a[k] != m {
+				t.Fatalf("clone is not independent of its source")
+			}
+		}
+	})
+}

@@ -34,6 +34,10 @@ func (leakcheck) Doc() string {
 }
 
 // chanUses aggregates everything one function does with one local channel.
+//
+// microlint:owned — allocated fresh per collectChanUses call and reached
+// only through that call's local chans map; the traversal that fills it
+// runs entirely on the calling analyzer's goroutine.
 type chanUses struct {
 	unbuffered bool
 	escapes    bool

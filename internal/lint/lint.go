@@ -53,8 +53,17 @@ func Analyzers() []Analyzer {
 	return []Analyzer{
 		lockcheck{}, ctxcheck{}, detercheck{}, errdrop{},
 		deadlockcheck{}, leakcheck{}, wgcheck{}, atomiccheck{},
-		publishcheck{}, durcheck{}, alloccheck{},
+		publishcheck{}, durcheck{}, alloccheck{}, racecheck{},
 	}
+}
+
+// AdvisoryAnalyzers returns the analyzers of the non-blocking advisory
+// lane: racecheck in suggestion mode, where consistently-locked but
+// unannotated fields get a proposed guarded-by annotation instead of
+// the module being required to be race-free (see cmd/microlint
+// -advisory).
+func AdvisoryAnalyzers() []Analyzer {
+	return []Analyzer{racecheck{advisory: true}}
 }
 
 // AnalyzerByName resolves a single analyzer, for corpus tests.
@@ -92,6 +101,14 @@ func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
 			a.Run(pkg, reporter(a.Name()))
 		}
 	}
+	return finishRun(mod, analyzers, diags)
+}
+
+// finishRun applies nolint suppression to the raw analyzer output, adds
+// the directive hygiene findings (reason-less and unused suppressions),
+// and returns the final sorted, deduplicated slice. Shared by Run and
+// RunTimed.
+func finishRun(mod *Module, analyzers []Analyzer, diags []Diagnostic) []Diagnostic {
 	dirs, dirDiags := collectDirectives(mod)
 	kept := dirDiags
 	for _, d := range diags {
@@ -99,6 +116,11 @@ func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+	}
+	kept = append(kept, dirs.unused(ran)...)
 	sortDiagnostics(kept)
 	return dedupe(kept)
 }

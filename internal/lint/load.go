@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module is a parsed and type-checked view of one Go module: every
@@ -23,7 +24,14 @@ type Module struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
-	conc *concInfo // lazily built shared concurrency analysis (summary.go)
+	// The shared analysis state is built lazily behind sync.Once so the
+	// worker-pool runner (runner.go) can share one Module across
+	// analyzer goroutines; Precompute still forces everything up front,
+	// the Onces make a cold call merely slow instead of racy.
+	concOnce sync.Once
+	conc     *concInfo // lazily built shared concurrency analysis (summary.go)
+	raceOnce sync.Once
+	race     *raceInfo // lazily built race-inference state (lockset.go)
 }
 
 // Package is one type-checked package of a Module. Files holds only

@@ -1,0 +1,555 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockset.go is the substrate under racecheck: a *must*-held lockset
+// dataflow over the CFG, a goroutine-root analysis over the callgraph,
+// and the interprocedural composition of the two.
+//
+// The held-lock analysis in summary.go is a may-analysis — union at
+// joins — because deadlockcheck wants to see every lock that can
+// possibly be held at an acquire site. Race inference needs the dual: a
+// lock protects an access only if it is held on *every* path reaching
+// it, so locksets here intersect at joins, and a lock held in read mode
+// on one inbound path and write mode on another survives the join
+// demoted to read. Lock/RLock gen, Unlock/RUnlock kill, and a deferred
+// Unlock keeps its lock held through function exit, exactly as at
+// runtime. The fixpoint shrinks monotonically from the empty entry set,
+// so it terminates; accesses in blocks the fixpoint never reaches
+// (dead code) report no lockset at all and are skipped by the caller.
+//
+// Roots are the places the module becomes concurrent: the target of
+// every `go` statement, every HTTP handler (the server runs handlers on
+// per-connection goroutines), and the exported methods of any type that
+// spawns goroutines (the ingest pipeline's Offer/Submit/Barrier shape —
+// a caller's goroutine runs them concurrently with the background
+// applier the constructor spawned). A root is multi-instance — it can
+// race with itself — when it is a `go` statement inside a loop, a
+// function spawned from two or more distinct `go` sites, or an HTTP
+// handler.
+//
+// Context locksets flow down the callgraph from each root: the lockset
+// a function's body can rely on is the intersection, over every call
+// path from the root, of the locks the callers must hold at the call
+// site. `go` edges deliberately propagate nothing (the spawned
+// goroutine runs under no caller lock); static, defer, and reference
+// edges propagate the caller's context unioned with the must-held set
+// at the call site. Propagating through reference edges (a comparator
+// literal handed to sort.Slice runs synchronously under the enclosing
+// lock) is a deliberate soundness hole shared with the callgraph: a
+// callback stored and invoked later from a bare goroutine would be
+// credited locks it does not hold.
+
+// heldSet maps a lock object to the strongest mode known to be held.
+type heldSet map[lockKey]lockMode
+
+func (s heldSet) clone() heldSet {
+	out := make(heldSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectInto shrinks dst to dst ∩ src, demoting a lock to read mode
+// when the two sides disagree. Reports whether dst changed.
+func intersectInto(dst, src heldSet) bool {
+	changed := false
+	for k, dm := range dst {
+		sm, ok := src[k]
+		if !ok {
+			delete(dst, k)
+			changed = true
+			continue
+		}
+		if dm == modeWrite && sm == modeRead {
+			dst[k] = modeRead
+			changed = true
+		}
+	}
+	return changed
+}
+
+// unionInto grows dst to dst ∪ src, keeping the stronger (write) mode
+// on disagreement.
+func unionInto(dst, src heldSet) {
+	for k, sm := range src {
+		if dm, ok := dst[k]; !ok || (dm == modeRead && sm == modeWrite) {
+			dst[k] = sm
+		}
+	}
+}
+
+// mustHeldLocksets runs the must-held forward dataflow over g and
+// returns, for each query position, the converged lockset held on every
+// path reaching it. Positions in CFG nodes the fixpoint never reaches
+// (dead code) are absent from the result. Queries must lie inside g's
+// nodes; a position the CFG does not model (a range clause variable)
+// simply stays unanswered, which callers treat as the empty set — the
+// conservative direction for race reporting.
+func mustHeldLocksets(pkg *Package, g *funcCFG, queries []token.Pos) map[token.Pos]heldSet {
+	type lsEvent struct {
+		pos   token.Pos
+		op    *lockOp // nil for a query event
+		query bool
+	}
+	nodeEvs := map[ast.Node][]lsEvent{}
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			var evs []lsEvent
+			for _, op := range lockOpsIn(pkg, n) {
+				evs = append(evs, lsEvent{pos: op.pos, op: op})
+			}
+			for _, q := range queries {
+				if n.Pos() <= q && q < n.End() {
+					evs = append(evs, lsEvent{pos: q, query: true})
+				}
+			}
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+			nodeEvs[n] = evs
+		}
+	}
+
+	out := map[token.Pos]heldSet{}
+	transfer := func(b *cfgBlock, cur heldSet, emit bool) heldSet {
+		for _, n := range b.nodes {
+			for _, ev := range nodeEvs[n] {
+				switch {
+				case ev.query:
+					if emit {
+						if prev, ok := out[ev.pos]; ok {
+							intersectInto(prev, cur)
+						} else {
+							out[ev.pos] = cur.clone()
+						}
+					}
+				case ev.op.acquire:
+					// Stronger mode wins: a re-acquire in read mode under a
+					// held write lock (which would deadlock at runtime
+					// anyway) does not weaken what the analysis knows.
+					if m, ok := cur[ev.op.obj]; !ok || (m == modeRead && ev.op.mode == modeWrite) {
+						cur[ev.op.obj] = ev.op.mode
+					}
+				default: // release
+					if !ev.op.deferred {
+						delete(cur, ev.op.obj)
+					}
+				}
+			}
+		}
+		return cur
+	}
+
+	in := map[*cfgBlock]heldSet{g.entry: {}}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		outSet := transfer(b, in[b].clone(), false)
+		for _, s := range b.succs {
+			next, ok := in[s]
+			if !ok {
+				in[s] = outSet.clone()
+				work = append(work, s)
+				continue
+			}
+			if intersectInto(next, outSet) {
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.blocks {
+		if s, ok := in[b]; ok {
+			transfer(b, s.clone(), true)
+		}
+	}
+	return out
+}
+
+// rootKind classifies why a function is considered concurrently
+// executed.
+type rootKind int
+
+const (
+	rootGo      rootKind = iota // target of a go statement
+	rootHandler                 // HTTP handler: the server runs these concurrently
+	rootEntry                   // exported method of a goroutine-spawning type
+)
+
+// raceRoot is one origin of concurrent execution.
+type raceRoot struct {
+	fn    *funcNode
+	kind  rootKind
+	multi bool // can run more than one instance of itself concurrently
+	pos   token.Pos
+	label string // deterministic display label for diagnostics
+}
+
+// memAccess is one shared-memory access racecheck tracks: a struct
+// field or package-level variable read or written inside a function,
+// with the must-held lockset at the access point.
+type memAccess struct {
+	obj   types.Object
+	pos   token.Pos
+	write bool
+	fn    *funcNode
+	held  heldSet // intraprocedural must-held; nil when the access is in dead code
+}
+
+// raceInfo is the module-wide race-inference state, built once and
+// shared by racecheck and the designdrift test.
+type raceInfo struct {
+	ci       *concInfo
+	roots    []*raceRoot
+	rootsOf  map[*funcNode][]*raceRoot           // roots that reach fn (sorted by label)
+	ctxHeld  map[*funcNode]map[*raceRoot]heldSet // locks held at fn entry under each root
+	accesses map[*funcNode][]*memAccess
+	guards   map[types.Object]types.Object // declared guarded-by annotations, module-wide
+	own      *ownInfo                      // deep-ownership state (ownership.go)
+}
+
+// raceAnalysis returns the module's race-inference state, building it on
+// first use (once-guarded like concurrency(), so the worker-pool runner
+// can share the module across analyzer goroutines).
+func (m *Module) raceAnalysis() *raceInfo {
+	m.raceOnce.Do(func() {
+		m.race = buildRaceInfo(m)
+	})
+	return m.race
+}
+
+func buildRaceInfo(mod *Module) *raceInfo {
+	ci := mod.concurrency()
+	ri := &raceInfo{
+		ci:       ci,
+		rootsOf:  map[*funcNode][]*raceRoot{},
+		ctxHeld:  map[*funcNode]map[*raceRoot]heldSet{},
+		accesses: map[*funcNode][]*memAccess{},
+		guards:   map[types.Object]types.Object{},
+	}
+
+	// Declared guarded-by annotations, module-wide; lockcheck owns their
+	// enforcement, racecheck only needs to know which fields are already
+	// under a declared discipline.
+	for _, pkg := range mod.Pkgs {
+		for f, mu := range collectGuards(pkg, func(token.Pos, string) {}) {
+			ri.guards[f] = mu
+		}
+	}
+
+	ri.collectRoots()
+	ri.own = buildOwnership(ci.cg, ri.roots)
+
+	// Per-function accesses and must-held locksets. The lockset queries
+	// for a function are its access positions plus its call sites, so one
+	// dataflow pass answers both.
+	heldAtCall := map[*callSite]heldSet{}
+	for _, fn := range ci.cg.funcs {
+		accs := ri.collectAccesses(fn)
+		if len(accs) == 0 && len(fn.calls) == 0 {
+			continue
+		}
+		queries := make([]token.Pos, 0, len(accs)+len(fn.calls))
+		for _, a := range accs {
+			queries = append(queries, a.pos)
+		}
+		for i := range fn.calls {
+			queries = append(queries, fn.calls[i].pos)
+		}
+		held := mustHeldLocksets(fn.pkg, fn.cfg(), queries)
+		for _, a := range accs {
+			a.held = held[a.pos]
+		}
+		for i := range fn.calls {
+			cs := &fn.calls[i]
+			if h, ok := held[cs.pos]; ok {
+				heldAtCall[cs] = h
+			}
+		}
+		if len(accs) > 0 {
+			ri.accesses[fn] = accs
+		}
+	}
+
+	ri.propagateContexts(heldAtCall)
+	return ri
+}
+
+// collectRoots finds every concurrent root of the module: go-statement
+// targets (with loop/multi-site detection), HTTP handlers, and exported
+// methods of goroutine-spawning types.
+func (ri *raceInfo) collectRoots() {
+	cg := ri.ci.cg
+	byFn := map[*funcNode]*raceRoot{}
+	add := func(fn *funcNode, kind rootKind, multi bool, pos token.Pos, label string) {
+		if r, ok := byFn[fn]; ok {
+			// A second independent spawn site makes any root
+			// multi-instance; the first label and kind win.
+			if multi || (kind == rootGo && r.kind == rootGo) {
+				r.multi = true
+			}
+			return
+		}
+		r := &raceRoot{fn: fn, kind: kind, multi: multi, pos: pos, label: label}
+		byFn[fn] = r
+		ri.roots = append(ri.roots, r)
+	}
+
+	// Pass 1: go statements, with syntactic loop-ancestry tracking so a
+	// spawn inside a for/range counts as multi-instance.
+	for _, fn := range cg.funcs {
+		if fn.body == nil {
+			continue
+		}
+		var depth int
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return // its own funcNode walks its own body
+			case *ast.ForStmt, *ast.RangeStmt:
+				depth++
+				walkChildren(n, walk)
+				depth--
+				return
+			case *ast.GoStmt:
+				for _, tgt := range cg.calleesOf(fn.pkg, n.Call) {
+					add(tgt, rootGo, depth > 0, n.Pos(), "go "+tgt.name())
+				}
+			}
+			walkChildren(n, walk)
+		}
+		for _, stmt := range fn.body.List {
+			walk(stmt)
+		}
+	}
+
+	// Pass 2: HTTP handlers, by signature or by the ServeHTTP name. The
+	// server runs handlers on per-connection goroutines, so a handler can
+	// always race with another instance of itself.
+	for _, fn := range cg.funcs {
+		if fn.obj == nil {
+			continue
+		}
+		if sig, ok := fn.obj.Type().(*types.Signature); ok && isHTTPHandlerSig(sig) {
+			add(fn, rootHandler, true, fn.decl.Pos(), "handler "+fn.name())
+		}
+	}
+
+	// Pass 3: exported methods of spawner types. A type whose method
+	// starts a goroutine (directly or in a nested literal) hands its
+	// callers a concurrent object: every exported method may run on the
+	// caller's goroutine concurrently with the spawned work.
+	spawner := map[*types.TypeName]bool{}
+	for _, fn := range cg.funcs {
+		if fn.decl == nil || fn.decl.Body == nil {
+			continue
+		}
+		hasGo := false
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				hasGo = true
+				return false
+			}
+			return !hasGo
+		})
+		if !hasGo {
+			continue
+		}
+		if tn := receiverTypeName(fn); tn != nil {
+			spawner[tn] = true
+		}
+	}
+	for _, fn := range cg.funcs {
+		if fn.obj == nil || fn.decl == nil || !fn.obj.Exported() {
+			continue
+		}
+		if tn := receiverTypeName(fn); tn != nil && spawner[tn] {
+			add(fn, rootEntry, false, fn.decl.Pos(), "entry "+tn.Name()+"."+fn.name())
+		}
+	}
+
+	sort.Slice(ri.roots, func(i, j int) bool {
+		if ri.roots[i].label != ri.roots[j].label {
+			return ri.roots[i].label < ri.roots[j].label
+		}
+		return ri.roots[i].pos < ri.roots[j].pos
+	})
+}
+
+// walkChildren visits n's direct structural children with walk, the
+// minimal helper needed for the loop-depth-tracking traversal above.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			walk(m)
+		}
+		return false
+	})
+}
+
+// receiverTypeName resolves a method's receiver to its named type.
+func receiverTypeName(fn *funcNode) *types.TypeName {
+	if fn.obj == nil {
+		return nil
+	}
+	sig, ok := fn.obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isHTTPHandlerSig reports whether sig takes (http.ResponseWriter,
+// *http.Request) anywhere in its parameter list.
+func isHTTPHandlerSig(sig *types.Signature) bool {
+	hasW, hasR := false, false
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch sig.Params().At(i).Type().String() {
+		case "net/http.ResponseWriter":
+			hasW = true
+		case "*net/http.Request":
+			hasR = true
+		}
+	}
+	return hasW && hasR
+}
+
+// propagateContexts flows root identity and context locksets down the
+// callgraph. For each (function, root) pair reachable through static,
+// defer, and reference edges, ctxHeld converges to the intersection
+// over every call path of (caller context ∪ must-held at the call
+// site). go edges are the concurrency boundary: the target runs under
+// no inherited lock and was already registered as its own root.
+func (ri *raceInfo) propagateContexts(heldAtCall map[*callSite]heldSet) {
+	type rkey struct {
+		fn   *funcNode
+		root *raceRoot
+	}
+	held := map[rkey]heldSet{}
+	var work []rkey
+	for _, r := range ri.roots {
+		k := rkey{r.fn, r}
+		held[k] = heldSet{}
+		work = append(work, k)
+	}
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		h := held[k]
+		for i := range k.fn.calls {
+			cs := &k.fn.calls[i]
+			if cs.kind == callGo {
+				continue
+			}
+			eff := h.clone()
+			if at, ok := heldAtCall[cs]; ok {
+				unionInto(eff, at)
+			}
+			for _, tgt := range cs.targets {
+				kk := rkey{tgt, k.root}
+				if cur, ok := held[kk]; !ok {
+					held[kk] = eff.clone()
+					work = append(work, kk)
+				} else if intersectInto(cur, eff) {
+					work = append(work, kk)
+				}
+			}
+		}
+	}
+
+	for k, h := range held {
+		m := ri.ctxHeld[k.fn]
+		if m == nil {
+			m = map[*raceRoot]heldSet{}
+			ri.ctxHeld[k.fn] = m
+		}
+		m[k.root] = h
+		ri.rootsOf[k.fn] = append(ri.rootsOf[k.fn], k.root)
+	}
+	for _, rs := range ri.rootsOf {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].label < rs[j].label })
+	}
+}
+
+// effLockset is the lockset access a can rely on when running under
+// root r: the intraprocedural must-held set at the access unioned with
+// the context the root guarantees, filtered by adequacy — a write is
+// protected only by locks held in write mode, a read by either mode.
+func (ri *raceInfo) effLockset(a *memAccess, r *raceRoot) heldSet {
+	eff := heldSet{}
+	if a.held != nil {
+		eff = a.held.clone()
+	}
+	if ctx, ok := ri.ctxHeld[a.fn][r]; ok {
+		unionInto(eff, ctx)
+	}
+	if a.write {
+		for k, m := range eff {
+			if m != modeWrite {
+				delete(eff, k)
+			}
+		}
+	}
+	return eff
+}
+
+// protSet is the lockset that protects access a under *every* root that
+// can reach its function: the intersection of effLockset over roots.
+func (ri *raceInfo) protSet(a *memAccess) heldSet {
+	var out heldSet
+	for _, r := range ri.rootsOf[a.fn] {
+		eff := ri.effLockset(a, r)
+		if out == nil {
+			out = eff
+			continue
+		}
+		intersectInto(out, eff)
+	}
+	if out == nil {
+		out = heldSet{}
+	}
+	return out
+}
+
+// lockSetNames renders a heldSet deterministically for diagnostics.
+func (ri *raceInfo) lockSetNames(s heldSet) string {
+	if len(s) == 0 {
+		return "no lock"
+	}
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, ri.ci.lockName(k))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// shortPos renders a position as base-filename:line for messages.
+func (ri *raceInfo) shortPos(pos token.Pos) string {
+	p := ri.ci.mod.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

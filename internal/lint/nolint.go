@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -12,19 +14,31 @@ import (
 // " -- " or a trailing "// "; a reason-less directive still suppresses
 // its target but emits an analyzer="nolint" diagnostic, keeping the
 // build red until someone writes down the why.
+//
+// A directive that suppresses *nothing* is also a build-failing
+// finding: stale suppressions outlive the code they excused and then
+// silently swallow the next real diagnostic at that line. The check
+// only fires when every analyzer the directive names actually ran
+// (under -only/-skip a dormant directive may just be waiting for its
+// analyzer).
 type directive struct {
 	file      string
 	line      int
 	analyzers map[string]bool
 	reason    string
 	pos       token.Pos
+	position  token.Position
+	hits      int // diagnostics this directive suppressed in this run
 }
 
 const nolintPrefix = "//nolint:"
 
-// directiveSet indexes directives by file and line for suppression.
+// directiveSet indexes directives by file and line for suppression; all
+// keeps them in collection (position) order for deterministic hygiene
+// reports.
 type directiveSet struct {
 	byFileLine map[string]map[int][]*directive
+	all        []*directive
 }
 
 func (s *directiveSet) suppresses(d Diagnostic) bool {
@@ -35,11 +49,43 @@ func (s *directiveSet) suppresses(d Diagnostic) bool {
 	for _, dl := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, dir := range lines[dl] {
 			if dir.analyzers[d.Analyzer] {
+				dir.hits++
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unused returns one diagnostic per directive that suppressed nothing,
+// restricted to directives whose every named analyzer is in ran — a
+// directive for an analyzer excluded from this run is merely dormant,
+// not dead.
+func (s *directiveSet) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.all {
+		if dir.hits > 0 {
+			continue
+		}
+		names := make([]string, 0, len(dir.analyzers))
+		allRan := true
+		for name := range dir.analyzers {
+			names = append(names, name)
+			allRan = allRan && ran[name]
+		}
+		if !allRan {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Pos:      dir.position,
+			Analyzer: "nolint",
+			Message: fmt.Sprintf(
+				"nolint directive for microlint/%s suppresses no diagnostics; delete the stale suppression",
+				strings.Join(names, ", microlint/")),
+		})
+	}
+	return out
 }
 
 // collectDirectives scans every comment of the module for microlint
@@ -65,7 +111,9 @@ func collectDirectives(mod *Module) (*directiveSet, []Diagnostic) {
 						lines = map[int][]*directive{}
 						set.byFileLine[dir.file] = lines
 					}
+					dir.position = pos
 					lines[dir.line] = append(lines[dir.line], dir)
+					set.all = append(set.all, dir)
 					if dir.reason == "" {
 						diags = append(diags, Diagnostic{
 							Pos:      pos,

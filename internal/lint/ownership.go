@@ -1,0 +1,671 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ownership.go — the deep-ownership half of racecheck. The lockset
+// dataflow (lockset.go) decides which locks protect an access; this
+// file decides which accesses need protection at all. The judgment is
+// RacerD-style ownership: an access whose base chain bottoms out in
+// storage provably private to the current activation — a local, a
+// by-value parameter copy, memory freshly allocated here or by a
+// callee that only ever returns fresh memory — cannot race, whatever
+// the lockset says.
+//
+// Ownership is *deep*: once a root is judged private, everything
+// reached through selectors, indexes, and dereferences from it is
+// treated as private too. That assumes a private struct does not hold
+// pointers into shared memory that the chain then walks through — the
+// same assumption RacerD makes, and a documented soundness hole here
+// (in this module the hole is not exercised: shared state is reached
+// through receivers, which ownership tracks precisely).
+//
+// Four judgments compose:
+//
+//   - freshness: locals whose every definition is fresh (make, new,
+//     composite literals, append over fresh, calls that return fresh),
+//     evaluated through the lexical chain so a closure inherits the
+//     freshness of captured locals — unless the local is referenced
+//     anywhere under a `go` statement, which publishes it.
+//   - owned parameters: a pointer receiver/parameter is owned when
+//     every resolvable call site in the module passes it provably
+//     private memory. Functions the module never calls (http.Handler
+//     methods invoked by net/http, exported API without internal
+//     callers) keep their optimistic ownership — documented hole.
+//   - returns-fresh summaries: a function whose every return statement
+//     yields private memory confers freshness on its call results
+//     (constructors: `return &Builder{n: n}`). Value-typed results are
+//     always fresh — the caller receives a copy.
+//   - annotated ownership: `// microlint:owned — reason` on a type
+//     declaration asserts instances are confined to one goroutine at a
+//     time (pool handout, per-worker slot). Any expression of the
+//     annotated type is judged private, and its fields leave access
+//     tracking entirely. The assertion is the escape hatch for
+//     hand-over-hand ownership transfer the analysis cannot see (a
+//     custom free list handing scratch state to exactly one worker);
+//     the reason is mandatory, mirroring nolint.
+//
+// Concurrent roots — go targets, HTTP handlers, exported methods of
+// spawner types — are demoted up front: their receivers and parameters
+// arrive from contexts the module's call sites do not witness, so
+// optimistic ownership must not survive on them (an exported method
+// nobody calls in-module would otherwise have its receiver writes
+// silently exempted).
+//
+// sync.Pool.Get results are owned by construction (Put is the transfer
+// back), and the body of a func literal passed directly to
+// (*sync.Once).Do is exempt wholesale: it runs exactly once,
+// happens-before every Do return.
+
+// ownFrame is the per-function state ownership reasons over.
+type ownFrame struct {
+	defs   map[types.Object][]ast.Expr // local → defining expressions
+	params map[types.Object]bool       // receiver + parameters (not results)
+}
+
+// ownedDecl is one `microlint:owned` type annotation, kept for
+// reason-enforcement and the advisory/docs surface.
+type ownedDecl struct {
+	typeName string
+	pos      token.Pos
+	reason   string
+}
+
+// ownInfo is the module-wide ownership state, built once per raceInfo.
+type ownInfo struct {
+	cg     *callgraph
+	frames map[*funcNode]*ownFrame
+	parent map[*funcNode]*funcNode // literal → lexically enclosing function
+
+	// goShared holds every object referenced anywhere inside a go
+	// statement's subtree but declared outside it: publishing a local to
+	// a goroutine ends its freshness everywhere (flow-insensitively).
+	goShared map[types.Object]bool
+
+	owned    map[*types.Var]bool // pointer receivers/params proven owned
+	retFresh map[*funcNode]bool  // returns-fresh memo (valid post-fixpoint)
+	retBusy  map[*funcNode]bool  // recursion guard: optimistic on cycles
+
+	onceBody    map[*funcNode]bool       // literal passed directly to (*sync.Once).Do
+	ownedFields map[types.Object]bool    // fields of microlint:owned types
+	ownedNamed  map[*types.TypeName]bool // microlint:owned type declarations
+	ownedDecls  []ownedDecl
+
+	rootFns map[*funcNode]bool // concurrent roots: params never stay owned
+}
+
+// buildOwnership computes the module's ownership state over the
+// callgraph: frames, lexical parents, go-shared objects, annotated
+// types, Once bodies, and the owned-parameter fixpoint.
+func buildOwnership(cg *callgraph, roots []*raceRoot) *ownInfo {
+	o := &ownInfo{
+		cg:          cg,
+		frames:      map[*funcNode]*ownFrame{},
+		parent:      map[*funcNode]*funcNode{},
+		goShared:    map[types.Object]bool{},
+		owned:       map[*types.Var]bool{},
+		retFresh:    map[*funcNode]bool{},
+		retBusy:     map[*funcNode]bool{},
+		onceBody:    map[*funcNode]bool{},
+		ownedFields: map[types.Object]bool{},
+		ownedNamed:  map[*types.TypeName]bool{},
+		rootFns:     map[*funcNode]bool{},
+	}
+	for _, r := range roots {
+		o.rootFns[r.fn] = true
+	}
+	for _, fn := range cg.funcs {
+		if fn.body == nil {
+			continue
+		}
+		o.frames[fn] = &ownFrame{
+			defs:   localDefs(fn.pkg, fn.body),
+			params: recvParamObjs(fn),
+		}
+		fn.directLits(func(lit *ast.FuncLit) {
+			if child := cg.byLit[lit]; child != nil {
+				o.parent[child] = fn
+			}
+		})
+		o.markGoShared(fn)
+		o.markOnceBodies(fn)
+	}
+	for _, pkg := range cg.mod.Pkgs {
+		o.collectOwnedTypes(pkg)
+	}
+	o.computeOwned()
+	return o
+}
+
+// recvParamObjs collects the receiver and parameter objects of fn —
+// unlike paramObjs it excludes named results, which are plain local
+// storage for ownership purposes (their defining assignments decide).
+func recvParamObjs(fn *funcNode) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := fn.pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	switch {
+	case fn.decl != nil:
+		add(fn.decl.Recv)
+		add(fn.decl.Type.Params)
+	case fn.lit != nil:
+		add(fn.lit.Type.Params)
+	}
+	return out
+}
+
+// markGoShared records every object a go statement in fn's own body
+// publishes: anything referenced under the statement (including the
+// spawned literal's free variables and the call's arguments) that is
+// declared outside it.
+func (o *ownInfo) markGoShared(fn *funcNode) {
+	fn.walkOwn(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(gs, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := fn.pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				if v.Pos() < gs.Pos() || v.Pos() >= gs.End() {
+					o.goShared[v] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// markOnceBodies records func literals passed directly to
+// (*sync.Once).Do: their bodies run exactly once and happen-before
+// every Do return, so their accesses are exempt from race reporting.
+func (o *ownInfo) markOnceBodies(fn *funcNode) {
+	fn.walkOwn(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if !isSyncMethodCall(fn.pkg, call, "sync.Once", "Do") {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			if child := o.cg.byLit[lit]; child != nil {
+				o.onceBody[child] = true
+			}
+		}
+		return true
+	})
+}
+
+// isSyncMethodCall reports whether call invokes the named method on a
+// receiver of the given sync-package type (or a pointer to it).
+func isSyncMethodCall(pkg *Package, call *ast.CallExpr, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.String() == typeName
+}
+
+// collectOwnedTypes scans pkg for `microlint:owned` type annotations
+// and records the annotated types' field objects.
+func (o *ownInfo) collectOwnedTypes(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				reason, found := ownedMarker(gd.Doc, ts.Doc, ts.Comment)
+				if !found {
+					continue
+				}
+				o.ownedDecls = append(o.ownedDecls, ownedDecl{
+					typeName: ts.Name.Name,
+					pos:      ts.Name.Pos(),
+					reason:   reason,
+				})
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					o.ownedNamed[tn] = true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					for _, id := range f.Names {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							o.ownedFields[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ownedMarker finds a `microlint:owned` marker in any of the given
+// comment groups and returns its trailing justification text.
+func ownedMarker(groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if text, ok := markerText(c.Text, "microlint:owned"); ok {
+				return text, true
+			}
+		}
+	}
+	return "", false
+}
+
+// computeOwned runs the owned-parameter fixpoint. Every pointer
+// receiver/parameter starts owned; a call site passing non-private
+// memory, or any reference to the function outside call position
+// (callbacks run with unknowable arguments), demotes. Demotion is
+// monotone, so iteration terminates. The returns-fresh memo depends on
+// ownership, so it is cleared each round and only final after
+// convergence.
+func (o *ownInfo) computeOwned() {
+	for _, fn := range o.cg.funcs {
+		recv, params, _ := funcSignature(fn)
+		for _, v := range append(params, recv) {
+			if v != nil && refLike(v.Type()) {
+				o.owned[v] = true
+			}
+		}
+	}
+
+	// Concurrent roots run on goroutines whose arguments the module's
+	// call sites do not fully witness (net/http, a caller outside the
+	// module): nothing they receive is owned.
+	for fn := range o.rootFns {
+		o.demoteAll(fn)
+	}
+
+	// References outside call position: whoever receives the function
+	// value calls it with arguments this analysis never sees.
+	for _, fn := range o.cg.funcs {
+		for i := range fn.calls {
+			cs := &fn.calls[i]
+			if cs.kind != callRef {
+				continue
+			}
+			for _, tgt := range cs.targets {
+				o.demoteAll(tgt)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		o.retFresh = map[*funcNode]bool{}
+		for _, fn := range o.cg.funcs {
+			fn.walkOwn(func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if o.demoteAtCall(fn, call) {
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcSignature returns fn's receiver and ordered parameters at the
+// types level, plus whether the signature is variadic.
+func funcSignature(fn *funcNode) (recv *types.Var, params []*types.Var, variadic bool) {
+	var sig *types.Signature
+	switch {
+	case fn.obj != nil:
+		sig, _ = fn.obj.Type().(*types.Signature)
+	case fn.lit != nil:
+		if tv, ok := fn.pkg.Info.Types[fn.lit]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if sig == nil {
+		return nil, nil, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		params = append(params, sig.Params().At(i))
+	}
+	return sig.Recv(), params, sig.Variadic()
+}
+
+// demoteAll strips ownership from every pointer parameter of tgt.
+func (o *ownInfo) demoteAll(tgt *funcNode) {
+	recv, params, _ := funcSignature(tgt)
+	for _, v := range append(params, recv) {
+		if v != nil {
+			delete(o.owned, v)
+		}
+	}
+}
+
+// demoteAtCall matches call's arguments against each resolvable
+// target's parameters and demotes any owned pointer parameter that
+// receives memory not provably private to the caller. Reports whether
+// any demotion happened.
+func (o *ownInfo) demoteAtCall(fn *funcNode, call *ast.CallExpr) bool {
+	pkg := fn.pkg
+	targets := o.cg.calleesOf(pkg, call)
+	if len(targets) == 0 {
+		return false
+	}
+	var recvArg ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			recvArg = sel.X
+		}
+	}
+	changed := false
+	demote := func(v *types.Var, arg ast.Expr) {
+		if v == nil || !o.owned[v] {
+			return
+		}
+		if arg != nil && o.priv(fn, arg) {
+			return
+		}
+		delete(o.owned, v)
+		changed = true
+	}
+	for _, tgt := range targets {
+		recv, params, variadic := funcSignature(tgt)
+		args := call.Args
+		if recv != nil {
+			if recvArg != nil {
+				demote(recv, recvArg)
+			} else if len(args) > 0 {
+				// Method expression: T.M(recv, args...).
+				demote(recv, args[0])
+				args = args[1:]
+			} else {
+				demote(recv, nil)
+			}
+		}
+		if len(args) < len(params) && !(variadic && len(args) == len(params)-1) {
+			// Multi-value forwarding (f(g())): sources are opaque.
+			for _, p := range params {
+				demote(p, nil)
+			}
+			continue
+		}
+		for i, arg := range args {
+			pi := i
+			if pi >= len(params) {
+				if !variadic {
+					break
+				}
+				pi = len(params) - 1
+			}
+			demote(params[pi], arg)
+		}
+	}
+	return changed
+}
+
+// priv reports whether e names memory provably private to the current
+// activation of fn: the base of the access path (or the value of the
+// expression) bottoms out in fresh or owned storage.
+func (o *ownInfo) priv(fn *funcNode, e ast.Expr) bool {
+	return o.privSeen(fn, e, map[types.Object]bool{})
+}
+
+func (o *ownInfo) privSeen(fn *funcNode, e ast.Expr, seen map[types.Object]bool) bool {
+	if e == nil {
+		return true // the zero value owns nothing shared
+	}
+	if o.ownedTypedExpr(fn.pkg, e) {
+		return true // annotated: instances are confined by convention
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return o.privIdent(fn, x, seen)
+	case *ast.SelectorExpr:
+		if s := fn.pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			return o.privSeen(fn, x.X, seen) // deep ownership: field of private is private
+		}
+		return false // package-qualified var, method value
+	case *ast.IndexExpr:
+		return o.privSeen(fn, x.X, seen)
+	case *ast.SliceExpr:
+		return o.privSeen(fn, x.X, seen)
+	case *ast.StarExpr:
+		return o.privSeen(fn, x.X, seen)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return o.privSeen(fn, x.X, seen)
+		}
+		return false // channel receive etc.: provenance unknown
+	case *ast.TypeAssertExpr:
+		return o.privSeen(fn, x.X, seen)
+	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return true
+	case *ast.CallExpr:
+		return o.privCall(fn, x, seen)
+	}
+	return false
+}
+
+// privIdent resolves an identifier through the lexical frame chain: a
+// closure inherits the privacy of captured locals from its enclosing
+// function. Publishing to a goroutine (goShared) ends privacy
+// everywhere.
+func (o *ownInfo) privIdent(fn *funcNode, id *ast.Ident, seen map[types.Object]bool) bool {
+	pkg := fn.pkg
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if _, isNil := obj.(*types.Nil); isNil {
+		return true
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	for f := fn; f != nil; f = o.parent[f] {
+		fr := o.frames[f]
+		if fr == nil {
+			break
+		}
+		if fr.params[v] {
+			if o.goShared[v] {
+				return false
+			}
+			if refLike(v.Type()) {
+				return o.owned[v]
+			}
+			return true // by-value parameter: a private copy
+		}
+		if defs, ok := fr.defs[v]; ok {
+			if o.goShared[v] {
+				return false
+			}
+			if !refLike(v.Type()) {
+				return true // value-typed local: the storage is this frame's
+			}
+			if seen[v] {
+				return true // defining cycle: optimistic, like freshLocal
+			}
+			seen[v] = true
+			for _, d := range defs {
+				if !o.privSeen(f, d, seen) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false // struct field, package var, or foreign object
+}
+
+// privCall judges a call result: builtin allocators and value-typed
+// results are fresh copies, sync.Pool.Get transfers ownership, and a
+// module call is private iff every resolvable target returns fresh.
+func (o *ownInfo) privCall(fn *funcNode, call *ast.CallExpr, seen map[types.Object]bool) bool {
+	pkg := fn.pkg
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				return true
+			case "append":
+				if len(call.Args) > 0 {
+					return o.privSeen(fn, call.Args[0], seen)
+				}
+			}
+			return false
+		}
+	}
+	if tv, ok := pkg.Info.Types[call]; ok && tv.Type != nil {
+		if _, isTuple := tv.Type.(*types.Tuple); !isTuple && !refLike(tv.Type) {
+			return true // value result: the caller gets a copy
+		}
+	}
+	if isSyncMethodCall(pkg, call, "sync.Pool", "Get") {
+		return true // pool handout: exclusively owned until Put
+	}
+	targets := o.cg.calleesOf(pkg, call)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, t := range targets {
+		if !o.returnsFresh(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// returnsFresh reports whether every return statement of fn yields
+// provably private memory — the constructor summary that lets
+// `b := NewBuilder(n)` stay private in the caller. Naked returns
+// through named results are not traced (conservatively not fresh).
+func (o *ownInfo) returnsFresh(fn *funcNode) bool {
+	if v, ok := o.retFresh[fn]; ok {
+		return v
+	}
+	if o.retBusy[fn] {
+		return true // recursive constructor: optimistic on the cycle
+	}
+	o.retBusy[fn] = true
+	res := o.computeRetFresh(fn)
+	delete(o.retBusy, fn)
+	o.retFresh[fn] = res
+	return res
+}
+
+func (o *ownInfo) computeRetFresh(fn *funcNode) bool {
+	if fn.body == nil {
+		return false
+	}
+	sawReturn, fresh := false, true
+	fn.walkOwn(func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || !fresh {
+			return fresh
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			fresh = false
+			return false
+		}
+		for _, r := range ret.Results {
+			if !o.privSeen(fn, r, map[types.Object]bool{}) {
+				fresh = false
+				return false
+			}
+		}
+		return true
+	})
+	return sawReturn && fresh
+}
+
+// ownedTypedExpr reports whether e is a value expression whose static
+// type (through one level of pointer) is a `microlint:owned` type: the
+// annotation asserts confinement for every instance, wherever reached.
+func (o *ownInfo) ownedTypedExpr(pkg *Package, e ast.Expr) bool {
+	if len(o.ownedNamed) == 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || !tv.IsValue() || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return o.ownedNamed[named.Obj()]
+	}
+	return false
+}
+
+// refLike reports whether values of t carry references to memory that
+// outlives a copy — assigning such a value shares state, assigning a
+// value type copies it.
+func refLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// isPointer reports whether t's underlying type is a pointer.
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// ownedTypeNames returns the annotated type names in declaration
+// order, for the designdrift test and docs tooling.
+func (o *ownInfo) ownedTypeNames() []string {
+	names := make([]string, 0, len(o.ownedDecls))
+	for _, d := range o.ownedDecls {
+		names = append(names, d.typeName)
+	}
+	return names
+}

@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// racecheck is the annotation-free race detector: it infers the
+// module's locking discipline instead of trusting guarded-by comments.
+// Built on lockset.go's must-held dataflow and goroutine-root analysis,
+// it flags any struct field or package-level variable that is (a)
+// reachable from two or more concurrent roots (counting a
+// multi-instance root — a `go` in a loop, an HTTP handler — twice,
+// since it races with itself), (b) written at least once, and (c) not
+// protected by any common lock: the intersection of the locksets held
+// across the racing accesses is empty, where a write only counts as
+// protected by locks held in *write* mode (an RLock-only write is the
+// classic shared-RWMutex bug). The diagnostic lands on the two witness
+// accesses so both halves of the race are visible in review.
+//
+// Fields that already carry a guarded-by annotation are lockcheck's
+// jurisdiction and are skipped here; sync.* and sync/atomic.* values
+// are synchronization, not data; and accesses whose base object is a
+// fresh function-local (the constructor building a struct before any
+// goroutine can see it) are private by the escape check and never
+// participate.
+//
+// In advisory mode the report inverts: fields whose accesses *are*
+// consistently protected by an inferrable lock but carry no annotation
+// get a suggested `// microlint:guarded-by <mu>` diagnostic at the
+// field declaration, so the inferred discipline can be promoted to a
+// declared one. Advisory runs are non-blocking (see cmd/microlint
+// -advisory).
+//
+// Known soundness holes, deliberate and documented in DESIGN.md §6:
+// calls through function-typed parameters resolve to nothing (the
+// callgraph's choice), a callback reference is credited the referencing
+// function's locks even though it may run later without them, the
+// escape check is per-base-object rather than per-path, lock identity
+// is the field object (all instances of a struct share "one" lock), and
+// function-local variables shared by closure capture are out of scope —
+// only struct fields and package vars are tracked.
+type racecheck struct {
+	advisory bool
+}
+
+func (racecheck) Name() string { return "racecheck" }
+func (racecheck) Doc() string {
+	return "shared fields accessed from concurrent goroutine roots must share a common lock (annotation-free)"
+}
+
+// Run is satisfied per the Analyzer interface; the analysis is
+// module-wide and lives in RunModule.
+func (racecheck) Run(pkg *Package, report func(token.Pos, string)) {}
+
+func (rc racecheck) RunModule(mod *Module, report func(token.Pos, string)) {
+	ri := mod.raceAnalysis()
+
+	// An ownership assertion without a justification is as suspect as a
+	// reason-less nolint: the why is the reviewable part.
+	if !rc.advisory {
+		for _, d := range ri.own.ownedDecls {
+			if d.reason == "" {
+				report(d.pos, fmt.Sprintf(
+					"type %s is marked microlint:owned without a justification; write `// microlint:owned — why instances are confined to one goroutine`",
+					d.typeName))
+			}
+		}
+	}
+
+	// Group the concurrent accesses by accessed object. Only accesses in
+	// functions reachable from at least one root participate: code no
+	// goroutine root reaches runs single-threaded as far as this module
+	// can prove.
+	type objState struct {
+		obj      types.Object
+		accesses []*memAccess
+	}
+	byObj := map[types.Object]*objState{}
+	var order []types.Object
+	for fn, accs := range ri.accesses {
+		if len(ri.rootsOf[fn]) == 0 {
+			continue
+		}
+		for _, a := range accs {
+			st := byObj[a.obj]
+			if st == nil {
+				st = &objState{obj: a.obj}
+				byObj[a.obj] = st
+				order = append(order, a.obj)
+			}
+			st.accesses = append(st.accesses, a)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return byObj[order[i]].accesses[0].pos < byObj[order[j]].accesses[0].pos
+	})
+
+	for _, obj := range order {
+		st := byObj[obj]
+		sort.Slice(st.accesses, func(i, j int) bool { return st.accesses[i].pos < st.accesses[j].pos })
+
+		// Concurrency degree: distinct roots reaching the accessing
+		// functions, multi-instance roots counting double.
+		roots := map[*raceRoot]bool{}
+		for _, a := range st.accesses {
+			for _, r := range ri.rootsOf[a.fn] {
+				roots[r] = true
+			}
+		}
+		degree := 0
+		for r := range roots {
+			if r.multi {
+				degree += 2
+			} else {
+				degree++
+			}
+		}
+		if degree < 2 {
+			continue
+		}
+
+		hasWrite := false
+		prot := make([]heldSet, len(st.accesses))
+		for i, a := range st.accesses {
+			hasWrite = hasWrite || a.write
+			prot[i] = ri.protSet(a)
+		}
+		if !hasWrite {
+			continue // read-only shared state is race-free
+		}
+
+		if rc.advisory {
+			rc.advise(ri, st.obj, st.accesses, prot, report)
+			continue
+		}
+
+		// Witness search: the earliest write whose protection set shares
+		// no lock with some other access (or with a second instance of
+		// itself, when a multi root reaches it).
+		reported := false
+		for i, w := range st.accesses {
+			if reported || !w.write {
+				continue
+			}
+			for j, b := range st.accesses {
+				if i == j {
+					continue
+				}
+				if !disjoint(prot[i], prot[j]) {
+					continue
+				}
+				report(w.pos, fmt.Sprintf(
+					"%s is written here holding {%s} but accessed at %s holding {%s}; no common lock protects it (roots: %s)",
+					ri.ci.lockName(obj), ri.lockSetNames(prot[i]), ri.shortPos(b.pos),
+					ri.lockSetNames(prot[j]), rootLabels(roots)))
+				report(b.pos, fmt.Sprintf(
+					"%s is accessed here holding {%s}, racing the write at %s",
+					ri.ci.lockName(obj), ri.lockSetNames(prot[j]), ri.shortPos(w.pos)))
+				reported = true
+				break
+			}
+			if reported {
+				break
+			}
+			// Self-race: one unprotected write in a function reached by a
+			// multi-instance root races a second instance of itself.
+			if len(prot[i]) == 0 {
+				for _, r := range ri.rootsOf[w.fn] {
+					if r.multi {
+						report(w.pos, fmt.Sprintf(
+							"%s is written here with no lock held, and %s runs concurrently with itself",
+							ri.ci.lockName(obj), r.label))
+						reported = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// advise emits the advisory-mode suggestion for one object: when every
+// access is protected by a common lock and the field is unannotated,
+// suggest promoting the inferred guard to a guarded-by annotation.
+func (rc racecheck) advise(ri *raceInfo, obj types.Object, accesses []*memAccess, prot []heldSet, report func(token.Pos, string)) {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return // only struct fields carry guarded-by annotations
+	}
+	if _, annotated := ri.guards[obj]; annotated {
+		return
+	}
+	common := prot[0].clone()
+	for _, p := range prot[1:] {
+		intersectInto(common, p)
+	}
+	if len(common) == 0 {
+		return // inconsistent discipline is the race report's business
+	}
+	names := make([]string, 0, len(common))
+	for k := range common {
+		names = append(names, k.Name())
+	}
+	sort.Strings(names)
+	report(obj.Pos(), fmt.Sprintf(
+		"field %s is consistently protected by %s across %d concurrent accesses but carries no annotation; suggest `// microlint:guarded-by %s`",
+		v.Name(), ri.lockSetNames(common), len(accesses), names[0]))
+}
+
+// disjoint reports whether two locksets share no lock.
+func disjoint(a, b heldSet) bool {
+	for k := range a {
+		if _, ok := b[k]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rootLabels renders a root set deterministically for diagnostics.
+func rootLabels(roots map[*raceRoot]bool) string {
+	labels := make([]string, 0, len(roots))
+	for r := range roots {
+		l := r.label
+		if r.multi {
+			l += " (multi)"
+		}
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, "; ")
+}
+
+// collectAccesses gathers fn's struct-field and package-variable
+// accesses: which object, where, read or write, minus everything the
+// analysis exempts (sync-typed values, sync/atomic call arguments,
+// guarded-by-annotated fields, fields of microlint:owned types,
+// composite-literal keys, sync.Once.Do bodies, and accesses whose base
+// chain is provably private by the ownership analysis).
+func (ri *raceInfo) collectAccesses(fn *funcNode) []*memAccess {
+	pkg := fn.pkg
+	if ri.own.onceBody[fn] {
+		return nil // runs exactly once, happens-before every Do return
+	}
+
+	// Pass 1: classify write targets and exempt positions.
+	writeTarget := map[ast.Node]bool{}
+	exempt := map[ast.Node]bool{}
+	var markWrite func(e ast.Expr)
+	markWrite = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			writeTarget[x] = true
+		case *ast.SelectorExpr:
+			writeTarget[x] = true
+			writeTarget[x.Sel] = true
+		case *ast.IndexExpr:
+			// A map-element write mutates the map's internals: the map
+			// header itself is written. A slice/array element write only
+			// reads the header; disjoint-index parallel writes (workers
+			// filling results[i]) are the idiom that exemption admits —
+			// a documented soundness hole for genuinely overlapping
+			// indexes.
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					markWrite(x.X)
+				}
+			}
+		case *ast.StarExpr:
+			// A write through a pointer mutates the pointee, whose
+			// identity this analysis does not track; the pointer itself
+			// is only read.
+		}
+	}
+	fn.walkOwn(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		case *ast.KeyValueExpr:
+			// Composite-literal keys name fields, they don't access them.
+			if id, ok := n.Key.(*ast.Ident); ok {
+				exempt[id] = true
+			}
+		case *ast.CallExpr:
+			// Arguments of sync/atomic calls are the atomic accesses;
+			// atomiccheck owns their discipline.
+			if isAtomicCall(pkg, n) {
+				for _, arg := range n.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						exempt[m] = true
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: record the surviving accesses.
+	var accs []*memAccess
+	record := func(obj types.Object, pos token.Pos, write bool) {
+		accs = append(accs, &memAccess{obj: obj, pos: pos, write: write, fn: fn})
+	}
+	fn.walkOwn(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if exempt[n] || exempt[n.Sel] {
+				return true
+			}
+			s := pkg.Info.Selections[n]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !ri.trackable(v) {
+				return true
+			}
+			// Ownership check: a field reached from provably private
+			// memory (the struct under construction, an owned parameter,
+			// pooled scratch this activation holds) cannot race.
+			if ri.own.priv(fn, n.X) {
+				return true
+			}
+			record(v, n.Sel.Pos(), writeTarget[n])
+		case *ast.Ident:
+			if exempt[n] {
+				return true
+			}
+			v, ok := pkg.Info.Uses[n].(*types.Var)
+			if !ok || v.IsField() || !ri.trackable(v) {
+				return true
+			}
+			// Only package-level variables: locals (even closure-captured
+			// ones) are out of scope, a documented hole.
+			if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return true
+			}
+			record(v, n.Pos(), writeTarget[n])
+		}
+		return true
+	})
+	return accs
+}
+
+// trackable reports whether obj is shared state racecheck reasons
+// about: not a sync/atomic value (synchronization, not data), not
+// already under a declared guarded-by discipline (lockcheck's job),
+// and not a field of a microlint:owned type (asserted single-goroutine
+// confinement — pool handout, per-worker slot).
+func (ri *raceInfo) trackable(v *types.Var) bool {
+	if _, annotated := ri.guards[v]; annotated {
+		return false
+	}
+	if ri.own.ownedFields[v] {
+		return false
+	}
+	return !isSyncFamilyType(v.Type())
+}
+
+// isSyncFamilyType reports whether t is (a pointer to) a sync or
+// sync/atomic type — mutexes, wait groups, atomic wrappers.
+func isSyncFamilyType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s := t.String()
+	return strings.HasPrefix(s, "sync.") || strings.HasPrefix(s, "sync/atomic.")
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sync"
+	"time"
+)
+
+// runner.go is the parallel front end of the suite: analyzers are
+// independent of each other once the module-wide lazy state is built,
+// so cmd/microlint runs them on a bounded worker pool and reports
+// per-analyzer wall time. The shared state — the callgraph/summary
+// layer (Module.conc), the race analysis (Module.race), and every
+// function's lazily built CFG — is once-guarded, so a cold concurrent
+// call is safe; Precompute still forces all of it up front so workers
+// never serialize on a Once and the per-analyzer timings measure the
+// analyzers, not the shared build.
+
+// Precompute forces the module's shared lazy analysis state:
+// concurrency summaries, the race analysis (lockset dataflow, roots,
+// ownership), and the CFG of every function. After it returns, the
+// module is read-only for every analyzer in the suite and RunTimed may
+// run them concurrently.
+func (m *Module) Precompute() {
+	ci := m.concurrency()
+	m.raceAnalysis()
+	for _, fn := range ci.cg.funcs {
+		fn.cfg()
+	}
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost in a timed run.
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
+// RunTimed is Run on a worker pool: each analyzer runs as one task on
+// up to workers goroutines (workers < 1 means one per analyzer), and
+// the returned timings hold per-analyzer wall time in canonical order.
+// Diagnostics are identical to Run's — results are merged in analyzer
+// submission order before suppression, and sorted the same way.
+func RunTimed(mod *Module, analyzers []Analyzer, workers int) ([]Diagnostic, []AnalyzerTiming) {
+	mod.Precompute()
+
+	if workers < 1 || workers > len(analyzers) {
+		workers = len(analyzers)
+	}
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	timings := make([]AnalyzerTiming, len(analyzers))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			report := func(pos token.Pos, msg string) {
+				perAnalyzer[i] = append(perAnalyzer[i], Diagnostic{
+					Pos:      mod.Fset.Position(pos),
+					Analyzer: a.Name(),
+					Message:  msg,
+				})
+			}
+			if ma, ok := a.(ModuleAnalyzer); ok {
+				ma.RunModule(mod, report)
+			} else {
+				for _, pkg := range mod.Pkgs {
+					a.Run(pkg, report)
+				}
+			}
+			timings[i] = AnalyzerTiming{
+				Analyzer: a.Name(),
+				Millis:   float64(time.Since(start).Microseconds()) / 1000,
+			}
+		}(i, a)
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, ds := range perAnalyzer {
+		diags = append(diags, ds...)
+	}
+	return finishRun(mod, analyzers, diags), timings
+}
+
+// timedReport is the microlint.json wire form of a timed run: the
+// diagnostics exactly as WriteJSON emits them, plus the per-analyzer
+// timing table CI uploads as a build artifact.
+type timedReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Timing      []AnalyzerTiming `json:"timing"`
+}
+
+// WriteJSONTimed emits a timed run as one JSON object
+// {"diagnostics": [...], "timing": [...]}.
+func WriteJSONTimed(w io.Writer, ds []Diagnostic, timings []AnalyzerTiming) error {
+	rep := timedReport{Diagnostics: make([]jsonDiagnostic, 0, len(ds)), Timing: timings}
+	for _, d := range ds {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -70,9 +70,9 @@ type concInfo struct {
 }
 
 // concurrency returns the module's concurrency info, building it on
-// first use. lint.Run is single-goroutine, so a plain cache suffices.
+// first use (once-guarded so concurrent analyzers can share it).
 func (m *Module) concurrency() *concInfo {
-	if m.conc == nil {
+	m.concOnce.Do(func() {
 		ci := &concInfo{mod: m, cg: buildCallgraph(m), names: map[types.Object]string{}}
 		for _, pkg := range m.Pkgs {
 			ci.collectFieldNames(pkg)
@@ -82,7 +82,7 @@ func (m *Module) concurrency() *concInfo {
 		}
 		ci.propagateAcquires()
 		m.conc = ci
-	}
+	})
 	return m.conc
 }
 

@@ -1,0 +1,25 @@
+// Corpus for the unused-suppression rule: a nolint directive that
+// suppresses no diagnostic is itself a build-failing finding, because a
+// stale suppression silently swallows the next real diagnostic landing
+// on its line. A directive that still earns its keep stays silent.
+package nolintunused
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// Used: the directive suppresses a live errdrop finding — no report.
+func Used() {
+	//nolint:microlint/errdrop -- best-effort, failure is benign
+	_ = mayFail()
+}
+
+// Stale: the code below was refactored to handle its error, so the
+// directive no longer suppresses anything.
+func Stale() error {
+	//nolint:microlint/errdrop -- left behind after a refactor // want "suppresses no diagnostics"
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}

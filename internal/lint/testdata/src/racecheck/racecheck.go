@@ -1,0 +1,118 @@
+// Corpus for racecheck: annotation-free race inference. Each seeded
+// race pairs two concurrent roots whose lockset intersection on a
+// shared field (or package var) is empty with at least one write; the
+// clean patterns at the bottom must stay silent.
+package racecheck
+
+import "sync"
+
+// --- seeded race 1: unlocked counter touched from two goroutines ---
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	ok int
+}
+
+func (c *Counter) Spin() {
+	go func() {
+		c.n++ // want "is written here holding"
+	}()
+	go func() {
+		_ = c.n // want "racing the write"
+	}()
+}
+
+// --- seeded race 2: write performed under RLock only ---
+
+type Stats struct {
+	mu   sync.RWMutex
+	hits int
+}
+
+func (s *Stats) Serve() {
+	go func() {
+		s.mu.RLock()
+		s.hits++ // want "is written here holding"
+		s.mu.RUnlock()
+	}()
+	go func() {
+		s.mu.RLock()
+		_ = s.hits // want "racing the write"
+		s.mu.RUnlock()
+	}()
+}
+
+// --- seeded race 3: lock released before the publish ---
+
+type Box struct {
+	mu  sync.Mutex
+	val *int
+}
+
+func (b *Box) Publish(p *int) {
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+		b.val = p // want "is written here holding"
+	}()
+	go func() {
+		b.mu.Lock()
+		_ = b.val // want "racing the write"
+		b.mu.Unlock()
+	}()
+}
+
+// --- seeded race 4: package var written from a multi-instance root ---
+
+var total int
+
+func Workers() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++ // want "runs concurrently with itself"
+		}()
+	}
+}
+
+// --- ownership assertion without a justification ---
+
+// microlint:owned
+type scratch struct { // want "marked microlint:owned without a justification"
+	buf []byte
+}
+
+func (s *scratch) reset() { s.buf = s.buf[:0] }
+
+// --- clean: consistent locking needs no annotation to pass ---
+
+func (c *Counter) SpinSafe() {
+	go func() {
+		c.mu.Lock()
+		c.ok++
+		c.mu.Unlock()
+	}()
+	go func() {
+		c.mu.Lock()
+		_ = c.ok
+		c.mu.Unlock()
+	}()
+}
+
+// --- clean: a justified owned type is exempt even when spawned ---
+
+// microlint:owned — each worker constructs its own arena and never
+// shares it; the slice below is per-goroutine scratch by construction.
+type arena struct {
+	buf []byte
+}
+
+func Fan() {
+	for i := 0; i < 2; i++ {
+		go func() {
+			a := &arena{}
+			a.buf = append(a.buf, 1)
+			_ = a.buf
+		}()
+	}
+}

@@ -1,0 +1,46 @@
+// Corpus for racecheck's advisory lane (-advisory): a field that every
+// concurrent access protects with the same lock, but which carries no
+// guarded-by annotation, earns a suggestion at its declaration. Fields
+// already annotated, and fields with inconsistent discipline, stay
+// silent here — the latter is the blocking race report's business.
+package racecheckadvisory
+
+import "sync"
+
+type Ledger struct {
+	mu      sync.Mutex
+	balance int // want "suggest `// microlint:guarded-by mu`"
+	note    string
+}
+
+func (l *Ledger) Spin() {
+	go func() {
+		l.mu.Lock()
+		l.balance++
+		l.mu.Unlock()
+	}()
+	go func() {
+		l.mu.Lock()
+		_ = l.balance
+		l.mu.Unlock()
+	}()
+}
+
+// Annotated fields get no suggestion: the annotation already exists.
+type Annotated struct {
+	mu sync.Mutex
+	n  int // microlint:guarded-by mu
+}
+
+func (a *Annotated) Spin() {
+	go func() {
+		a.mu.Lock()
+		a.n++
+		a.mu.Unlock()
+	}()
+	go func() {
+		a.mu.Lock()
+		_ = a.n
+		a.mu.Unlock()
+	}()
+}

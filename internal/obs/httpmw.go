@@ -52,6 +52,10 @@ func (m *HTTPMetrics) WrapFunc(endpoint string, next http.HandlerFunc) http.Hand
 
 // statusWriter records the response status (200 when the handler never
 // calls WriteHeader).
+//
+// microlint:owned — each instance wraps exactly one request's
+// ResponseWriter and lives on that request's handler goroutine; the
+// wrapper is never shared across requests.
 type statusWriter struct {
 	http.ResponseWriter
 	status int

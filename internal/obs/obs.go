@@ -150,17 +150,20 @@ func (f *family) childFor(values []string) *child {
 	if ch, ok = f.children[key]; ok {
 		return ch
 	}
-	ch = &child{values: append([]string(nil), values...)}
+	// Build the child completely in a private local and publish it into
+	// the map only once immutable: lock-free readers that got it from the
+	// fast path above must never observe a half-built child.
+	nc := &child{values: append([]string(nil), values...)}
 	switch f.typ {
 	case typeCounter:
-		ch.c = &Counter{}
+		nc.c = &Counter{}
 	case typeGauge:
-		ch.g = &Gauge{}
+		nc.g = &Gauge{}
 	default:
-		ch.h = newHistogram(f.buckets)
+		nc.h = newHistogram(f.buckets)
 	}
-	f.children[key] = ch
-	return ch
+	f.children[key] = nc
+	return nc
 }
 
 // sortedChildren returns the family's children in deterministic

@@ -36,6 +36,10 @@ type ctEntry struct {
 // ctRow holds the reach set of one source node, entries appended in
 // non-decreasing distance order, so the frontier discovered in the previous
 // iteration is always a suffix.
+//
+// microlint:owned — rows are partitioned by source node: during the
+// build each worker mutates only the rows in its [lo, hi) range, and
+// after the final wg.Wait the rows are immutable.
 type ctRow struct {
 	entries       []ctEntry
 	frontierStart int32 // first entry with dist == previous iteration's len
@@ -58,6 +62,10 @@ type ClosureOptions struct {
 }
 
 // followeeSets, parallel to rows, populated only with KeepFollowees.
+//
+// microlint:owned — the sets slice is allocated before the build forks
+// and its per-source maps are mutated only by the worker owning that
+// source range; immutable once the build returns.
 type ctFollowees struct {
 	sets []map[graph.NodeID][]graph.NodeID
 }
@@ -72,14 +80,13 @@ func BuildTransitiveClosure(g *graph.Graph, opts ClosureOptions) *TransitiveClos
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The closure is assembled from build-local state and constructed
+	// only after every worker has joined: nothing ever mutates a
+	// published *TransitiveClosure.
 	start := time.Now()
 	n := g.NumNodes()
-	tc := &TransitiveClosure{
-		g:    g,
-		h:    h,
-		rows: make([]ctRow, n),
-		maps: make([]map[graph.NodeID]int32, n),
-	}
+	rows := make([]ctRow, n)
+	maps := make([]map[graph.NodeID]int32, n)
 	fol := &ctFollowees{}
 	if opts.KeepFollowees {
 		fol.sets = make([]map[graph.NodeID][]graph.NodeID, n)
@@ -88,14 +95,14 @@ func BuildTransitiveClosure(g *graph.Graph, opts ClosureOptions) *TransitiveClos
 	// Iteration 1 (Algorithm 1 lines 2–4): direct edges get R = 1.
 	for u := 0; u < n; u++ {
 		out := g.Out(graph.NodeID(u))
-		row := &tc.rows[u]
+		row := &rows[u]
 		row.entries = make([]ctEntry, 0, len(out))
 		m := make(map[graph.NodeID]int32, len(out))
 		for _, v := range out {
 			m[v] = int32(len(row.entries))
 			row.entries = append(row.entries, ctEntry{v: v, dist: 1, nFol: 1, w: 1})
 		}
-		tc.maps[u] = m
+		maps[u] = m
 		if opts.KeepFollowees {
 			fs := make(map[graph.NodeID][]graph.NodeID, len(out))
 			for _, v := range out {
@@ -117,7 +124,7 @@ func BuildTransitiveClosure(g *graph.Graph, opts ClosureOptions) *TransitiveClos
 	for length := 2; length <= h; length++ {
 		anyFrontier := false
 		for u := 0; u < n; u++ {
-			row := &tc.rows[u]
+			row := &rows[u]
 			fronts[u] = frontier{entries: row.entries[row.frontierStart:len(row.entries):len(row.entries)]}
 			if len(fronts[u].entries) > 0 {
 				anyFrontier = true
@@ -160,9 +167,9 @@ func BuildTransitiveClosure(g *graph.Graph, opts ClosureOptions) *TransitiveClos
 							}
 						}
 					}
-					row := &tc.rows[u]
+					row := &rows[u]
 					newStart := int32(len(row.entries))
-					m := tc.maps[u]
+					m := maps[u]
 					for v, c := range cnt {
 						if v == uid {
 							continue
@@ -194,12 +201,17 @@ func BuildTransitiveClosure(g *graph.Graph, opts ClosureOptions) *TransitiveClos
 	}
 
 	var entries int64
-	for u := range tc.rows {
-		entries += int64(len(tc.rows[u].entries))
+	for u := range rows {
+		entries += int64(len(rows[u].entries))
 	}
-	tc.stats = BuildStats{BuildTime: time.Since(start), Entries: entries}
-	tc.followees = fol
-	return tc
+	return &TransitiveClosure{
+		g:         g,
+		h:         h,
+		rows:      rows,
+		maps:      maps,
+		followees: fol,
+		stats:     BuildStats{BuildTime: time.Since(start), Entries: entries},
+	}
 }
 
 // followees is nil-safe auxiliary storage.

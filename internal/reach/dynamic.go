@@ -2,6 +2,7 @@ package reach
 
 import (
 	"sort"
+	"sync"
 
 	"microlink/internal/graph"
 )
@@ -27,9 +28,11 @@ import (
 // u's whole row (Eq. 4's denominator).
 //
 // DynamicClosure stores followee identity sets (not just counts) because
-// the merge case needs set union. It is not safe for concurrent use; wrap
-// it with a lock if mutators and readers race.
+// the merge case needs set union. It is safe for concurrent use: an
+// internal RWMutex serialises InsertEdge against the read paths, so a
+// query never observes a half-applied insertion rule.
 type DynamicClosure struct {
+	mu  sync.RWMutex // microlint:lock-order reach-dyn
 	h   int
 	n   int
 	out [][]graph.NodeID // adjacency including inserted edges
@@ -77,10 +80,20 @@ func NewDynamicClosure(g *graph.Graph, maxHops int) *DynamicClosure {
 }
 
 // OutDegree returns the current |F_u| including inserted edges.
-func (dc *DynamicClosure) OutDegree(u graph.NodeID) int { return len(dc.out[u]) }
+func (dc *DynamicClosure) OutDegree(u graph.NodeID) int {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
+	return len(dc.out[u])
+}
 
 // HasEdge reports whether the follow edge u → v currently exists.
 func (dc *DynamicClosure) HasEdge(u, v graph.NodeID) bool {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
+	return dc.hasEdgeLocked(u, v)
+}
+
+func (dc *DynamicClosure) hasEdgeLocked(u, v graph.NodeID) bool {
 	for _, x := range dc.out[u] {
 		if x == v {
 			return true
@@ -93,7 +106,12 @@ func (dc *DynamicClosure) HasEdge(u, v graph.NodeID) bool {
 // closure. Duplicate edges and self-loops are no-ops. It reports whether
 // the edge was new.
 func (dc *DynamicClosure) InsertEdge(u, v graph.NodeID) bool {
-	if u == v || dc.HasEdge(u, v) {
+	if u == v {
+		return false
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if dc.hasEdgeLocked(u, v) {
 		return false
 	}
 	dc.out[u] = append(dc.out[u], v)
@@ -157,6 +175,12 @@ func (dc *DynamicClosure) InsertEdge(u, v graph.NodeID) bool {
 
 // Query implements Index.
 func (dc *DynamicClosure) Query(u, v graph.NodeID) (Result, bool) {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
+	return dc.queryLocked(u, v)
+}
+
+func (dc *DynamicClosure) queryLocked(u, v graph.NodeID) (Result, bool) {
 	if u == v {
 		return Result{Dist: 0}, true
 	}
@@ -167,14 +191,19 @@ func (dc *DynamicClosure) Query(u, v graph.NodeID) (Result, bool) {
 	return Result{Dist: int(ent.dist), Followees: ent.fol}, true
 }
 
-// R implements Index with the live |F_u| denominator.
+// R implements Index with the live |F_u| denominator. One RLock covers
+// both the pair lookup and the degree read so the ratio is consistent.
 func (dc *DynamicClosure) R(u, v graph.NodeID) float64 {
-	res, ok := dc.Query(u, v)
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
+	res, ok := dc.queryLocked(u, v)
 	return score(res, ok, len(dc.out[u]))
 }
 
 // SizeBytes implements Index.
 func (dc *DynamicClosure) SizeBytes() int64 {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
 	var b int64
 	for s := range dc.rows {
 		for _, ent := range dc.rows[s] {
@@ -188,6 +217,8 @@ func (dc *DynamicClosure) SizeBytes() int64 {
 // BuildStats implements Index (entries only; construction time belongs to
 // the wrapped initial build).
 func (dc *DynamicClosure) BuildStats() BuildStats {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
 	var entries int64
 	for s := range dc.rows {
 		entries += int64(len(dc.rows[s]))
@@ -199,6 +230,8 @@ func (dc *DynamicClosure) BuildStats() BuildStats {
 // used by tests to cross-validate the incremental state against a fresh
 // Algorithm 1 build.
 func (dc *DynamicClosure) Snapshot() *graph.Graph {
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
 	b := graph.NewBuilder(dc.n)
 	for s := 0; s < dc.n; s++ {
 		outs := append([]graph.NodeID(nil), dc.out[s]...)

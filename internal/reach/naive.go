@@ -21,6 +21,10 @@ type Naive struct {
 	pool chan *naiveScratch
 }
 
+// naiveScratch pairs the two traversals one query needs.
+//
+// microlint:owned — handed out by the channel free list in get/put to
+// exactly one query goroutine at a time.
 type naiveScratch struct {
 	fwd *graph.Traversal
 	bwd *graph.Traversal

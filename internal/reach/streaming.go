@@ -35,9 +35,12 @@ type Streaming struct {
 	frozenAt atomic.Int64
 	swaps    atomic.Int64
 
-	// mu guards the live (mutable) state. It nests inside nothing: edge
-	// application and snapshotting acquire it alone, and the rebuild
-	// manager holds its own mutex (ingest-rebuild) strictly above it.
+	// mu guards the live (mutable) state. Edge application and
+	// snapshotting acquire it and then the dynamic closure's own lock
+	// (reach-dyn) through dc's methods; the rebuild manager holds its own
+	// mutex (ingest-rebuild) strictly above it.
+	//
+	// microlint:lock-order reach-stream < reach-dyn
 	//
 	// Warm-restored instances (NewStreamingFromFrozen) defer the dynamic
 	// closure: dc stays nil while base holds the restored graph and

@@ -33,6 +33,10 @@ const DefaultTwoHopBatch = 32
 // thLabel is one 2-hop label entry in build form (per-node Go slices, fol
 // in discovery order). freeze() converts these into the flat arenas the
 // query path reads.
+//
+// microlint:owned — build-time state reached only through the worker's
+// own thBuilder/thDelta; the query path reads the frozen arenas, never
+// these.
 type thLabel struct {
 	hub  int32 // rank of the landmark
 	dist uint8
@@ -125,6 +129,10 @@ type thBuildTimings struct {
 // thDelta buffers one hub's label additions until the batch barrier.
 // Nodes appear in BFS discovery order; merging batches hub-by-hub in rank
 // order therefore keeps every node's label list sorted by hub rank.
+//
+// microlint:owned — deltas live in a slice indexed by batch slot; each
+// worker fills exactly the slots of the hubs it was assigned, and the
+// merge reads them only after the batch barrier.
 type thDelta struct {
 	outNodes []graph.NodeID
 	outLabs  []thLabel
@@ -143,6 +151,9 @@ func (d *thDelta) reset() {
 // graph.DistMap), the per-node position of this hub's buffered label, and
 // forward-BFS first-hop sets. Builders are reused across batches through
 // thBuildPool.
+//
+// microlint:owned — per-worker scratch by contract: thBuildPool.acquire
+// hands each builder to at most one worker at a time.
 type thBuilder struct {
 	w     *thWork
 	marks *graph.DistMap

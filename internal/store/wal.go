@@ -49,13 +49,18 @@ func parseWALName(name string) (uint64, bool) {
 }
 
 // walWriter appends framed records to one WAL file. Not safe for
-// concurrent use — the Store serialises access behind its mutex.
+// concurrent use — the Store serialises access behind its mutex: the
+// advisory lane (racecheck -advisory) proves bytes and records are
+// consistently protected by Store.mu (level `store`) across every
+// concurrent access, a cross-struct guard the same-struct guarded-by
+// grammar cannot declare — see the inferred-lockset table in
+// DESIGN.md §6.
 type walWriter struct {
 	f       *os.File
 	bw      *bufio.Writer
 	fsync   bool
-	bytes   int64
-	records int64
+	bytes   int64 // advisory-inferred guard: Store.mu
+	records int64 // advisory-inferred guard: Store.mu
 	scratch []byte
 }
 
