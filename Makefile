@@ -56,6 +56,7 @@ test-race:
 # workers + mid-stream copy-on-swap) under the race detector.
 race:
 	$(GO) test -race -count=2 ./...
+	GOMAXPROCS=4 $(GO) test -race ./internal/reach/...
 	$(GO) run -race ./cmd/linkbench -quick firehose
 
 cover:
@@ -73,9 +74,13 @@ bench-smoke:
 # 2-hop build and query hot path, then the JSON artefact BENCH_reach.json
 # that EXPERIMENTS.md cites (serial vs parallel build, size delta,
 # steady-state query allocations).
+# -workers-sweep auto emits one record per worker count (1,2,4) on
+# multi-core machines and falls back to the single parallel record on a
+# single-CPU box; the wait gate fails the run if merge+barrier ever grows
+# back past 25% of the parallel build.
 bench-index:
 	$(GO) test -run=NONE -bench='BuildTwoHop|TwoHopQuery' -benchmem ./internal/reach
-	$(GO) run ./cmd/linkbench -out BENCH_reach.json index
+	$(GO) run ./cmd/linkbench -out BENCH_reach.json -workers-sweep auto -max-wait-frac 0.25 index
 
 # Durability smoke: snapshot a streaming system mid-firehose, reopen the
 # data directory, and byte-compare top-k answers against the original

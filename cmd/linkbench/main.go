@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"microlink"
@@ -34,12 +36,14 @@ import (
 )
 
 var (
-	seed       = flag.Int64("seed", 42, "world generator seed")
-	users      = flag.Int("users", 1500, "number of users in the accuracy world")
-	quick      = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
-	out        = flag.String("out", "", "also write the experiment's JSON result to this file (index, firehose)")
-	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+	seed         = flag.Int64("seed", 42, "world generator seed")
+	users        = flag.Int("users", 1500, "number of users in the accuracy world")
+	quick        = flag.Bool("quick", false, "smaller scales for the efficiency experiments")
+	out          = flag.String("out", "", "also write the experiment's JSON result to this file (index, firehose)")
+	workersSweep = flag.String("workers-sweep", "", "index: comma-separated worker counts to sweep (one JSON record each), or 'auto' for 1,2,4 on multi-core machines")
+	maxWaitFrac  = flag.Float64("max-wait-frac", 0, "index: fail if (merge+barrier wait)/parallel build exceeds this fraction on any multi-worker record (0 disables)")
+	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 )
 
 func main() {
@@ -394,34 +398,104 @@ func batch() {
 	fmt.Printf("  speedup %.2fx   interest cache %d hits / %d misses\n", serialDur.Seconds()/batchDur.Seconds(), hits, misses)
 }
 
-// index measures the PR 5 reach optimisations: serial vs parallel 2-hop
-// construction, the parallel index-size delta, and steady-state query
-// allocations. With -out the JSON result is also written to a file
-// (`make bench-index` checks it in as BENCH_reach.json).
+// index measures the reach construction engine: serial vs
+// partitioned-parallel 2-hop build with a per-stage split, the parallel
+// index-size delta, and steady-state query allocations. With -out the
+// JSON result is also written to a file (`make bench-index` checks it in
+// as BENCH_reach.json). -workers-sweep repeats the parallel build per
+// worker count (each under a matching GOMAXPROCS) and emits a JSON array;
+// -max-wait-frac turns the merge+barrier share of the build into a gate
+// so the old serialized merge cannot silently come back.
 func index() {
 	banner("2-hop index build: serial vs parallel construction")
 	opts := experiments.IndexBenchOptions{Users: 4000}
 	if *quick {
 		opts.Users = 1000
 	}
-	r := experiments.IndexBench(opts)
-	fmt.Printf("  graph: %d users, %d edges, H=%d (GOMAXPROCS=%d)\n", r.Users, r.Edges, r.MaxHops, r.GOMAXPROCS)
-	fmt.Printf("  %-28s %12s %12s\n", "", "serial", "parallel")
-	fmt.Printf("  %-28s %12s %12s\n", "build time",
-		(time.Duration(r.SerialMS) * time.Millisecond).String(),
-		(time.Duration(r.ParallelMS) * time.Millisecond).String())
-	fmt.Printf("  %-28s %12s %12s\n", "index size", mb(r.SerialBytes), mb(r.ParallelBytes))
-	fmt.Printf("  %-28s %12d %12d\n", "labels", r.SerialLabels, r.ParallelLabels)
-	fmt.Printf("  speedup %.2fx (workers=%d batch=%d, merge wait %v); size ratio %.3f\n",
-		r.Speedup, r.Workers, r.BatchSize, time.Duration(r.MergeWaitMS)*time.Millisecond, r.SizeRatio)
-	fmt.Printf("  parallel stages: bfs %v, merge %v, freeze %v\n",
-		time.Duration(r.ParallelBFSMS)*time.Millisecond,
-		time.Duration(r.ParallelMergeMS)*time.Millisecond,
-		time.Duration(r.ParallelFreezeMS)*time.Millisecond)
+	counts, err := sweepCounts(*workersSweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkbench: %v\n", err)
+		os.Exit(2)
+	}
+	var results []experiments.IndexBenchResult
+	if len(counts) > 0 {
+		results = experiments.IndexBenchSweep(opts, counts)
+	} else {
+		results = []experiments.IndexBenchResult{experiments.IndexBench(opts)}
+	}
+	r0 := results[0]
+	fmt.Printf("  graph: %d users, %d edges, H=%d (num_cpu=%d)\n", r0.Users, r0.Edges, r0.MaxHops, r0.NumCPU)
+	fmt.Printf("  serial build %v, %s, %d labels\n",
+		(time.Duration(r0.SerialMS) * time.Millisecond).String(), mb(r0.SerialBytes), r0.SerialLabels)
+	for _, r := range results {
+		printIndexRecord(r)
+	}
+	r := results[len(results)-1]
 	fmt.Printf("  fol pool: %d ids for %d refs (%.1f%% interned away)\n",
 		r.FolPoolEntries, r.FolRefs, 100*(1-float64(r.FolPoolEntries)/float64(r.FolRefs)))
 	fmt.Printf("  query: %dns/op, %.2f allocs/op\n", r.QueryNS, r.QueryAllocsOp)
-	writeJSON(r)
+	if len(counts) > 0 {
+		writeJSON(results)
+	} else {
+		writeJSON(r0)
+	}
+	if *maxWaitFrac > 0 {
+		for _, r := range results {
+			if r.Workers <= 1 || r.ParallelMS <= 0 {
+				continue
+			}
+			if frac := float64(r.MergeWaitMS) / float64(r.ParallelMS); frac > *maxWaitFrac {
+				fmt.Fprintf(os.Stderr,
+					"linkbench: merge+barrier wait is %.0f%% of the workers=%d build, above the %.0f%% gate — the merge barrier is back\n",
+					100*frac, r.Workers, 100**maxWaitFrac)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("  merge-wait gate: all multi-worker records under %.0f%% of build time\n", 100**maxWaitFrac)
+	}
+}
+
+func printIndexRecord(r experiments.IndexBenchResult) {
+	fmt.Printf("  workers=%d gomaxprocs=%d: build %v, speedup %.2fx, size ratio %.3f (batch=%d, %d partitions)\n",
+		r.Workers, r.GOMAXPROCS, (time.Duration(r.ParallelMS) * time.Millisecond).String(),
+		r.Speedup, r.SizeRatio, r.BatchSize, r.MergePartitions)
+	fmt.Printf("    stages: bfs %v, merge %v, barrier wait %v, freeze %v\n",
+		time.Duration(r.ParallelBFSMS)*time.Millisecond,
+		time.Duration(r.ParallelMergeMS)*time.Millisecond,
+		time.Duration(r.ParallelBarrierMS)*time.Millisecond,
+		time.Duration(r.ParallelFreezeMS)*time.Millisecond)
+	if len(r.MergeUtilization) > 0 {
+		fmt.Printf("    merge workers busy:")
+		for _, u := range r.MergeUtilization {
+			fmt.Printf(" %.0f%%", 100*u)
+		}
+		fmt.Println()
+	}
+}
+
+// sweepCounts parses -workers-sweep: "" disables the sweep, "auto"
+// selects 1,2,4 on multi-core machines (and disables the sweep on a
+// single-CPU box, where extra workers only measure scheduler noise),
+// anything else is a comma-separated list of worker counts.
+func sweepCounts(spec string) ([]int, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "auto":
+		if runtime.NumCPU() > 1 {
+			return []int{1, 2, 4}, nil
+		}
+		return nil, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-workers-sweep: bad worker count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // firehose drives the streaming ingest pipeline (DESIGN.md §7): a

@@ -10,31 +10,45 @@ import (
 	"microlink/internal/synth"
 )
 
-// IndexBench quantifies PR 5's three reach optimisations on one synthetic
-// graph: serial vs parallel 2-hop construction time, the parallel build's
+// IndexBench quantifies the reach construction pipeline on one synthetic
+// graph: serial vs partitioned-parallel 2-hop construction time with a
+// per-stage split (BFS / merge / barrier / freeze), the parallel build's
 // index-size delta (batch-frozen pruning admits slightly more labels), and
 // the query hot path's steady-state allocation count. `linkbench index`
 // serialises the result to BENCH_reach.json so the numbers are checked in
-// next to the claims that cite them.
+// next to the claims that cite them; `-workers-sweep` emits one record per
+// worker count so multi-core scaling is measured, not asserted.
 
 // IndexBenchResult is the JSON payload of `linkbench index`.
 type IndexBenchResult struct {
-	Users       int   `json:"users"`
-	Edges       int   `json:"edges"`
-	MaxHops     int   `json:"max_hops"`
-	GOMAXPROCS  int   `json:"gomaxprocs"` // honest context for the speedup figure
-	Workers     int   `json:"workers"`
-	BatchSize   int   `json:"batch_size"`
-	SerialMS    int64 `json:"serial_build_ms"`
-	ParallelMS  int64 `json:"parallel_build_ms"`
+	Users      int   `json:"users"`
+	Edges      int   `json:"edges"`
+	MaxHops    int   `json:"max_hops"`
+	NumCPU     int   `json:"num_cpu"`    // hardware context for the speedup figure
+	GOMAXPROCS int   `json:"gomaxprocs"` // scheduler width the parallel build ran under
+	Workers    int   `json:"workers"`
+	BatchSize  int   `json:"batch_size"`
+	SerialMS   int64 `json:"serial_build_ms"`
+	ParallelMS int64 `json:"parallel_build_ms"`
+
+	// MergeWaitMS = merge wall clock + epoch barrier wait: the total the
+	// build spent off the BFS/freeze fast path. The CI smoke gates this at
+	// < 25% of parallel_build_ms so a serialized merge cannot come back.
 	MergeWaitMS int64 `json:"parallel_merge_wait_ms"`
 
-	// Per-stage split of the parallel build (BFS ≥ merge-wait; BFS +
-	// merge + freeze ≈ parallel_build_ms), so regressions point at the
-	// guilty stage instead of the aggregate.
-	ParallelBFSMS    int64 `json:"parallel_bfs_ms"`
-	ParallelMergeMS  int64 `json:"parallel_merge_ms"`
-	ParallelFreezeMS int64 `json:"parallel_freeze_ms"`
+	// Per-stage split of the parallel build (BFS + merge + freeze ≈
+	// parallel_build_ms; barrier is a slice of the BFS/merge walls), so
+	// regressions point at the guilty stage instead of the aggregate.
+	ParallelBFSMS     int64 `json:"parallel_bfs_ms"`
+	ParallelMergeMS   int64 `json:"parallel_merge_ms"`
+	ParallelBarrierMS int64 `json:"parallel_barrier_wait_ms"`
+	ParallelFreezeMS  int64 `json:"parallel_freeze_ms"`
+
+	// MergePartitions is the node-range partition count the concurrent
+	// merge fanned over; MergeUtilization each merge worker's busy
+	// fraction of the merge wall clock (absent for serial merges).
+	MergePartitions  int       `json:"merge_partitions"`
+	MergeUtilization []float64 `json:"merge_worker_utilization,omitempty"`
 
 	SerialBytes    int64   `json:"serial_index_bytes"`
 	ParallelBytes  int64   `json:"parallel_index_bytes"`
@@ -56,9 +70,7 @@ type IndexBenchOptions struct {
 	Workers int // default 4
 }
 
-// IndexBench builds the 2-hop cover serially and in parallel over the same
-// graph and measures the construction/size/query deltas.
-func IndexBench(opts IndexBenchOptions) IndexBenchResult {
+func (opts *IndexBenchOptions) setDefaults() {
 	if opts.Users <= 0 {
 		opts.Users = 4000
 	}
@@ -68,9 +80,29 @@ func IndexBench(opts IndexBenchOptions) IndexBenchResult {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
-	g := synth.GenerateGraph(synth.GraphParams{Seed: 99, Users: opts.Users, MeanFollows: 10})
+}
 
-	serial := reach.BuildTwoHop(g, reach.TwoHopOptions{MaxHops: opts.MaxHops, Workers: 1})
+// indexBenchGraph builds the shared benchmark graph.
+func indexBenchGraph(opts IndexBenchOptions) *graph.Graph {
+	return synth.GenerateGraph(synth.GraphParams{Seed: 99, Users: opts.Users, MeanFollows: 10})
+}
+
+// buildSerial runs the exact serial Algorithm 2 baseline.
+func buildSerial(g *graph.Graph, maxHops int) *reach.TwoHop {
+	return reach.BuildTwoHop(g, reach.TwoHopOptions{MaxHops: maxHops, Workers: 1})
+}
+
+// benchParallel builds the parallel cover with workers goroutines under a
+// matching GOMAXPROCS and fills one result record against the serial
+// baseline. Raising GOMAXPROCS per record is what lets a sweep measure
+// real multi-core scaling in one process; the previous setting is
+// restored before returning.
+func benchParallel(g *graph.Graph, serial *reach.TwoHop, opts IndexBenchOptions) IndexBenchResult {
+	prev := runtime.GOMAXPROCS(0)
+	if opts.Workers != prev {
+		runtime.GOMAXPROCS(opts.Workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	par := reach.BuildTwoHop(g, reach.TwoHopOptions{
 		MaxHops: opts.MaxHops, Workers: opts.Workers, BatchSize: reach.DefaultTwoHopBatch,
 	})
@@ -79,24 +111,28 @@ func IndexBench(opts IndexBenchOptions) IndexBenchResult {
 	pOut, pIn := par.LabelCounts()
 	info := par.BuildInfo()
 	res := IndexBenchResult{
-		Users:            g.NumNodes(),
-		Edges:            g.NumEdges(),
-		MaxHops:          opts.MaxHops,
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		Workers:          info.Workers,
-		BatchSize:        info.BatchSize,
-		SerialMS:         serial.BuildStats().BuildTime.Milliseconds(),
-		ParallelMS:       par.BuildStats().BuildTime.Milliseconds(),
-		MergeWaitMS:      info.MergeWait.Milliseconds(),
-		ParallelBFSMS:    info.BFSTime.Milliseconds(),
-		ParallelMergeMS:  info.MergeTime.Milliseconds(),
-		ParallelFreezeMS: info.FreezeTime.Milliseconds(),
-		SerialBytes:      serial.SizeBytes(),
-		ParallelBytes:    par.SizeBytes(),
-		SerialLabels:     sOut + sIn,
-		ParallelLabels:   pOut + pIn,
-		FolPoolEntries:   info.FolPool,
-		FolRefs:          info.FolRefs,
+		Users:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		MaxHops:           opts.MaxHops,
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Workers:           info.Workers,
+		BatchSize:         info.BatchSize,
+		SerialMS:          serial.BuildStats().BuildTime.Milliseconds(),
+		ParallelMS:        par.BuildStats().BuildTime.Milliseconds(),
+		MergeWaitMS:       (info.MergeTime + info.BarrierWait).Milliseconds(),
+		ParallelBFSMS:     info.BFSTime.Milliseconds(),
+		ParallelMergeMS:   info.MergeTime.Milliseconds(),
+		ParallelBarrierMS: info.BarrierWait.Milliseconds(),
+		ParallelFreezeMS:  info.FreezeTime.Milliseconds(),
+		MergePartitions:   info.Partitions,
+		MergeUtilization:  info.MergeUtilization,
+		SerialBytes:       serial.SizeBytes(),
+		ParallelBytes:     par.SizeBytes(),
+		SerialLabels:      sOut + sIn,
+		ParallelLabels:    pOut + pIn,
+		FolPoolEntries:    info.FolPool,
+		FolRefs:           info.FolRefs,
 	}
 	if res.SerialBytes > 0 {
 		res.SizeRatio = float64(res.ParallelBytes) / float64(res.SerialBytes)
@@ -106,6 +142,32 @@ func IndexBench(opts IndexBenchOptions) IndexBenchResult {
 	}
 	res.QueryNS, res.QueryAllocsOp = measureQueryAllocs(par, g.NumNodes())
 	return res
+}
+
+// IndexBench builds the 2-hop cover serially and in parallel over the same
+// graph and measures the construction/size/query deltas.
+func IndexBench(opts IndexBenchOptions) IndexBenchResult {
+	opts.setDefaults()
+	g := indexBenchGraph(opts)
+	serial := buildSerial(g, opts.MaxHops)
+	return benchParallel(g, serial, opts)
+}
+
+// IndexBenchSweep runs IndexBench once per worker count against a single
+// shared serial baseline, returning one record per count. Each parallel
+// build runs under GOMAXPROCS = workers, so the sweep captures genuine
+// multi-core scaling (or, on a single-CPU box, honestly records ~1×).
+func IndexBenchSweep(opts IndexBenchOptions, workerCounts []int) []IndexBenchResult {
+	opts.setDefaults()
+	g := indexBenchGraph(opts)
+	serial := buildSerial(g, opts.MaxHops)
+	results := make([]IndexBenchResult, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		o := opts
+		o.Workers = w
+		results = append(results, benchParallel(g, serial, o))
+	}
+	return results
 }
 
 // measureQueryAllocs times R on the frozen cover and reports steady-state

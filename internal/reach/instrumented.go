@@ -64,18 +64,32 @@ func (x *Instrumented) Unwrap() Index { return x.inner }
 //
 //	microlink_reach_twohop_build_workers
 //	microlink_reach_twohop_build_batch_size
-//	microlink_reach_twohop_build_merge_wait_seconds
+//	microlink_reach_twohop_build_bfs_seconds
+//	microlink_reach_twohop_build_merge_seconds
+//	microlink_reach_twohop_build_barrier_wait_seconds
+//	microlink_reach_twohop_build_freeze_seconds
 //	microlink_reach_twohop_labels
 //	microlink_reach_twohop_fol_pool_entries
 //	microlink_reach_twohop_bytes
+//
+// merge_seconds and barrier_wait_seconds used to be summed into a single
+// merge_wait_seconds gauge, which hid where the time went; they are
+// published separately so a regression toward a serialized merge shows up
+// as barrier growth, not as undifferentiated "merge wait".
 func PublishTwoHopBuild(th *TwoHop, reg *obs.Registry) {
 	info := th.BuildInfo()
 	reg.Gauge("microlink_reach_twohop_build_workers",
 		"Worker goroutines used by the last 2-hop cover build (0 = loaded from disk).").Set(float64(info.Workers))
 	reg.Gauge("microlink_reach_twohop_build_batch_size",
 		"Hub batch size of the last 2-hop cover build.").Set(float64(info.BatchSize))
-	reg.Gauge("microlink_reach_twohop_build_merge_wait_seconds",
-		"Barrier wait plus rank-ordered delta merge time of the last 2-hop build.").Set(info.MergeWait.Seconds())
+	reg.Gauge("microlink_reach_twohop_build_bfs_seconds",
+		"Pruned hub-BFS phase wall clock of the last 2-hop build.").Set(info.BFSTime.Seconds())
+	reg.Gauge("microlink_reach_twohop_build_merge_seconds",
+		"Partitioned delta-merge phase wall clock of the last 2-hop build.").Set(info.MergeTime.Seconds())
+	reg.Gauge("microlink_reach_twohop_build_barrier_wait_seconds",
+		"Mean per-worker idle at the batch-epoch fences of the last 2-hop build.").Set(info.BarrierWait.Seconds())
+	reg.Gauge("microlink_reach_twohop_build_freeze_seconds",
+		"Arena freeze wall clock of the last 2-hop build.").Set(info.FreezeTime.Seconds())
 	out, in := th.LabelCounts()
 	reg.Gauge("microlink_reach_twohop_labels",
 		"Total 2-hop labels (out + in) in the frozen cover.").Set(float64(out + in))

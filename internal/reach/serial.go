@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"io"
+	"runtime"
 
 	"microlink/internal/graph"
 )
@@ -291,6 +292,7 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 		out:   make([][]thLabel, n),
 		in:    make([][]thLabel, n),
 	}
+	w.pshift, w.nparts = partitionScheme(int(n))
 	if err := binary.Read(cr, binary.LittleEndian, w.order); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -342,7 +344,7 @@ func ReadTwoHop(r io.Reader, g *graph.Graph) (*TwoHop, error) {
 	if payloadCRC != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrFormat)
 	}
-	th := w.freeze()
+	th := w.freeze(runtime.GOMAXPROCS(0))
 	th.stats = BuildStats{Entries: entries}
 	return th, nil
 }

@@ -96,21 +96,28 @@ type TwoHopOptions struct {
 // TwoHopBuildInfo reports how a cover was constructed, feeding the
 // microlink_reach_twohop_* gauges and the `linkbench index` runner.
 type TwoHopBuildInfo struct {
-	Workers   int           // effective worker count (0 for a loaded index)
-	BatchSize int           // effective hub batch size
-	MergeWait time.Duration // barrier wait + rank-ordered delta merge time
-	FolRefs   int64         // followee ids referenced by labels (pre-intern)
-	FolPool   int64         // followee ids stored after interning
+	Workers    int   // effective worker count (0 for a loaded index)
+	BatchSize  int   // effective hub batch size
+	Partitions int   // node-range partitions the merge/freeze fan over
+	FolRefs    int64 // followee ids referenced by labels (pre-intern)
+	FolPool    int64 // followee ids stored after interning
 
 	// Per-stage wall-clock split of the build (BFS + Merge + Freeze ≈
-	// BuildStats().BuildTime): BFSTime covers the pruned hub BFS rounds
-	// including the batch barrier, MergeTime the rank-ordered delta
-	// merges, FreezeTime the conversion into the flat CSR arenas. The
-	// split keeps the merge-barrier bottleneck visible in
-	// `linkbench index` / BENCH_reach.json.
-	BFSTime    time.Duration
-	MergeTime  time.Duration
-	FreezeTime time.Duration
+	// BuildStats().BuildTime): BFSTime covers the pruned hub BFS phases,
+	// MergeTime the partitioned delta merges, FreezeTime the conversion
+	// into the flat CSR arenas. BarrierWait is the mean per-worker idle
+	// spent at the batch-epoch fences waiting for each phase's slowest
+	// worker — it is a slice of the BFS/merge wall clocks, not an extra
+	// stage — and is the number the ISSUE-10 CI gate watches so the old
+	// single-goroutine merge barrier cannot silently come back.
+	BFSTime     time.Duration
+	MergeTime   time.Duration
+	BarrierWait time.Duration
+	FreezeTime  time.Duration
+
+	// MergeUtilization is each merge worker's busy fraction of the merge
+	// wall clock (len = merge fan-out; nil when the merge ran serially).
+	MergeUtilization []float64
 }
 
 // BuildInfo returns construction metadata for the last build. A cover

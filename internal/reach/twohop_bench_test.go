@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -23,13 +24,19 @@ func BenchmarkBuildTwoHop(b *testing.B) {
 			b.ReportMetric(float64(th.SizeBytes()), "index-bytes")
 		}
 	})
-	b.Run("parallel", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4, Workers: 4, BatchSize: DefaultTwoHopBatch})
-			b.ReportMetric(float64(th.SizeBytes()), "index-bytes")
-		}
-	})
+	// Batch size is the merge-granularity knob: small batches merge (and
+	// fence) often against small deltas, large batches amortize the epoch
+	// but weaken in-batch pruning. Sweeping it keeps granularity
+	// regressions visible in plain `go test -bench`.
+	for _, batch := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("parallel/batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				th := BuildTwoHop(g, TwoHopOptions{MaxHops: 4, Workers: 4, BatchSize: batch})
+				b.ReportMetric(float64(th.SizeBytes()), "index-bytes")
+			}
+		})
+	}
 }
 
 // BenchmarkTwoHopQuery measures the frozen query hot path. Steady state

@@ -1,7 +1,6 @@
 package reach
 
 import (
-	"encoding/binary"
 	"runtime"
 	"sort"
 	"sync"
@@ -14,21 +13,57 @@ import (
 // Construction of the extended 2-hop cover (Algorithm 2) in rank-ordered
 // hub batches. Every hub's pruned backward/forward BFS prunes against the
 // label set frozen at the start of its batch and buffers its own label
-// additions in a private delta; at the batch barrier the deltas merge into
-// the global label lists in rank order. With batch size 1 this is exactly
-// the serial Algorithm 2 (each hub sees every earlier hub's labels). With
-// larger batches hubs inside one batch do not see each other, which only
-// weakens pruning: distances stay exact — a label records the true BFS
-// level from its hub, and the query minimum is achieved by whichever hub
-// covers the pair — while the index may grow slightly (measured by
-// `linkbench index`; within a few percent at the default batch size).
-// Because each hub's BFS depends only on the frozen snapshot and deltas
-// merge in rank order, the output is bit-for-bit deterministic for a fixed
-// batch size, independent of worker count and scheduling.
+// additions in a private delta; when the batch's BFS epoch ends the
+// deltas merge into the global label lists in rank order. With batch size
+// 1 this is exactly the serial Algorithm 2 (each hub sees every earlier
+// hub's labels). With larger batches hubs inside one batch do not see
+// each other, which only weakens pruning: distances stay exact — a label
+// records the true BFS level from its hub, and the query minimum is
+// achieved by whichever hub covers the pair — while the index may grow
+// slightly (measured by `linkbench index`; within a few percent at the
+// default batch size).
+//
+// The merge itself is barrier-free in the sense that no single goroutine
+// serialises it: labels are per-node, so the label lists are partitioned
+// by node range and the deltas' partition buckets merge concurrently into
+// disjoint partitions, claimed dynamically by the same workers that ran
+// the BFS. The only global synchronisation left is the batch epoch (a
+// WaitGroup fence between a batch's BFS and its merge, and between the
+// merge and the next batch's BFS) that keeps rank-order pruning correct.
+// Because each hub's BFS depends only on the frozen snapshot, each node's
+// list receives its labels in rank order regardless of which worker owns
+// its partition, and the freeze stitches the followee pool in a fixed
+// serial order, the output is bit-for-bit deterministic for a fixed batch
+// size, independent of worker count, partition count, and scheduling.
 
 // DefaultTwoHopBatch is the hub batch size used when TwoHopOptions.BatchSize
 // is unset and more than one worker is in play.
 const DefaultTwoHopBatch = 32
+
+// Node-range partitioning of the label arena. Spans are powers of two so
+// the emit hot path maps node → partition with one shift; the span floor
+// keeps buckets from degenerating into per-node slices on small graphs
+// and the partition cap bounds per-delta bucket headers on huge ones.
+const (
+	thMinPartShift  = 6   // minimum span: 64 nodes per partition
+	thMaxPartitions = 256 // upper bound on partition count
+)
+
+// partitionScheme fixes the node-range partitioning for an n-node build.
+// It depends only on n — never on the worker count — so everything
+// downstream of it (delta bucket layout, merge order, freeze stitch
+// order) is a pure function of the graph and the batch size.
+func partitionScheme(n int) (shift uint, parts int) {
+	shift = thMinPartShift
+	for n>>shift >= thMaxPartitions {
+		shift++
+	}
+	parts = (n + (1 << shift) - 1) >> shift
+	if parts < 1 {
+		parts = 1
+	}
+	return shift, parts
+}
 
 // thLabel is one 2-hop label entry in build form (per-node Go slices, fol
 // in discovery order). freeze() converts these into the flat arenas the
@@ -45,12 +80,14 @@ type thLabel struct {
 
 // thWork is the mutable label state during construction.
 type thWork struct {
-	g     *graph.Graph
-	h     int
-	rank  []int32
-	order []graph.NodeID
-	out   [][]thLabel // Lout, per node, sorted by hub rank
-	in    [][]thLabel // Lin, per node, sorted by hub rank
+	g      *graph.Graph
+	h      int
+	rank   []int32
+	order  []graph.NodeID
+	out    [][]thLabel // Lout, per node, sorted by hub rank
+	in     [][]thLabel // Lin, per node, sorted by hub rank
+	pshift uint        // node → partition is node >> pshift
+	nparts int         // number of node-range partitions
 }
 
 func newThWork(g *graph.Graph, h int, randomOrder bool) *thWork {
@@ -63,6 +100,7 @@ func newThWork(g *graph.Graph, h int, randomOrder bool) *thWork {
 		out:   make([][]thLabel, n),
 		in:    make([][]thLabel, n),
 	}
+	w.pshift, w.nparts = partitionScheme(n)
 	for i := 0; i < n; i++ {
 		w.order[i] = graph.NodeID(i)
 	}
@@ -103,7 +141,7 @@ func BuildTwoHop(g *graph.Graph, opts TwoHopOptions) *TwoHop {
 	w := newThWork(g, h, opts.RandomOrder)
 	tm := w.buildLabels(workers, batch)
 	freezeStart := time.Now()
-	th := w.freeze()
+	th := w.freeze(workers)
 	tm.freeze = time.Since(freezeStart)
 	th.stats = BuildStats{
 		BuildTime: time.Since(start),
@@ -111,40 +149,89 @@ func BuildTwoHop(g *graph.Graph, opts TwoHopOptions) *TwoHop {
 	}
 	th.info.Workers = workers
 	th.info.BatchSize = batch
-	th.info.MergeWait = tm.barrier + tm.merge
 	th.info.BFSTime = tm.bfs
 	th.info.MergeTime = tm.merge
+	th.info.BarrierWait = tm.barrier
 	th.info.FreezeTime = tm.freeze
+	if tm.merge > 0 && len(tm.mergeBusy) > 0 {
+		util := make([]float64, len(tm.mergeBusy))
+		for i, busy := range tm.mergeBusy {
+			util[i] = busy.Seconds() / tm.merge.Seconds()
+		}
+		th.info.MergeUtilization = util
+	}
 	return th
 }
 
 // thBuildTimings is the per-stage wall-clock split buildLabels and freeze
-// accumulate: bfs covers the hub BFS rounds (barrier wait included),
-// barrier only the post-spawn wait on stragglers, merge the rank-ordered
-// delta merges, freeze the arena conversion.
+// accumulate: bfs and merge are their phases' wall clocks (each including
+// its own straggler tail), barrier is the mean per-worker idle spent at
+// the epoch fences waiting for the slowest worker, freeze the arena
+// conversion, and mergeBusy each merge worker's total busy time (for the
+// utilization report).
 type thBuildTimings struct {
 	bfs, barrier, merge, freeze time.Duration
+	mergeBusy                   []time.Duration
 }
 
-// thDelta buffers one hub's label additions until the batch barrier.
-// Nodes appear in BFS discovery order; merging batches hub-by-hub in rank
-// order therefore keeps every node's label list sorted by hub rank.
+// stragglerIdle converts per-worker phase finish times into the mean idle
+// a worker spent waiting for the phase's slowest member — the honest
+// "barrier wait": with dynamic claiming it is bounded by one work item,
+// and it collapses to ~0 when the workers timeshare a single core.
+func stragglerIdle(finish []time.Duration) time.Duration {
+	if len(finish) == 0 {
+		return 0
+	}
+	var maxf time.Duration
+	for _, f := range finish {
+		if f > maxf {
+			maxf = f
+		}
+	}
+	var idle time.Duration
+	for _, f := range finish {
+		idle += maxf - f
+	}
+	return idle / time.Duration(len(finish))
+}
+
+// thDeltaRun is one partition bucket of a delta: the bucket's labeled
+// nodes in BFS discovery order plus their label entries, index-aligned.
 //
-// microlint:owned — deltas live in a slice indexed by batch slot; each
-// worker fills exactly the slots of the hubs it was assigned, and the
-// merge reads them only after the batch barrier.
+// microlint:owned — reached only through its owning thDelta's bucket
+// slices.
+type thDeltaRun struct {
+	nodes []graph.NodeID
+	labs  []thLabel
+}
+
+// thDelta buffers one hub's label additions until the batch epoch, in
+// per-node-range partition buckets so the merge can fan out workers over
+// disjoint partitions without locks.
+//
+// microlint:owned — deltas live in a slice indexed by batch slot; the
+// worker that claimed the slot's hub fills its buckets during the BFS
+// phase, and after the epoch fence each bucket is read by exactly one
+// merge worker (partitions are claimed off an atomic counter).
 type thDelta struct {
-	outNodes []graph.NodeID
-	outLabs  []thLabel
-	inNodes  []graph.NodeID
-	inLabs   []thLabel
+	out []thDeltaRun // one bucket per node-range partition
+	in  []thDeltaRun
+}
+
+func (d *thDelta) init(nparts int) {
+	d.out = make([]thDeltaRun, nparts)
+	d.in = make([]thDeltaRun, nparts)
 }
 
 func (d *thDelta) reset() {
-	d.outNodes = d.outNodes[:0]
-	d.outLabs = d.outLabs[:0]
-	d.inNodes = d.inNodes[:0]
-	d.inLabs = d.inLabs[:0]
+	for i := range d.out {
+		d.out[i].nodes = d.out[i].nodes[:0]
+		d.out[i].labs = d.out[i].labs[:0]
+	}
+	for i := range d.in {
+		d.in[i].nodes = d.in[i].nodes[:0]
+		d.in[i].labs = d.in[i].labs[:0]
+	}
 }
 
 // thBuilder is one worker's BFS scratch: O(n) distance marks (shared
@@ -157,7 +244,7 @@ func (d *thDelta) reset() {
 type thBuilder struct {
 	w     *thWork
 	marks *graph.DistMap
-	pos   []int32          // node → index into the current delta's labels
+	pos   []int32          // node → index into the current delta's bucket labs
 	fpath [][]graph.NodeID // forward BFS first-hop followee sets
 	qbuf  []graph.NodeID   // scratch for build-time cover queries
 	cur   []graph.NodeID   // frontier double buffer
@@ -192,15 +279,17 @@ func (b *thBuilder) runHub(vk graph.NodeID, k int32, d *thDelta) {
 }
 
 func (b *thBuilder) emitOut(d *thDelta, s graph.NodeID, lab thLabel) {
-	b.pos[s] = int32(len(d.outLabs))
-	d.outNodes = append(d.outNodes, s)
-	d.outLabs = append(d.outLabs, lab)
+	r := &d.out[uint32(s)>>b.w.pshift]
+	b.pos[s] = int32(len(r.labs))
+	r.nodes = append(r.nodes, s)
+	r.labs = append(r.labs, lab)
 }
 
 func (b *thBuilder) emitIn(d *thDelta, t graph.NodeID, lab thLabel) {
-	b.pos[t] = int32(len(d.inLabs))
-	d.inNodes = append(d.inNodes, t)
-	d.inLabs = append(d.inLabs, lab)
+	r := &d.in[uint32(t)>>b.w.pshift]
+	b.pos[t] = int32(len(r.labs))
+	r.nodes = append(r.nodes, t)
+	r.labs = append(r.labs, lab)
 }
 
 func containsNode(s []graph.NodeID, v graph.NodeID) bool {
@@ -237,7 +326,7 @@ func (b *thBuilder) backward(vk graph.NodeID, k int32, d *thDelta) {
 					// Same-level revisit via a different followee u: a new
 					// shortest path (lines 20–27).
 					if p := b.pos[s]; p >= 0 {
-						if ent := &d.outLabs[p]; ent.dist == uint8(length) && !containsNode(ent.fol, u) {
+						if ent := &d.out[uint32(s)>>w.pshift].labs[p]; ent.dist == uint8(length) && !containsNode(ent.fol, u) {
 							ent.fol = append(ent.fol, u)
 						}
 					} else {
@@ -315,7 +404,7 @@ func (b *thBuilder) forward(vk graph.NodeID, k int32, d *thDelta) {
 					}
 					if merged {
 						if p := b.pos[t]; p >= 0 {
-							if ent := &d.inLabs[p]; ent.dist == uint8(length) {
+							if ent := &d.in[uint32(t)>>w.pshift].labs[p]; ent.dist == uint8(length) {
 								for _, f := range firstHop {
 									if !containsNode(ent.fol, f) {
 										ent.fol = append(ent.fol, f)
@@ -435,62 +524,118 @@ func (p *thBuildPool) release(b *thBuilder) {
 	p.mu.Unlock()
 }
 
-// buildLabels processes the ranked hubs in batches of batchSize, fanning
-// each batch across up to workers goroutines. Returns the accumulated
-// per-stage timings; barrier+merge is the parallel overhead the
-// microlink_reach_twohop_build_merge_wait_seconds gauge reports.
+// mergeDeltaPartition folds every delta's partition-p bucket into the
+// per-node label lists, deltas in batch-slot (= hub rank) order, so each
+// node's list stays sorted by hub rank. Partitions are disjoint node
+// ranges, so concurrent calls for different p touch disjoint entries of
+// out and in: the merge needs no locks, only the batch epoch around it.
+func mergeDeltaPartition(out, in [][]thLabel, ds []thDelta, p int) {
+	for i := range ds {
+		r := &ds[i].out[p]
+		for j, s := range r.nodes {
+			out[s] = append(out[s], r.labs[j])
+		}
+		r = &ds[i].in[p]
+		for j, t := range r.nodes {
+			in[t] = append(in[t], r.labs[j])
+		}
+	}
+}
+
+// buildLabels processes the ranked hubs in batches of batchSize. Each
+// batch runs two phases over the same worker budget: the BFS phase fans
+// hubs across goroutines (claimed dynamically off an atomic counter —
+// ranks inside a batch differ wildly in BFS cost, so static striping
+// would idle workers behind stragglers), then the merge phase fans the
+// node-range partitions across goroutines the same way. The WaitGroup
+// fences between the phases are the batch epoch that keeps rank-order
+// pruning correct; there is no single-goroutine merge serialising the
+// build. Returns the accumulated per-stage timings.
 func (w *thWork) buildLabels(workers, batchSize int) thBuildTimings {
 	n := len(w.order)
 	pool := &thBuildPool{w: w}
 	deltas := make([]thDelta, batchSize)
+	for i := range deltas {
+		deltas[i].init(w.nparts)
+	}
 	var tm thBuildTimings
+	nwm := min(workers, w.nparts) // merge fan-out
+	if workers > 1 && nwm > 1 {
+		tm.mergeBusy = make([]time.Duration, nwm)
+	}
+	bfsFinish := make([]time.Duration, workers)
+	mergeFinish := make([]time.Duration, nwm)
+	out, in := w.out, w.in
 	for lo := 0; lo < n; lo += batchSize {
 		m := min(batchSize, n-lo)
 		ds := deltas[:m]
 		for i := range ds {
 			ds[i].reset()
 		}
+
+		// Phase 1: pruned hub BFS against the batch-start label snapshot.
 		bfsStart := time.Now()
-		if nw := min(workers, m); nw <= 1 {
+		if nwb := min(workers, m); nwb <= 1 {
 			b := pool.acquire()
 			for i := 0; i < m; i++ {
 				b.runHub(w.order[lo+i], int32(lo+i), &ds[i])
 			}
 			pool.release(b)
 		} else {
-			// Hubs are claimed dynamically: ranks inside a batch differ
-			// wildly in BFS cost (rank 0 is the highest-degree node), so
-			// static striping would leave workers idle behind stragglers.
+			finish := bfsFinish[:nwb]
 			var nextHub atomic.Int64
 			var wg sync.WaitGroup
-			for g := 0; g < nw; g++ {
+			for g := 0; g < nwb; g++ {
 				wg.Add(1)
-				go func() {
+				go func(slot int) {
 					defer wg.Done()
 					b := pool.acquire()
 					defer pool.release(b)
 					for {
 						i := int(nextHub.Add(1)) - 1
 						if i >= m {
-							return
+							break
 						}
 						b.runHub(w.order[lo+i], int32(lo+i), &ds[i])
 					}
-				}()
+					finish[slot] = time.Since(bfsStart)
+				}(g)
 			}
-			barrier := time.Now()
 			wg.Wait()
-			tm.barrier += time.Since(barrier)
+			tm.barrier += stragglerIdle(finish)
 		}
 		tm.bfs += time.Since(bfsStart)
+
+		// Phase 2: merge the deltas' partition buckets into the disjoint
+		// node-range partitions of the label lists, concurrently.
 		mergeStart := time.Now()
-		for i := range ds {
-			d := &ds[i]
-			for j, s := range d.outNodes {
-				w.out[s] = append(w.out[s], d.outLabs[j])
+		if nwm <= 1 || workers <= 1 {
+			for p := 0; p < w.nparts; p++ {
+				mergeDeltaPartition(out, in, ds, p)
 			}
-			for j, t := range d.inNodes {
-				w.in[t] = append(w.in[t], d.inLabs[j])
+		} else {
+			finish := mergeFinish[:nwm]
+			nparts := w.nparts
+			var nextPart atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < nwm; g++ {
+				wg.Add(1)
+				go func(slot int) {
+					defer wg.Done()
+					for {
+						p := int(nextPart.Add(1)) - 1
+						if p >= nparts {
+							break
+						}
+						mergeDeltaPartition(out, in, ds, p)
+					}
+					finish[slot] = time.Since(mergeStart)
+				}(g)
+			}
+			wg.Wait()
+			tm.barrier += stragglerIdle(finish)
+			for slot, f := range finish {
+				tm.mergeBusy[slot] += f
 			}
 		}
 		tm.merge += time.Since(mergeStart)
@@ -508,11 +653,91 @@ const maxInternedFol = 16
 // is bounded by one node's degree); truncation keeps the subset property.
 const maxFolLen = 1<<16 - 1
 
+// hashNodeIDs is the content hash the freeze-time interning table keys
+// on: FNV-1a over the set's ids with the length folded in. Candidates
+// sharing a hash are verified by content compare, so collisions cost a
+// probe, never correctness.
+func hashNodeIDs(s []graph.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(len(s))*prime64
+	for _, v := range s {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	return h
+}
+
+// internCand is one followee-pool run registered under a hash bucket of
+// the freeze-time interning table.
+type internCand struct {
+	off int32
+	n   uint16
+}
+
+// lookupIntern scans a hash bucket for a pool run equal to fol.
+func lookupIntern(cands []internCand, pool, fol []graph.NodeID) (int32, bool) {
+	for _, c := range cands {
+		if int(c.n) != len(fol) {
+			continue
+		}
+		run := pool[c.off : c.off+int32(c.n)]
+		match := true
+		for k := range run {
+			if run[k] != fol[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.off, true
+		}
+	}
+	return 0, false
+}
+
+// prepFreeze is the parallel half of the arena conversion for nodes
+// [lo, hi): it truncates and sorts every label's followee set in place,
+// fills the hub/distance halves of the flat entries, and records each
+// sorted set's content hash so the interning stitch never rebuilds keys.
+// Returns the range's followee-reference count (the pre-intern FolRefs
+// contribution). Safe to run concurrently for disjoint node ranges:
+// every write lands in the range's own slice entries.
+func prepFreeze(src [][]thLabel, dst []thLabelFlat, off []int32, hash []uint64, lo, hi int) int64 {
+	var refs int64
+	for u := lo; u < hi; u++ {
+		labs := src[u]
+		base := int(off[u])
+		for i := range labs {
+			l := &labs[i]
+			if len(l.fol) > maxFolLen {
+				l.fol = l.fol[:maxFolLen]
+			}
+			sortNodeIDs(l.fol)
+			refs += int64(len(l.fol))
+			dst[base+i] = thLabelFlat{hub: l.hub, dist: l.dist}
+			hash[base+i] = hashNodeIDs(l.fol)
+		}
+	}
+	return refs
+}
+
 // freeze converts the built per-node label slices into the flat CSR arenas
 // of TwoHop: labels become cache-contiguous runs, every followee set is
 // sorted ascending (enabling the query path's merge-based dedup), and
 // identical small sets are interned once in the shared pool.
-func (w *thWork) freeze() *TwoHop {
+//
+// The conversion runs in two stages. Stage 1 fans the per-label work that
+// needs no shared state — followee-set truncation and sorting, the flat
+// entries' hub/distance halves, content hashes — across workers over the
+// build's node-range partitions. Stage 2 stitches the shared followee
+// pool serially in a fixed order (out direction then in, nodes ascending,
+// labels in rank order — exactly the order a fully serial freeze visits
+// labels), so the pool layout, and with it every arena byte, is identical
+// for every worker count.
+func (w *thWork) freeze(workers int) *TwoHop {
 	n := w.g.NumNodes()
 	th := &TwoHop{
 		g:      w.g,
@@ -522,63 +747,96 @@ func (w *thWork) freeze() *TwoHop {
 		outOff: make([]int32, n+1),
 		inOff:  make([]int32, n+1),
 	}
-	var nOut, nIn int
+	var nOut, nIn int32
 	for u := 0; u < n; u++ {
-		nOut += len(w.out[u])
-		nIn += len(w.in[u])
+		th.outOff[u] = nOut
+		th.inOff[u] = nIn
+		nOut += int32(len(w.out[u]))
+		nIn += int32(len(w.in[u]))
 	}
-	th.outLab = make([]thLabelFlat, 0, nOut)
-	th.inLab = make([]thLabelFlat, 0, nIn)
+	th.outOff[n], th.inOff[n] = nOut, nIn
+	th.outLab = make([]thLabelFlat, nOut)
+	th.inLab = make([]thLabelFlat, nIn)
+	outHash := make([]uint64, nOut)
+	inHash := make([]uint64, nIn)
 
-	intern := make(map[string]int32)
-	var key []byte
-	addSet := func(fol []graph.NodeID) (int32, uint16) {
-		if len(fol) == 0 {
-			return 0, 0
+	// Stage 1: parallel per-label prep over the node-range partitions.
+	var refs int64
+	if nwf := min(workers, w.nparts); nwf <= 1 {
+		refs = prepFreeze(w.out, th.outLab, th.outOff, outHash, 0, n) +
+			prepFreeze(w.in, th.inLab, th.inOff, inHash, 0, n)
+	} else {
+		span := 1 << w.pshift
+		nparts := w.nparts
+		partRefs := make([]int64, nparts)
+		out, in := w.out, w.in
+		outLab, inLab := th.outLab, th.inLab
+		outOff, inOff := th.outOff, th.inOff
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < nwf; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= nparts {
+						return
+					}
+					lo := p * span
+					hi := min(lo+span, n)
+					partRefs[p] = prepFreeze(out, outLab, outOff, outHash, lo, hi) +
+						prepFreeze(in, inLab, inOff, inHash, lo, hi)
+				}
+			}()
 		}
-		if len(fol) > maxFolLen {
-			fol = fol[:maxFolLen]
+		wg.Wait()
+		for _, r := range partRefs {
+			refs += r
 		}
-		sortNodeIDs(fol)
-		th.info.FolRefs += int64(len(fol))
-		if len(fol) <= maxInternedFol {
-			key = key[:0]
-			for _, v := range fol {
-				key = binary.LittleEndian.AppendUint32(key, uint32(v))
-			}
-			if off, ok := intern[string(key)]; ok {
-				return off, uint16(len(fol))
-			}
-			off := int32(len(th.folPool))
-			th.folPool = append(th.folPool, fol...)
-			intern[string(key)] = off
-			return off, uint16(len(fol))
-		}
-		off := int32(len(th.folPool))
-		th.folPool = append(th.folPool, fol...)
-		return off, uint16(len(fol))
 	}
+	th.info.FolRefs = refs
 
-	freezeDir := func(src [][]thLabel, off []int32, dst []thLabelFlat) []thLabelFlat {
+	// Stage 2: serial interning stitch in the canonical label order.
+	intern := make(map[uint64][]internCand)
+	stitch := func(src [][]thLabel, off []int32, dst []thLabelFlat, hash []uint64) {
 		for u := 0; u < n; u++ {
-			off[u] = int32(len(dst))
 			labs := src[u]
+			base := int(off[u])
 			for i := range labs {
 				l := &labs[i]
-				folOff, folLen := addSet(l.fol)
-				dst = append(dst, thLabelFlat{hub: l.hub, folOff: folOff, folLen: folLen, dist: l.dist})
+				fol := l.fol
+				if len(fol) == 0 {
+					continue // prep already wrote the hub/dist-only entry
+				}
+				folLen := uint16(len(fol))
+				var folOff int32
+				switch {
+				case len(fol) > maxInternedFol:
+					folOff = int32(len(th.folPool))
+					th.folPool = append(th.folPool, fol...)
+				default:
+					h := hash[base+i]
+					if poolOff, ok := lookupIntern(intern[h], th.folPool, fol); ok {
+						folOff = poolOff
+					} else {
+						folOff = int32(len(th.folPool))
+						th.folPool = append(th.folPool, fol...)
+						intern[h] = append(intern[h], internCand{off: folOff, n: folLen})
+					}
+				}
+				dst[base+i] = thLabelFlat{hub: l.hub, dist: l.dist, folOff: folOff, folLen: folLen}
 			}
 			src[u] = nil // release build storage as we go
 		}
-		off[n] = int32(len(dst))
-		return dst
 	}
-	th.outLab = freezeDir(w.out, th.outOff, th.outLab)
-	th.inLab = freezeDir(w.in, th.inOff, th.inLab)
+	stitch(w.out, th.outOff, th.outLab, outHash)
+	stitch(w.in, th.inOff, th.inLab, inHash)
 
 	// Shrink the pool to exact capacity so SizeBytes reports reality.
 	th.folPool = append(make([]graph.NodeID, 0, len(th.folPool)), th.folPool...)
 	th.info.FolPool = int64(len(th.folPool))
+	th.info.Partitions = w.nparts
 	return th
 }
 
